@@ -1,0 +1,198 @@
+// Experiments P-NORM and P-PHYS (DESIGN.md), as google-benchmark sweeps:
+//
+//   P-NORM  — normalization on/off ahead of unnesting. Without it, type-J
+//             existentials compile to outer-join + nest instead of a plain
+//             join (more operators, more work); type-N queries cannot be
+//             unnested at all (the paper requires canonical form).
+//   P-PHYS  — hash vs nested-loop operators on the unnested plan: unnesting
+//             alone "does not result in performance improvement" (Section 1);
+//             the enabled hash join is what wins.
+//
+// Each benchmark reports items_processed = employees scanned, so per-item
+// costs are comparable across scales.
+
+#include <benchmark/benchmark.h>
+
+#include "src/lambdadb.h"
+#include "src/workload/company.h"
+#include "src/workload/university.h"
+
+namespace {
+
+using namespace ldb;
+
+const char* kTypeJQuery =
+    "select distinct s.name from s in Students "
+    "where exists t in Transcripts: t.sid = s.sid";
+
+const char* kTypeAQuery =
+    "select distinct struct(D: d.name, total: sum(select e.salary "
+    "from e in Employees where e.dno = d.dno)) from d in Departments";
+
+Database& UniversityDb(int64_t scale) {
+  static std::map<int64_t, Database> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    workload::UniversityParams p;
+    p.n_students = static_cast<int>(scale);
+    p.n_courses = 20;
+    it = cache.emplace(scale, workload::MakeUniversityDatabase(p)).first;
+  }
+  return it->second;
+}
+
+Database& CompanyDb(int64_t scale) {
+  static std::map<int64_t, Database> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    workload::CompanyParams p;
+    p.n_departments = static_cast<int>(std::max<int64_t>(4, scale / 40));
+    p.n_employees = static_cast<int>(scale);
+    it = cache.emplace(scale, workload::MakeCompanyDatabase(p)).first;
+  }
+  return it->second;
+}
+
+void BM_Norm_On_TypeJ(benchmark::State& state) {
+  Database& db = UniversityDb(state.range(0));
+  OptimizerOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kTypeJQuery, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Norm_On_TypeJ)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_Norm_Off_TypeJ(benchmark::State& state) {
+  Database& db = UniversityDb(state.range(0));
+  OptimizerOptions opts;
+  opts.normalize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kTypeJQuery, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Norm_Off_TypeJ)->Arg(200)->Arg(800);  // 3200 would materialize a ~245M-row cross product
+
+void BM_Phys_Hash_TypeA(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kTypeAQuery, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Phys_Hash_TypeA)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Phys_NL_TypeA(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  OptimizerOptions opts;
+  opts.physical.use_hash_joins = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kTypeAQuery, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Phys_NL_TypeA)->Arg(500)->Arg(2000);
+
+void BM_Baseline_TypeA(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQLBaseline(db, kTypeAQuery));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Baseline_TypeA)->Arg(500)->Arg(2000);
+
+// P-MAT: a navigation-correlated join. Without materialization the predicate
+// e.manager.age = g.age is not hashable (it is a path, not a var-to-var
+// equality); materializing e.manager into a join with Managers makes it one.
+const char* kNavJoinQuery =
+    "select distinct struct(e: e.name, m: g.name) "
+    "from e in Employees, g in Managers where e.manager.age = g.age";
+
+void BM_Mat_Off_NavJoin(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kNavJoinQuery, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Mat_Off_NavJoin)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Mat_On_NavJoin(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  OptimizerOptions opts;
+  opts.materialize_paths = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kNavJoinQuery, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Mat_On_NavJoin)->Arg(500)->Arg(2000)->Arg(8000);
+
+// P-ORD: join-order permutation on a three-extent flat query written
+// big-extent-first. Reordering starts from Departments/Managers and keeps
+// intermediates small; the win is modest with hash joins (intermediate
+// sizes, not probe counts, dominate).
+const char* kOrderQuery =
+    "select distinct struct(a: e.name, b: d.name, c: m.name) "
+    "from e in Employees, d in Departments, m in Managers "
+    "where e.dno = d.dno and e.manager = m";
+
+void BM_Order_Off(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kOrderQuery, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Order_Off)->Arg(2000)->Arg(8000);
+
+void BM_Order_On(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  OptimizerOptions opts;
+  opts.reorder_joins = true;
+  opts.catalog = Catalog::FromDatabase(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, kOrderQuery, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Order_On)->Arg(2000)->Arg(8000);
+
+// P-IDX: access-path choice — a selective constant predicate over a large
+// extent, with and without a hash index on the attribute.
+void BM_Index_Off(benchmark::State& state) {
+  Database& db = CompanyDb(state.range(0));
+  const char* q = "select distinct e.name from e in Employees where e.dno = 3";
+  OptimizerOptions opts;
+  opts.physical.use_indexes = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(db, q, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Index_Off)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_Index_On(benchmark::State& state) {
+  // A separate cache: these databases carry the index.
+  static std::map<int64_t, Database> cache;
+  auto it = cache.find(state.range(0));
+  if (it == cache.end()) {
+    workload::CompanyParams p;
+    p.n_departments = static_cast<int>(std::max<int64_t>(4, state.range(0) / 40));
+    p.n_employees = static_cast<int>(state.range(0));
+    it = cache.emplace(state.range(0), workload::MakeCompanyDatabase(p)).first;
+    it->second.BuildIndex("Employees", "dno");
+  }
+  const char* q = "select distinct e.name from e in Employees where e.dno = 3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOQL(it->second, q, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Index_On)->Arg(2000)->Arg(8000)->Arg(32000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

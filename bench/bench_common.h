@@ -1,0 +1,69 @@
+// Shared helpers for the benchmark harnesses: wall-clock timing of the three
+// evaluation strategies (baseline nested loops, unnested plan with
+// nested-loop operators, unnested plan with hash operators) and table
+// printing in the style of the paper's experiment reports.
+
+#ifndef LAMBDADB_BENCH_BENCH_COMMON_H_
+#define LAMBDADB_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/lambdadb.h"
+
+namespace ldb::bench {
+
+/// Milliseconds taken by `fn()`, run once (the workloads are sized so a
+/// single run is representative; google-benchmark covers the micro side).
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct StrategyTimes {
+  double baseline_ms = 0;    ///< nested-loop interpretation of the calculus
+  double unnested_nl_ms = 0; ///< unnested plan, nested-loop operators
+  double unnested_hash_ms = 0;  ///< unnested plan, hash operators
+  bool results_agree = false;
+};
+
+/// Runs `oql` under all three strategies and checks result agreement.
+inline StrategyTimes RunStrategies(const Database& db, const std::string& oql) {
+  StrategyTimes t;
+  Value baseline, nl, hash;
+  t.baseline_ms = TimeMs([&] { baseline = RunOQLBaseline(db, oql); });
+  OptimizerOptions nl_opts;
+  nl_opts.physical.use_hash_joins = false;
+  t.unnested_nl_ms = TimeMs([&] { nl = RunOQL(db, oql, nl_opts); });
+  t.unnested_hash_ms = TimeMs([&] { hash = RunOQL(db, oql, {}); });
+  t.results_agree = (baseline == nl) && (nl == hash);
+  return t;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRowHeader() {
+  std::printf("%-28s %12s %14s %14s %9s %6s\n", "workload/scale",
+              "baseline(ms)", "unnested-NL(ms)", "unnested-hash",
+              "speedup", "agree");
+}
+
+inline void PrintRow(const std::string& label, const StrategyTimes& t) {
+  std::printf("%-28s %12.2f %14.2f %14.2f %8.1fx %6s\n", label.c_str(),
+              t.baseline_ms, t.unnested_nl_ms, t.unnested_hash_ms,
+              t.unnested_hash_ms > 0 ? t.baseline_ms / t.unnested_hash_ms : 0.0,
+              t.results_agree ? "yes" : "NO!");
+  std::fflush(stdout);  // rows appear as they complete, even when piped
+}
+
+}  // namespace ldb::bench
+
+#endif  // LAMBDADB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// Experiments P-N, P-J, P-A, P-JA, CB (DESIGN.md): for every nesting class
+// of Kim's taxonomy the paper's algorithm handles, measure the nested-loop
+// baseline against the unnested plan across scale, and print a paper-style
+// summary table. The expected *shape* (the paper makes no absolute claims):
+// the baseline is O(outer x inner) while the unnested hash plan is ~linear,
+// so the speedup grows roughly linearly with the inner extent size, and
+// nested-loop-only unnested plans stay near the baseline (unnesting itself
+// is an enabler, not a win — Section 1).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/workload/company.h"
+#include "src/workload/travel.h"
+#include "src/workload/university.h"
+
+namespace {
+
+using namespace ldb;
+
+struct Experiment {
+  const char* id;
+  const char* title;
+  const char* oql;
+};
+
+// Type-N: nesting in the generator domain — unnested by normalization alone.
+const Experiment kTypeN{
+    "P-N", "type-N (nested generator; normalization only)",
+    "select distinct h.price "
+    "from h in (select h from c in Cities, h in c.hotels "
+    "           where c.name = 'Arlington')"};
+
+// Type-J: existential predicate over a subquery — normalization (N8).
+const Experiment kTypeJ{
+    "P-J", "type-J (existential / membership predicate)",
+    "select distinct s.name from s in Students "
+    "where exists t in Transcripts: t.sid = s.sid"};
+
+// Type-A: correlated aggregate in the head (the Query B / Figure 8 family).
+const Experiment kTypeA{
+    "P-A", "type-A (correlated aggregate in the head)",
+    "select distinct struct(D: d.name, total: sum(select e.salary "
+    "from e in Employees where e.dno = d.dno)) from d in Departments"};
+
+// Type-JA: correlated aggregate + quantifier in the predicate.
+const Experiment kTypeJA{
+    "P-JA", "type-JA (correlated aggregate in the predicate)",
+    "select distinct e.name from e in Employees "
+    "where e.salary < max(select m.salary from m in Managers "
+    "where e.age > m.age)"};
+
+// Query E: universal quantification (the Claussen et al class).
+const Experiment kForAll{
+    "P-JA/forall", "universal quantification over a subquery (Query E)",
+    "select distinct s.name from s in Students "
+    "where for all c in select c from c in Courses where c.title = 'DB': "
+    "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno"};
+
+// The count-bug query: empty groups must survive with count 0.
+const Experiment kCountBug{
+    "CB", "count-bug pattern (WHERE count(subquery) = 0)",
+    "select distinct d.name from d in Departments "
+    "where count(select e from e in Employees where e.dno = d.dno) = 0"};
+
+Database MakeCompany(int scale) {
+  workload::CompanyParams p;
+  p.n_departments = std::max(4, scale / 40);
+  p.n_employees = scale;
+  p.n_managers = std::max(2, scale / 100);
+  return workload::MakeCompanyDatabase(p);
+}
+
+Database MakeUniversity(int scale) {
+  workload::UniversityParams p;
+  p.n_students = scale;
+  p.n_courses = 24;  // fixed: the quantifier cost scales with students
+  return workload::MakeUniversityDatabase(p);
+}
+
+Database MakeTravel(int scale) {
+  workload::TravelParams p;
+  p.n_cities = std::max(2, scale / 10);
+  p.hotels_per_city = 10;
+  return workload::MakeTravelDatabase(p);
+}
+
+template <typename MakeDb>
+void RunExperiment(const Experiment& exp, MakeDb make_db,
+                   std::initializer_list<int> scales) {
+  bench::PrintHeader((std::string(exp.id) + ": " + exp.title).c_str());
+  std::printf("OQL:\n  %s\n\n", exp.oql);
+  bench::PrintRowHeader();
+  for (int scale : scales) {
+    Database db = make_db(scale);
+    bench::StrategyTimes t = bench::RunStrategies(db, exp.oql);
+    bench::PrintRow("scale " + std::to_string(scale), t);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunExperiment(kTypeN, MakeTravel, {100, 400, 1600});
+  RunExperiment(kTypeJ, MakeUniversity, {200, 800, 2400});
+  RunExperiment(kTypeA, MakeCompany, {500, 2000, 8000});
+  RunExperiment(kTypeJA, MakeCompany, {500, 2000, 8000});
+  RunExperiment(kForAll, MakeUniversity, {50, 150, 450});
+  RunExperiment(kCountBug, MakeCompany, {500, 2000, 8000});
+
+  std::printf(
+      "\nReading the table: 'baseline' is the naive nested-loop evaluation an\n"
+      "OODB uses without unnesting; 'unnested-NL' is the unnested plan with\n"
+      "nested-loop operators (unnesting alone, paper Section 1: roughly\n"
+      "cost-neutral); 'unnested-hash' adds the join-algorithm choice that\n"
+      "unnesting ENABLES — this is where the speedup comes from, and it\n"
+      "grows with scale because the baseline is quadratic.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// oqlsh — an interactive OQL shell over the synthetic workloads.
+//
+//   $ ./examples/oqlsh [company|university|travel] [scale]
+//
+// Commands:
+//   .help                this text
+//   .schema              list classes, extents, attributes
+//   .plan <oql>          show calculus, normalized form, and algebra plans
+//   .baseline <oql>      evaluate with the nested-loop baseline
+//   .time <oql>          compare baseline vs unnested timings
+//   .quit                exit
+//   <oql>                optimize + execute + print
+//
+// Reads one query per line (no multi-line continuation).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/lambdadb.h"
+#include "src/workload/company.h"
+#include "src/workload/travel.h"
+#include "src/workload/university.h"
+
+namespace {
+
+using namespace ldb;
+
+Database MakeDb(const std::string& which, int scale) {
+  if (which == "university") {
+    workload::UniversityParams p;
+    p.n_students = scale;
+    return workload::MakeUniversityDatabase(p);
+  }
+  if (which == "travel") {
+    workload::TravelParams p;
+    p.n_cities = std::max(2, scale / 10);
+    return workload::MakeTravelDatabase(p);
+  }
+  workload::CompanyParams p;
+  p.n_employees = scale;
+  p.n_departments = std::max(4, scale / 40);
+  return workload::MakeCompanyDatabase(p);
+}
+
+void ShowSchema(const Schema& schema) {
+  for (const auto& [name, decl] : schema.classes()) {
+    std::printf("class %s", name.c_str());
+    if (!decl.extent.empty()) std::printf(" (extent %s)", decl.extent.c_str());
+    std::printf(" {\n");
+    for (const auto& [attr, type] : decl.attributes) {
+      std::printf("  %s: %s\n", attr.c_str(), type->ToString().c_str());
+    }
+    std::printf("}\n");
+  }
+}
+
+void ShowPlan(const Database& db, const std::string& oql) {
+  ExprPtr calculus = ParseOQL(oql);
+  std::printf("calculus:   %s\n", PrintExpr(calculus).c_str());
+  ExprPtr normalized = Normalize(calculus);
+  std::printf("normalized: %s\n", PrintExpr(normalized).c_str());
+  if (normalized->kind != ExprKind::kComp) {
+    std::printf("(top level is not a comprehension; subqueries compile "
+                "individually)\n");
+    return;
+  }
+  std::vector<UnnestStep> steps;
+  UnnestCompTraced(normalized, db.schema(), &steps);
+  std::printf("derivation (Figure 7 rules):\n");
+  for (const UnnestStep& s : steps) {
+    std::printf("  (%s) %s\n", s.rule.c_str(), s.description.c_str());
+  }
+  Optimizer opt(db.schema());
+  CompiledQuery q = opt.Compile(calculus);
+  std::printf("algebra plan:\n%s", PrintPlan(q.plan).c_str());
+  if (!AlgEqual(q.plan, q.simplified)) {
+    std::printf("simplified:\n%s", PrintPlan(q.simplified).c_str());
+  }
+  std::printf("physical:\n%s",
+              PrintPhysicalPlan(PlanPhysical(q.simplified, db)).c_str());
+  std::printf("result type: %s\n", q.result_type->ToString().c_str());
+}
+
+double MsOf(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void PrintResult(const Value& v) {
+  if (v.is_collection() && v.AsElems().size() > 20) {
+    size_t i = 0;
+    for (const Value& row : v.AsElems()) {
+      if (i++ == 20) break;
+      std::printf("  %s\n", row.ToString().c_str());
+    }
+    std::printf("  ... (%zu rows)\n", v.AsElems().size());
+  } else {
+    std::printf("  %s\n", v.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "company";
+  int scale = argc > 2 ? std::atoi(argv[2]) : 500;
+  Database db = MakeDb(which, scale);
+  std::printf("oqlsh: %s database at scale %d (%zu objects). Type .help\n",
+              which.c_str(), scale, db.ObjectCount());
+
+  std::string line;
+  while (std::printf("oql> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    try {
+      if (line == ".quit" || line == ".exit") break;
+      if (line == ".help") {
+        std::printf(".schema | .plan <oql> | .baseline <oql> | .time <oql> | "
+                    ".quit | <oql>\n");
+      } else if (line == ".schema") {
+        ShowSchema(db.schema());
+      } else if (line.rfind(".plan ", 0) == 0) {
+        ShowPlan(db, line.substr(6));
+      } else if (line.rfind(".baseline ", 0) == 0) {
+        PrintResult(RunOQLBaseline(db, line.substr(10)));
+      } else if (line.rfind(".time ", 0) == 0) {
+        std::string oql = line.substr(6);
+        Value opt_result, base_result;
+        double opt_ms = MsOf([&] { opt_result = RunOQL(db, oql); });
+        double base_ms = MsOf([&] { base_result = RunOQLBaseline(db, oql); });
+        std::printf("unnested: %.2f ms | baseline: %.2f ms | agree: %s\n",
+                    opt_ms, base_ms, opt_result == base_result ? "yes" : "NO");
+      } else {
+        PrintResult(RunOQL(db, line));
+      }
+    } catch (const Error& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

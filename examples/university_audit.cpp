@@ -1,0 +1,66 @@
+// University audit: universal quantification workloads (the Claussen et al
+// class the paper extends to). Finds students who completed every DB course
+// (the paper's QUERY E), shows the unnested plan, and runs the dual
+// formulation through double negation to show they agree.
+//
+//   $ ./examples/university_audit [n_students]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/lambdadb.h"
+#include "src/workload/university.h"
+
+int main(int argc, char** argv) {
+  using namespace ldb;
+
+  workload::UniversityParams params;
+  params.n_students = argc > 1 ? std::atoi(argv[1]) : 500;
+  params.n_courses = 30;
+  params.take_all_fraction = 0.05;
+  Database db = workload::MakeUniversityDatabase(params);
+
+  const char* query_e =
+      "select distinct s.name from s in Students "
+      "where for all c in select c from c in Courses where c.title = 'DB': "
+      "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno";
+
+  std::printf("QUERY E — students who have taken ALL database courses\n");
+  std::printf("OQL:\n  %s\n\n", query_e);
+
+  Optimizer optimizer(db.schema());
+  CompiledQuery compiled = optimizer.Compile(ParseOQL(query_e));
+  std::printf("unnested plan (Figure 1.E — two outer-joins, ∃-nest then ∀-nest):\n%s\n",
+              PrintPlan(compiled.simplified).c_str());
+
+  Value qualified = optimizer.Execute(compiled, db);
+  std::printf("%zu of %d students qualify\n", qualified.AsElems().size(),
+              params.n_students);
+
+  // The relational-division dual: NOT EXISTS a DB course NOT taken.
+  const char* dual =
+      "select distinct s.name from s in Students "
+      "where not (exists c in (select c from c in Courses "
+      "                        where c.title = 'DB'): "
+      "           not (exists t in Transcripts: t.sid = s.sid "
+      "                and t.cno = c.cno))";
+  Value via_dual = RunOQL(db, dual);
+  std::printf("double-negation formulation agrees: %s\n",
+              via_dual == qualified ? "yes" : "NO");
+
+  Value baseline = RunOQLBaseline(db, query_e);
+  std::printf("nested-loop baseline agrees: %s\n",
+              baseline == qualified ? "yes" : "NO");
+
+  // Per-student course load, with zero-enrollment students kept alive by the
+  // outer-join + nest (they'd vanish under a plain join).
+  Value loads = RunOQL(db,
+      "select distinct struct(s: s.name, n: count(select t from t in "
+      "Transcripts where t.sid = s.sid)) from s in Students");
+  int zeros = 0;
+  for (const Value& row : loads.AsElems()) {
+    if (row.Field("n") == Value::Int(0)) ++zeros;
+  }
+  std::printf("students with zero enrollments (kept by outer-join): %d\n", zeros);
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "src/core/algebra.h"
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+std::shared_ptr<AlgOp> New(AlgKind k) {
+  auto op = std::make_shared<AlgOp>();
+  op->kind = k;
+  op->pred = Expr::True();
+  return op;
+}
+}  // namespace
+
+AlgPtr AlgOp::Unit() { return New(AlgKind::kUnit); }
+
+AlgPtr AlgOp::Scan(std::string extent, std::string var, ExprPtr pred) {
+  auto op = New(AlgKind::kScan);
+  op->extent = std::move(extent);
+  op->var = std::move(var);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::Select(AlgPtr child, ExprPtr pred) {
+  auto op = New(AlgKind::kSelect);
+  op->left = std::move(child);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::Join(AlgPtr l, AlgPtr r, ExprPtr pred) {
+  auto op = New(AlgKind::kJoin);
+  op->left = std::move(l);
+  op->right = std::move(r);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::OuterJoin(AlgPtr l, AlgPtr r, ExprPtr pred) {
+  auto op = New(AlgKind::kOuterJoin);
+  op->left = std::move(l);
+  op->right = std::move(r);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::Unnest(AlgPtr child, ExprPtr path, std::string var, ExprPtr pred) {
+  auto op = New(AlgKind::kUnnest);
+  op->left = std::move(child);
+  op->path = std::move(path);
+  op->var = std::move(var);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::OuterUnnest(AlgPtr child, ExprPtr path, std::string var,
+                          ExprPtr pred) {
+  auto op = New(AlgKind::kOuterUnnest);
+  op->left = std::move(child);
+  op->path = std::move(path);
+  op->var = std::move(var);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::Nest(AlgPtr child, MonoidKind monoid, ExprPtr head,
+                   std::string out_var,
+                   std::vector<std::pair<std::string, ExprPtr>> group_by,
+                   std::vector<std::string> null_vars, ExprPtr pred) {
+  auto op = New(AlgKind::kNest);
+  op->left = std::move(child);
+  op->monoid = monoid;
+  op->head = std::move(head);
+  op->var = std::move(out_var);
+  op->group_by = std::move(group_by);
+  op->null_vars = std::move(null_vars);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+AlgPtr AlgOp::Reduce(AlgPtr child, MonoidKind monoid, ExprPtr head, ExprPtr pred) {
+  auto op = New(AlgKind::kReduce);
+  op->left = std::move(child);
+  op->monoid = monoid;
+  op->head = std::move(head);
+  if (pred) op->pred = std::move(pred);
+  return op;
+}
+
+std::vector<std::string> OutputVars(const AlgPtr& op) {
+  LDB_INTERNAL_CHECK(op != nullptr, "null plan");
+  switch (op->kind) {
+    case AlgKind::kUnit:
+      return {};
+    case AlgKind::kScan:
+      return {op->var};
+    case AlgKind::kSelect:
+      return OutputVars(op->left);
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin: {
+      auto l = OutputVars(op->left);
+      auto r = OutputVars(op->right);
+      l.insert(l.end(), r.begin(), r.end());
+      return l;
+    }
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest: {
+      auto l = OutputVars(op->left);
+      l.push_back(op->var);
+      return l;
+    }
+    case AlgKind::kNest: {
+      std::vector<std::string> out;
+      for (const auto& [n, e] : op->group_by) out.push_back(n);
+      out.push_back(op->var);
+      return out;
+    }
+    case AlgKind::kReduce:
+      return {};  // a reduce produces a value, not a stream
+  }
+  return {};
+}
+
+namespace {
+bool ExprsUnnested(const AlgOp& op) {
+  if (ContainsComp(op.pred) || ContainsComp(op.head) || ContainsComp(op.path)) {
+    return false;
+  }
+  for (const auto& [n, e] : op.group_by) {
+    if (ContainsComp(e)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool IsFullyUnnested(const AlgPtr& op) {
+  if (!op) return true;
+  if (!ExprsUnnested(*op)) return false;
+  return IsFullyUnnested(op->left) && IsFullyUnnested(op->right);
+}
+
+size_t PlanSize(const AlgPtr& op) {
+  if (!op) return 0;
+  return 1 + PlanSize(op->left) + PlanSize(op->right);
+}
+
+bool AlgEqual(const AlgPtr& a, const AlgPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind || a->extent != b->extent || a->var != b->var ||
+      a->monoid != b->monoid || a->null_vars != b->null_vars) {
+    return false;
+  }
+  if (!ExprEqual(a->pred, b->pred) || !ExprEqual(a->head, b->head) ||
+      !ExprEqual(a->path, b->path)) {
+    return false;
+  }
+  if (a->group_by.size() != b->group_by.size()) return false;
+  for (size_t i = 0; i < a->group_by.size(); ++i) {
+    if (a->group_by[i].first != b->group_by[i].first) return false;
+    if (!ExprEqual(a->group_by[i].second, b->group_by[i].second)) return false;
+  }
+  return AlgEqual(a->left, b->left) && AlgEqual(a->right, b->right);
+}
+
+}  // namespace ldb

@@ -1,0 +1,112 @@
+// The nested relational algebra of Fegaras, SIGMOD'98, Section 3 (operator
+// semantics in Figure 5, typing in Figure 6), extended with aggregation,
+// quantification, outer-joins and outer-unnests.
+//
+// Plans are trees whose leaves scan class extents and whose root is a
+// `reduce` (Δ) producing the query result. Where the paper threads nested
+// pairs (v, w) between operators, we thread *environments*: each operator
+// produces a stream of variable bindings; the variables an operator adds are
+// recorded in the node, which makes the unnesting rules' "group by w\u"
+// directly computable (see DESIGN.md).
+//
+// Operators (paper notation):
+//   Scan        σp(X)            — extent scan with selection         (O2)
+//   Select      σp               — filter on a stream                 (O2)
+//   Join        ⋈p               — (O1)
+//   OuterJoin   =⋈p              — left outer-join; pads right NULL   (O5)
+//   Unnest      μ^path_p         — adds v ranging over path(w)        (O3)
+//   OuterUnnest =μ^path_p        — NULL-padding unnest                (O6)
+//   Nest        Γ^{⊕/e/f}_{p/g}  — group by f, accumulate e with ⊕,
+//                                  convert NULL g-vars to zeros       (O7)
+//   Reduce      Δ^{⊕/e}_p        — fold the whole stream with ⊕       (O4)
+//   Unit                         — one empty environment (seed for
+//                                  generator-less comprehensions)
+
+#ifndef LAMBDADB_CORE_ALGEBRA_H_
+#define LAMBDADB_CORE_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/expr.h"
+
+namespace ldb {
+
+struct AlgOp;
+using AlgPtr = std::shared_ptr<const AlgOp>;
+
+enum class AlgKind {
+  kUnit,
+  kScan,
+  kSelect,
+  kJoin,
+  kOuterJoin,
+  kUnnest,
+  kOuterUnnest,
+  kNest,
+  kReduce,
+};
+
+/// One algebraic operator. Construct via factories; every operator carries a
+/// predicate (the paper allows a predicate on every operator; default true).
+struct AlgOp {
+  AlgKind kind;
+  AlgPtr left, right;  // right only for joins
+  ExprPtr pred;        // restricts input (evaluated over the full environment)
+
+  std::string extent;  // kScan: extent name
+  std::string var;     // kScan/kUnnest/kOuterUnnest: new range variable;
+                       // kNest: variable bound to each group's reduction
+
+  ExprPtr path;        // kUnnest/kOuterUnnest: collection-valued expression
+                       // over the input environment (a path in canonical
+                       // plans)
+
+  MonoidKind monoid{};  // kNest/kReduce: the accumulator ⊕
+  ExprPtr head;         // kNest/kReduce: the head expression e
+
+  /// kNest: the group-by bindings (output name -> key expression). In plans
+  /// produced by the unnesting algorithm these are identity bindings
+  /// (name == Var(name)) for the variables w\u; the Section 5 simplification
+  /// introduces non-trivial keys (e.g. k -> e.dno).
+  std::vector<std::pair<std::string, ExprPtr>> group_by;
+
+  /// kNest: the variables whose NULL (introduced by outer-join/outer-unnest
+  /// padding) must be converted to the monoid's zero — the paper's g
+  /// function in O7 / the u parameter of rules (C5)-(C7).
+  std::vector<std::string> null_vars;
+
+  // -- factories ------------------------------------------------------------
+  static AlgPtr Unit();
+  static AlgPtr Scan(std::string extent, std::string var, ExprPtr pred);
+  static AlgPtr Select(AlgPtr child, ExprPtr pred);
+  static AlgPtr Join(AlgPtr l, AlgPtr r, ExprPtr pred);
+  static AlgPtr OuterJoin(AlgPtr l, AlgPtr r, ExprPtr pred);
+  static AlgPtr Unnest(AlgPtr child, ExprPtr path, std::string var, ExprPtr pred);
+  static AlgPtr OuterUnnest(AlgPtr child, ExprPtr path, std::string var,
+                            ExprPtr pred);
+  static AlgPtr Nest(AlgPtr child, MonoidKind monoid, ExprPtr head,
+                     std::string out_var,
+                     std::vector<std::pair<std::string, ExprPtr>> group_by,
+                     std::vector<std::string> null_vars, ExprPtr pred);
+  static AlgPtr Reduce(AlgPtr child, MonoidKind monoid, ExprPtr head, ExprPtr pred);
+};
+
+/// The variables bound in the environment stream this operator emits.
+std::vector<std::string> OutputVars(const AlgPtr& op);
+
+/// True if no expression anywhere in the plan contains a comprehension —
+/// the completeness property of the unnesting algorithm (Theorem 1).
+bool IsFullyUnnested(const AlgPtr& op);
+
+/// Counts operators in the plan (for tests and reporting).
+size_t PlanSize(const AlgPtr& op);
+
+/// Structural equality of plans (for tests).
+bool AlgEqual(const AlgPtr& a, const AlgPtr& b);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_ALGEBRA_H_

@@ -1,0 +1,52 @@
+// Catalog statistics for cost-based decisions (paper Section 6: the
+// prototype's "various algebraic optimizations (including permutation of
+// joins)" and "choosing access paths" need cardinalities to choose between
+// orders and operators).
+//
+// The model is deliberately simple — extent cardinalities plus fixed
+// selectivity constants — matching the granularity a 1998 optimizer
+// prototype would have had.
+
+#ifndef LAMBDADB_CORE_CATALOG_H_
+#define LAMBDADB_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "src/runtime/database.h"
+
+namespace ldb {
+
+/// Extent-level statistics.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Snapshot the extent cardinalities of a populated database.
+  static Catalog FromDatabase(const Database& db);
+
+  void SetExtentCardinality(const std::string& extent, double card) {
+    cards_[extent] = card;
+  }
+
+  /// Cardinality of an extent; kDefaultCardinality if unknown.
+  double ExtentCardinality(const std::string& extent) const {
+    auto it = cards_.find(extent);
+    return it == cards_.end() ? kDefaultCardinality : it->second;
+  }
+
+  /// Selectivity model: each equality conjunct keeps kEqSelectivity of the
+  /// input, every other conjunct kOtherSelectivity.
+  static constexpr double kDefaultCardinality = 1000.0;
+  static constexpr double kEqSelectivity = 0.1;
+  static constexpr double kOtherSelectivity = 0.5;
+  /// Assumed average fan-out of an unnested collection attribute.
+  static constexpr double kUnnestFanout = 3.0;
+
+ private:
+  std::map<std::string, double> cards_;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_CATALOG_H_

@@ -1,0 +1,35 @@
+// Cardinality estimation and join-order permutation (paper Section 6).
+//
+// EstimateCardinality walks a plan bottom-up with the Catalog's selectivity
+// model. ReorderJoins rewrites every maximal chain of consecutive INNER
+// joins using a greedy smallest-intermediate-first heuristic: collect the
+// chain's input subtrees and predicate conjuncts, start from the
+// cheapest-cardinality input, and repeatedly attach the input that minimizes
+// the estimated size of the next intermediate (predicates attach to the
+// first join where all their variables are available, so selections stay as
+// early as possible).
+//
+// Outer-joins, outer-unnests, and nests are left untouched: the unnesting
+// algorithm's correctness depends on their positions (they pad and group for
+// specific inner comprehensions), and outer-joins do not commute with inner
+// joins in general. The paper makes the same restriction implicitly — its
+// join permutation predates unnesting's outer operators in the pipeline.
+
+#ifndef LAMBDADB_CORE_COST_H_
+#define LAMBDADB_CORE_COST_H_
+
+#include "src/core/algebra.h"
+#include "src/core/catalog.h"
+
+namespace ldb {
+
+/// Estimated output cardinality of a (stream-producing) plan node.
+double EstimateCardinality(const AlgPtr& op, const Catalog& catalog);
+
+/// Greedily reorders maximal inner-join chains; returns the rewritten plan.
+/// Never changes results (tested); only changes join shapes/orders.
+AlgPtr ReorderJoins(const AlgPtr& plan, const Catalog& catalog);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_COST_H_

@@ -1,0 +1,154 @@
+#include "src/core/materialize.h"
+
+#include <string>
+#include <vector>
+
+#include "src/core/simplify.h"
+#include "src/core/typecheck.h"
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+// Finds a materializable prefix inside `e`: a Proj(Var(v), attr) node that
+// appears directly under another Proj, where `v` has a class type in `env`
+// and the attribute is a reference to a class with a named extent. Returns
+// nullptr if none.
+ExprPtr FindPrefix(const ExprPtr& e, const Schema& schema, const TypeEnv& env,
+                   bool under_proj) {
+  if (!e) return nullptr;
+  if (e->kind == ExprKind::kProj && under_proj &&
+      e->a->kind == ExprKind::kVar) {
+    auto it = env.find(e->a->name);
+    if (it != env.end() && it->second->kind() == Type::Kind::kClass) {
+      const ClassDecl* cls = schema.FindClass(it->second->class_name());
+      if (cls != nullptr) {
+        TypePtr attr = cls->AttributeType(e->name);
+        if (attr && attr->kind() == Type::Kind::kClass) {
+          const ClassDecl* target = schema.FindClass(attr->class_name());
+          if (target != nullptr && !target->extent.empty()) return e;
+        }
+      }
+    }
+  }
+  switch (e->kind) {
+    case ExprKind::kVar:
+    case ExprKind::kLiteral:
+    case ExprKind::kZero:
+      return nullptr;
+    case ExprKind::kProj:
+      return FindPrefix(e->a, schema, env, /*under_proj=*/true);
+    case ExprKind::kRecord:
+      for (const auto& [n, f] : e->fields) {
+        if (ExprPtr p = FindPrefix(f, schema, env, false)) return p;
+      }
+      return nullptr;
+    default: {
+      if (ExprPtr p = FindPrefix(e->a, schema, env, false)) return p;
+      if (ExprPtr p = FindPrefix(e->b, schema, env, false)) return p;
+      return FindPrefix(e->c, schema, env, false);
+    }
+  }
+}
+
+// Finds a materializable prefix in any expression of `op` (pred, head, path,
+// group-by keys).
+ExprPtr FindPrefixInOp(const AlgOp& op, const Schema& schema,
+                       const TypeEnv& env) {
+  if (ExprPtr p = FindPrefix(op.pred, schema, env, false)) return p;
+  if (ExprPtr p = FindPrefix(op.head, schema, env, false)) return p;
+  if (ExprPtr p = FindPrefix(op.path, schema, env, false)) return p;
+  for (const auto& [n, key] : op.group_by) {
+    if (ExprPtr p = FindPrefix(key, schema, env, false)) return p;
+  }
+  return nullptr;
+}
+
+bool BindsVar(const AlgPtr& op, const std::string& v) {
+  for (const std::string& out : OutputVars(op)) {
+    if (out == v) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<AlgOp> CloneOp(const AlgPtr& op) {
+  return std::make_shared<AlgOp>(*op);
+}
+
+void ReplaceInOp(AlgOp* op, const ExprPtr& target, const ExprPtr& repl) {
+  op->pred = op->pred ? ReplaceSubterm(op->pred, target, repl) : op->pred;
+  op->head = op->head ? ReplaceSubterm(op->head, target, repl) : op->head;
+  op->path = op->path ? ReplaceSubterm(op->path, target, repl) : op->path;
+  for (auto& [n, key] : op->group_by) {
+    key = ReplaceSubterm(key, target, repl);
+  }
+}
+
+// Inserts, above the child of `op` that binds the prefix's root variable, an
+// outer-join with the referenced extent, and replaces the prefix by the new
+// variable throughout `op`'s expressions. Returns the rewritten operator.
+AlgPtr MaterializeAt(const AlgPtr& op, const ExprPtr& prefix,
+                     const Schema& schema, const TypeEnv& env) {
+  const std::string& root = prefix->a->name;
+  const ClassDecl* owner = schema.FindClass(env.at(root)->class_name());
+  LDB_INTERNAL_CHECK(owner != nullptr, "owner class vanished");
+  TypePtr attr = owner->AttributeType(prefix->name);
+  const ClassDecl* target = schema.FindClass(attr->class_name());
+  LDB_INTERNAL_CHECK(target != nullptr && !target->extent.empty(),
+                     "target extent vanished");
+
+  std::string m = Gensym::Fresh("m");
+  auto splice = [&](const AlgPtr& child) {
+    return AlgOp::OuterJoin(child, AlgOp::Scan(target->extent, m, nullptr),
+                            Expr::Eq(Expr::Var(m), prefix));
+  };
+
+  auto out = CloneOp(op);
+  if (op->right && BindsVar(op->right, root)) {
+    out->right = splice(op->right);
+  } else {
+    LDB_INTERNAL_CHECK(op->left != nullptr, "prefix root not bound below");
+    out->left = splice(op->left);
+  }
+  ReplaceInOp(out.get(), prefix, Expr::Var(m));
+  return out;
+}
+
+AlgPtr Rewrite(const AlgPtr& op, const Schema& schema) {
+  if (!op) return op;
+  AlgPtr left = Rewrite(op->left, schema);
+  AlgPtr right = Rewrite(op->right, schema);
+  AlgPtr cur = op;
+  if (left != op->left || right != op->right) {
+    auto clone = CloneOp(op);
+    clone->left = left;
+    clone->right = right;
+    cur = clone;
+  }
+  // Scans have no input stream to join against; leave their predicates.
+  if (cur->kind == AlgKind::kScan || cur->kind == AlgKind::kUnit) return cur;
+
+  for (int guard = 0; guard < 100; ++guard) {
+    TypeEnv env;
+    if (cur->kind == AlgKind::kReduce || cur->left) {
+      env = PlanOutputEnv(cur->left, schema);
+    }
+    if (cur->right) {
+      TypeEnv right_env = PlanOutputEnv(cur->right, schema);
+      env.insert(right_env.begin(), right_env.end());
+    }
+    ExprPtr prefix = FindPrefixInOp(*cur, schema, env);
+    if (!prefix) return cur;
+    cur = MaterializeAt(cur, prefix, schema, env);
+  }
+  throw InternalError("path materialization did not converge");
+}
+
+}  // namespace
+
+AlgPtr MaterializePaths(const AlgPtr& plan, const Schema& schema) {
+  return Rewrite(plan, schema);
+}
+
+}  // namespace ldb

@@ -1,0 +1,37 @@
+// Materialization of path expressions into joins (paper Section 6, citing
+// Blakeley/McKenna/Graefe [1]): rewrites pointer-chasing navigation like
+//
+//     ... e.manager.name ... e.manager.children ...
+//
+// into a join with the extent of the referenced class:
+//
+//     OuterJoin[m = e.manager](plan, Scan(Managers, m)) ... m.name, m.children
+//
+// The outer-join keeps rows whose reference is NULL (the padded m is NULL and
+// every use of the path sees NULL, exactly like navigation from NULL). The
+// join adds no duplicates: each object matches at most the one target its
+// reference names. The benefit, as in the paper, is that a materialized
+// reference participates in the other algebraic optimizations — most
+// importantly it can turn a navigation-correlated predicate into a hashable
+// equi-join (see bench_ablation's P-MAT experiment).
+//
+// Only *strict prefixes* of longer paths are materialized (a bare `e.manager`
+// used as a value stays a pointer); scan-level predicates are left alone
+// (scans have no input stream to join against).
+
+#ifndef LAMBDADB_CORE_MATERIALIZE_H_
+#define LAMBDADB_CORE_MATERIALIZE_H_
+
+#include "src/core/algebra.h"
+#include "src/runtime/schema.h"
+
+namespace ldb {
+
+/// Rewrites every materializable path prefix in the plan into an outer-join
+/// with the referenced class's extent. Returns the rewritten plan (the input
+/// is shared, not mutated). Plans in and out type-check identically.
+AlgPtr MaterializePaths(const AlgPtr& plan, const Schema& schema);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_MATERIALIZE_H_

@@ -1,0 +1,220 @@
+#include "src/core/monoid.h"
+
+#include <algorithm>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+bool IsCollectionMonoid(MonoidKind k) {
+  return k == MonoidKind::kSet || k == MonoidKind::kBag || k == MonoidKind::kList;
+}
+
+bool IsIdempotentMonoid(MonoidKind k) {
+  switch (k) {
+    case MonoidKind::kSet:
+    case MonoidKind::kMax:
+    case MonoidKind::kMin:
+    case MonoidKind::kSome:
+    case MonoidKind::kAll:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCommutativeMonoid(MonoidKind k) { return k != MonoidKind::kList; }
+
+const char* MonoidName(MonoidKind k) {
+  switch (k) {
+    case MonoidKind::kSet:  return "set";
+    case MonoidKind::kBag:  return "bag";
+    case MonoidKind::kList: return "list";
+    case MonoidKind::kSum:  return "sum";
+    case MonoidKind::kProd: return "prod";
+    case MonoidKind::kMax:  return "max";
+    case MonoidKind::kMin:  return "min";
+    case MonoidKind::kSome: return "some";
+    case MonoidKind::kAll:  return "all";
+    case MonoidKind::kAvg:  return "avg";
+  }
+  return "?";
+}
+
+Value MonoidZero(MonoidKind k) {
+  switch (k) {
+    case MonoidKind::kSet:  return Value::Set({});
+    case MonoidKind::kBag:  return Value::Bag({});
+    case MonoidKind::kList: return Value::List({});
+    case MonoidKind::kSum:  return Value::Int(0);
+    case MonoidKind::kProd: return Value::Int(1);
+    case MonoidKind::kMax:  return Value::Null();
+    case MonoidKind::kMin:  return Value::Null();
+    case MonoidKind::kSome: return Value::Bool(false);
+    case MonoidKind::kAll:  return Value::Bool(true);
+    case MonoidKind::kAvg:  return Value::Null();
+  }
+  throw InternalError("bad monoid");
+}
+
+Value MonoidUnit(MonoidKind k, const Value& v) {
+  switch (k) {
+    case MonoidKind::kSet:  return Value::Set({v});
+    case MonoidKind::kBag:  return Value::Bag({v});
+    case MonoidKind::kList: return Value::List({v});
+    default:                return v;  // primitive monoids: unit is identity
+  }
+}
+
+namespace {
+
+Value NumericMerge(MonoidKind k, const Value& a, const Value& b) {
+  bool both_int =
+      a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt;
+  double x = a.AsNumeric(), y = b.AsNumeric();
+  double r;
+  switch (k) {
+    case MonoidKind::kSum:  r = x + y; break;
+    case MonoidKind::kProd: r = x * y; break;
+    case MonoidKind::kMax:  r = std::max(x, y); break;
+    case MonoidKind::kMin:  r = std::min(x, y); break;
+    default: throw InternalError("not numeric monoid");
+  }
+  if (both_int) return Value::Int(static_cast<int64_t>(r));
+  return Value::Real(r);
+}
+
+}  // namespace
+
+Value MonoidMerge(MonoidKind k, const Value& a, const Value& b) {
+  // NULL is an identity for every monoid.
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  switch (k) {
+    case MonoidKind::kSet:
+    case MonoidKind::kBag:
+    case MonoidKind::kList: {
+      Elems out = a.AsElems();
+      const Elems& more = b.AsElems();
+      out.insert(out.end(), more.begin(), more.end());
+      if (k == MonoidKind::kSet) return Value::Set(std::move(out));
+      if (k == MonoidKind::kBag) return Value::Bag(std::move(out));
+      return Value::List(std::move(out));
+    }
+    case MonoidKind::kSum:
+    case MonoidKind::kProd:
+    case MonoidKind::kMax:
+    case MonoidKind::kMin:
+      return NumericMerge(k, a, b);
+    case MonoidKind::kSome:
+      return Value::Bool(a.AsBool() || b.AsBool());
+    case MonoidKind::kAll:
+      return Value::Bool(a.AsBool() && b.AsBool());
+    case MonoidKind::kAvg:
+      throw UnsupportedError("avg values do not merge; use Accumulator");
+  }
+  throw InternalError("bad monoid");
+}
+
+TypePtr MonoidHeadConstraint(MonoidKind k) {
+  switch (k) {
+    case MonoidKind::kSum:
+    case MonoidKind::kProd:
+    case MonoidKind::kMax:
+    case MonoidKind::kMin:
+    case MonoidKind::kAvg:
+      return Type::Real();  // numeric (int unifies with real)
+    case MonoidKind::kSome:
+    case MonoidKind::kAll:
+      return Type::Bool();
+    default:
+      return nullptr;
+  }
+}
+
+TypePtr MonoidResultType(MonoidKind k, const TypePtr& head) {
+  switch (k) {
+    case MonoidKind::kSet:  return Type::Set(head);
+    case MonoidKind::kBag:  return Type::Bag(head);
+    case MonoidKind::kList: return Type::List(head);
+    case MonoidKind::kSum:
+    case MonoidKind::kProd:
+    case MonoidKind::kMax:
+    case MonoidKind::kMin:
+      return head->kind() == Type::Kind::kInt ? Type::Int() : Type::Real();
+    case MonoidKind::kAvg:  return Type::Real();
+    case MonoidKind::kSome:
+    case MonoidKind::kAll:
+      return Type::Bool();
+  }
+  throw InternalError("bad monoid");
+}
+
+Accumulator::Accumulator(MonoidKind kind)
+    : kind_(kind), current_(MonoidZero(kind)) {}
+
+void Accumulator::Add(const Value& v) {
+  if (v.is_null()) return;  // NULL contributes the zero element
+  switch (kind_) {
+    case MonoidKind::kSet:
+    case MonoidKind::kBag:
+    case MonoidKind::kList:
+      elems_.push_back(v);
+      return;
+    case MonoidKind::kAvg:
+      avg_sum_ += v.AsNumeric();
+      avg_count_ += 1;
+      return;
+    default:
+      if (!has_value_ && (kind_ == MonoidKind::kMax || kind_ == MonoidKind::kMin)) {
+        current_ = v;
+      } else {
+        current_ = MonoidMerge(kind_, current_, v);
+      }
+      has_value_ = true;
+      return;
+  }
+}
+
+void Accumulator::Merge(const Value& v) {
+  if (v.is_null()) return;
+  switch (kind_) {
+    case MonoidKind::kSet:
+    case MonoidKind::kBag:
+    case MonoidKind::kList: {
+      const Elems& more = v.AsElems();
+      elems_.insert(elems_.end(), more.begin(), more.end());
+      return;
+    }
+    case MonoidKind::kAvg:
+      throw UnsupportedError("avg values do not merge");
+    default:
+      Add(v);
+      return;
+  }
+}
+
+bool Accumulator::Saturated() const {
+  if (kind_ == MonoidKind::kSome) {
+    return has_value_ && current_.kind() == Value::Kind::kBool && current_.AsBool();
+  }
+  if (kind_ == MonoidKind::kAll) {
+    return has_value_ && current_.kind() == Value::Kind::kBool && !current_.AsBool();
+  }
+  return false;
+}
+
+Value Accumulator::Finish() {
+  switch (kind_) {
+    case MonoidKind::kSet:  return Value::Set(std::move(elems_));
+    case MonoidKind::kBag:  return Value::Bag(std::move(elems_));
+    case MonoidKind::kList: return Value::List(std::move(elems_));
+    case MonoidKind::kAvg:
+      if (avg_count_ == 0) return Value::Null();
+      return Value::Real(avg_sum_ / static_cast<double>(avg_count_));
+    default:
+      return current_;
+  }
+}
+
+}  // namespace ldb

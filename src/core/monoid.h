@@ -1,0 +1,113 @@
+// Monoids of the monoid comprehension calculus (Fegaras, SIGMOD'98, Sec. 2).
+//
+// A monoid is a pair (merge, zero) with merge associative and zero its
+// identity. Collection monoids (set, bag, list) additionally have a unit
+// function lifting an element into a singleton collection. Primitive monoids
+// (+, *, max, min, or, and) produce primitive values.
+//
+// Properties used by the algorithms:
+//  * commutative  — all monoids here except list;
+//  * idempotent   — set, max, min, or, and. Rules (D7)/(N6)/(N8) have
+//    idempotence side conditions; treating + as idempotent yields the 1 = 2
+//    inconsistency the paper shows in Section 2.
+//
+// Deviation from the paper (documented in DESIGN.md): the paper uses 0 as the
+// zero of max, which is only correct for non-negative numbers. We use NULL as
+// the zero of max/min/avg; merge(NULL, x) = x makes NULL a genuine identity,
+// and an empty max/min/avg evaluates to NULL (the SQL convention).
+
+#ifndef LAMBDADB_CORE_MONOID_H_
+#define LAMBDADB_CORE_MONOID_H_
+
+#include <string>
+
+#include "src/core/type.h"
+#include "src/runtime/value.h"
+
+namespace ldb {
+
+/// The monoids the calculus supports. kAvg is a pseudo-monoid implemented by
+/// the (sum, count) pair; it is provided because OQL has avg() and the
+/// paper's Section 5 example groups with avg.
+enum class MonoidKind {
+  kSet,   ///< (∪, {})          collection, commutative, idempotent
+  kBag,   ///< (⊎, {||})        collection, commutative
+  kList,  ///< (++, [])         collection
+  kSum,   ///< (+, 0)
+  kProd,  ///< (*, 1)
+  kMax,   ///< (max, NULL)      idempotent
+  kMin,   ///< (min, NULL)      idempotent
+  kSome,  ///< (∨, false)       idempotent — existential quantification
+  kAll,   ///< (∧, true)        idempotent — universal quantification
+  kAvg,   ///< pseudo-monoid over (sum, count)
+};
+
+/// True for set/bag/list.
+bool IsCollectionMonoid(MonoidKind k);
+/// True if merge(x, x) = x.
+bool IsIdempotentMonoid(MonoidKind k);
+/// True if merge(x, y) = merge(y, x).
+bool IsCommutativeMonoid(MonoidKind k);
+/// True for monoids producing primitive values (everything but set/bag/list).
+inline bool IsPrimitiveMonoid(MonoidKind k) { return !IsCollectionMonoid(k); }
+
+/// Short printable name ("set", "sum", "all", ...).
+const char* MonoidName(MonoidKind k);
+
+/// The zero element. For max/min/avg this is NULL (see header comment).
+Value MonoidZero(MonoidKind k);
+
+/// unit(v): lifts an element into the monoid ({v} for set, v itself for
+/// primitive monoids, (v, 1) handling for avg is internal to Accumulator).
+Value MonoidUnit(MonoidKind k, const Value& v);
+
+/// merge(a, b). NULL is an identity for every monoid (merge(NULL, x) = x),
+/// which is what lets nest convert outer-join padding into zeros uniformly.
+/// Not defined for kAvg (averages do not merge; use Accumulator).
+Value MonoidMerge(MonoidKind k, const Value& a, const Value& b);
+
+/// The element type a comprehension over this monoid expects its *head* to
+/// produce, given nothing; used by the type checker: sum/prod/max/min/avg
+/// require numeric heads, some/all require bool heads, collections accept
+/// any head type. Returns nullptr for collection monoids (no constraint).
+TypePtr MonoidHeadConstraint(MonoidKind k);
+
+/// The result type of a comprehension over this monoid whose head has type
+/// `head`. set(head) for kSet, bool for kAll, real for kAvg, etc.
+TypePtr MonoidResultType(MonoidKind k, const TypePtr& head);
+
+/// Incremental accumulation of head values into a monoid, used by both
+/// evaluators (baseline D-rules interpreter and the algebra executor).
+///
+/// Accumulates e1 ⊕ e2 ⊕ ... ⊕ en left to right; Finish() returns the zero
+/// element if nothing was added. Handles kAvg via a (sum, count) pair.
+class Accumulator {
+ public:
+  explicit Accumulator(MonoidKind kind);
+
+  /// Accumulates unit(v). NULL values are identities: they are skipped (this
+  /// is the "nest converts nulls into zeros" behaviour from Section 3).
+  void Add(const Value& v);
+
+  /// Merges an already-reduced value of this monoid (e.g. a subgroup result).
+  void Merge(const Value& v);
+
+  /// True if the result can no longer change (false seen under kAll, true
+  /// under kSome); lets evaluators short-circuit quantifiers.
+  bool Saturated() const;
+
+  /// The reduced value. May be called once.
+  Value Finish();
+
+ private:
+  MonoidKind kind_;
+  Elems elems_;         // collection monoids
+  bool has_value_ = false;
+  Value current_;       // primitive monoids
+  double avg_sum_ = 0;  // kAvg
+  int64_t avg_count_ = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_MONOID_H_

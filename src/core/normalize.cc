@@ -1,0 +1,364 @@
+#include "src/core/normalize.h"
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+constexpr int kMaxNormalizeRounds = 10000;
+
+// Alpha-renames every generator variable of a comprehension to a fresh name.
+// Used before splicing a comprehension's qualifiers into another qualifier
+// list (N7, N8) so inner binders can never shadow or capture outer variables.
+ExprPtr AlphaRenameGenerators(const ExprPtr& comp) {
+  LDB_INTERNAL_CHECK(comp->kind == ExprKind::kComp, "expected comprehension");
+  std::vector<Qualifier> quals = comp->quals;
+  ExprPtr head = comp->a;
+  for (size_t i = 0; i < quals.size(); ++i) {
+    if (!quals[i].is_generator) continue;
+    std::string fresh = Gensym::Fresh(quals[i].var);
+    ExprPtr fresh_var = Expr::Var(fresh);
+    for (size_t j = i + 1; j < quals.size(); ++j) {
+      quals[j].expr = Subst(quals[j].expr, quals[i].var, fresh_var);
+    }
+    head = Subst(head, quals[i].var, fresh_var);
+    quals[i].var = fresh;
+  }
+  return Expr::Comp(comp->monoid, head, std::move(quals));
+}
+
+// Substitutes repl for var in qualifiers at index >= start and in the head.
+void SubstTail(std::vector<Qualifier>* quals, size_t start, ExprPtr* head,
+               const std::string& var, const ExprPtr& repl) {
+  for (size_t j = start; j < quals->size(); ++j) {
+    (*quals)[j].expr = Subst((*quals)[j].expr, var, repl);
+    if ((*quals)[j].is_generator && (*quals)[j].var == var) return;  // shadowed
+  }
+  *head = Subst(*head, var, repl);
+}
+
+bool IsEmptyCollectionLiteral(const ExprPtr& e) {
+  return e->kind == ExprKind::kLiteral && e->literal.is_collection() &&
+         e->literal.AsElems().empty();
+}
+
+// Membership guard of rule (D7): all{ not (w = v) | w <- domain }.
+ExprPtr NotMemberGuard(const std::string& v, const ExprPtr& domain) {
+  std::string w = Gensym::Fresh("w");
+  return Expr::Comp(
+      MonoidKind::kAll,
+      Expr::Not(Expr::Eq(Expr::Var(w), Expr::Var(v))),
+      {Qualifier::Generator(w, domain)});
+}
+
+// Tries one rewrite at a comprehension node. Returns nullptr if none applies.
+ExprPtr RewriteComp(const ExprPtr& e) {
+  const MonoidKind m = e->monoid;
+  const std::vector<Qualifier>& quals = e->quals;
+
+  // D2: a primitive-monoid comprehension with no qualifiers is its head
+  // (unit is the identity for primitive monoids).
+  if (quals.empty() && IsPrimitiveMonoid(m) && m != MonoidKind::kAvg) {
+    return e->a;
+  }
+
+  for (size_t i = 0; i < quals.size(); ++i) {
+    const Qualifier& q = quals[i];
+    if (!q.is_generator) {
+      // D3/D4: constant filters.
+      if (q.expr->IsTrueLiteral()) {
+        std::vector<Qualifier> rest = quals;
+        rest.erase(rest.begin() + static_cast<long>(i));
+        return Expr::Comp(m, e->a, std::move(rest));
+      }
+      if (q.expr->IsFalseLiteral()) return Expr::Zero(m);
+      // Split conjunctive filters so each conjunct can be handled (e.g. by
+      // N8) and pushed independently.
+      if (q.expr->kind == ExprKind::kBinOp && q.expr->bin_op == BinOpKind::kAnd) {
+        std::vector<Qualifier> out = quals;
+        out[i] = Qualifier::Filter(q.expr->a);
+        out.insert(out.begin() + static_cast<long>(i) + 1,
+                   Qualifier::Filter(q.expr->b));
+        return Expr::Comp(m, e->a, std::move(out));
+      }
+      // N8: existential quantifier in filter position (idempotent ⊕ only).
+      if (q.expr->kind == ExprKind::kComp &&
+          q.expr->monoid == MonoidKind::kSome && IsIdempotentMonoid(m)) {
+        ExprPtr inner = AlphaRenameGenerators(q.expr);
+        std::vector<Qualifier> out(quals.begin(),
+                                   quals.begin() + static_cast<long>(i));
+        out.insert(out.end(), inner->quals.begin(), inner->quals.end());
+        out.push_back(Qualifier::Filter(inner->a));  // the quantified predicate
+        out.insert(out.end(), quals.begin() + static_cast<long>(i) + 1,
+                   quals.end());
+        return Expr::Comp(m, e->a, std::move(out));
+      }
+      continue;
+    }
+
+    const ExprPtr& dom = q.expr;
+
+    // N4: generator over a zero / empty collection literal.
+    if (dom->kind == ExprKind::kZero || IsEmptyCollectionLiteral(dom)) {
+      return Expr::Zero(m);
+    }
+
+    // N3: generator over a conditional.
+    if (dom->kind == ExprKind::kIf) {
+      std::vector<Qualifier> then_quals = quals;
+      then_quals[i].expr = dom->b;
+      then_quals.insert(then_quals.begin() + static_cast<long>(i),
+                        Qualifier::Filter(dom->a));
+      std::vector<Qualifier> else_quals = quals;
+      else_quals[i].expr = dom->c;
+      else_quals.insert(else_quals.begin() + static_cast<long>(i),
+                        Qualifier::Filter(Expr::Not(dom->a)));
+      return Expr::Merge(m, Expr::Comp(m, e->a, std::move(then_quals)),
+                         Expr::Comp(m, e->a, std::move(else_quals)));
+    }
+
+    // N6/D7: generator over a merge e1 ⊕' e2.
+    if (dom->kind == ExprKind::kMerge) {
+      std::vector<Qualifier> left_quals = quals;
+      left_quals[i].expr = dom->a;
+      std::vector<Qualifier> right_quals = quals;
+      right_quals[i].expr = dom->b;
+      // The D7 side condition: under a non-idempotent accumulator, iterating
+      // a *set* union must not see elements of e1 ∩ e2 twice.
+      if (!IsIdempotentMonoid(m) && dom->monoid == MonoidKind::kSet) {
+        right_quals.insert(right_quals.begin() + static_cast<long>(i) + 1,
+                           Qualifier::Filter(NotMemberGuard(q.var, dom->a)));
+      }
+      return Expr::Merge(m, Expr::Comp(m, e->a, std::move(left_quals)),
+                         Expr::Comp(m, e->a, std::move(right_quals)));
+    }
+
+    if (dom->kind == ExprKind::kComp) {
+      // N5: generator over a singleton {e'}.
+      if (dom->quals.empty()) {
+        std::vector<Qualifier> out = quals;
+        ExprPtr head = e->a;
+        out.erase(out.begin() + static_cast<long>(i));
+        SubstTail(&out, i, &head, q.var, dom->a);
+        return Expr::Comp(m, head, std::move(out));
+      }
+      // N7: generator over a comprehension — flatten, guarding against
+      // duplicate elimination by an idempotent inner under a non-idempotent
+      // outer accumulator.
+      bool inner_set_like = IsIdempotentMonoid(dom->monoid);
+      if (!inner_set_like || IsIdempotentMonoid(m)) {
+        ExprPtr inner = AlphaRenameGenerators(dom);
+        std::vector<Qualifier> out(quals.begin(),
+                                   quals.begin() + static_cast<long>(i));
+        out.insert(out.end(), inner->quals.begin(), inner->quals.end());
+        std::vector<Qualifier> tail(quals.begin() + static_cast<long>(i) + 1,
+                                    quals.end());
+        ExprPtr head = e->a;
+        SubstTail(&tail, 0, &head, q.var, inner->a);
+        out.insert(out.end(), tail.begin(), tail.end());
+        return Expr::Comp(m, head, std::move(out));
+      }
+    }
+  }
+
+  // some{ p | q } = some{ true | q, p }: moving the quantified predicate
+  // into a filter lets the unnester place it on a join/unnest operator (the
+  // Figure 2 plans carry these as join predicates). Sound because a head
+  // accumulated with ∨ contributes exactly when it is true, like a filter.
+  // (Not valid for `all`, whose false heads are significant.)
+  if (m == MonoidKind::kSome && !e->a->IsTrueLiteral()) {
+    std::vector<Qualifier> out = quals;
+    out.push_back(Qualifier::Filter(e->a));
+    return Expr::Comp(m, Expr::True(), std::move(out));
+  }
+
+  // N9: ⊕{ ⊕{e | r} | s } → ⊕{ e | s, r } for a primitive monoid ⊕.
+  if (IsPrimitiveMonoid(m) && m != MonoidKind::kAvg &&
+      e->a->kind == ExprKind::kComp && e->a->monoid == m) {
+    ExprPtr inner = AlphaRenameGenerators(e->a);
+    std::vector<Qualifier> out = quals;
+    out.insert(out.end(), inner->quals.begin(), inner->quals.end());
+    return Expr::Comp(m, inner->a, std::move(out));
+  }
+
+  return nullptr;
+}
+
+// Tries one predicate-normalization rewrite at a kUnOp(not) node.
+ExprPtr RewriteNot(const ExprPtr& e) {
+  const ExprPtr& x = e->a;
+  if (x->IsTrueLiteral()) return Expr::False();
+  if (x->IsFalseLiteral()) return Expr::True();
+  if (x->kind == ExprKind::kUnOp && x->un_op == UnOpKind::kNot) return x->a;
+  if (x->kind == ExprKind::kBinOp) {
+    switch (x->bin_op) {
+      case BinOpKind::kAnd:
+        return Expr::Bin(BinOpKind::kOr, Expr::Not(x->a), Expr::Not(x->b));
+      case BinOpKind::kOr:
+        return Expr::And(Expr::Not(x->a), Expr::Not(x->b));
+      // NOTE: comparison flips (not(a < b) -> a >= b) are deliberately NOT
+      // performed: comparisons involving NULL evaluate to false (Section 2's
+      // null discipline), so the flip is unsound when an operand can be NULL
+      // — not(NULL >= 0) is true but NULL < 0 is false.
+      default:
+        break;
+    }
+  }
+  // Quantifier duals: not some{p | q} = all{not p | q}, and dually.
+  if (x->kind == ExprKind::kComp && x->monoid == MonoidKind::kSome) {
+    return Expr::Comp(MonoidKind::kAll, Expr::Not(x->a), x->quals);
+  }
+  if (x->kind == ExprKind::kComp && x->monoid == MonoidKind::kAll) {
+    return Expr::Comp(MonoidKind::kSome, Expr::Not(x->a), x->quals);
+  }
+  return nullptr;
+}
+
+// Constant folding for boolean connectives, and if-with-constant-condition.
+ExprPtr RewriteConstants(const ExprPtr& e) {
+  if (e->kind == ExprKind::kBinOp) {
+    const ExprPtr& l = e->a;
+    const ExprPtr& r = e->b;
+    if (e->bin_op == BinOpKind::kAnd) {
+      if (l->IsTrueLiteral()) return r;
+      if (r->IsTrueLiteral()) return l;
+      if (l->IsFalseLiteral() || r->IsFalseLiteral()) return Expr::False();
+    }
+    if (e->bin_op == BinOpKind::kOr) {
+      if (l->IsFalseLiteral()) return r;
+      if (r->IsFalseLiteral()) return l;
+      if (l->IsTrueLiteral() || r->IsTrueLiteral()) return Expr::True();
+    }
+  }
+  if (e->kind == ExprKind::kIf) {
+    if (e->a->IsTrueLiteral()) return e->b;
+    if (e->a->IsFalseLiteral()) return e->c;
+  }
+  return nullptr;
+}
+
+// One bottom-up pass. Sets *changed if any rewrite fired.
+ExprPtr Pass(const ExprPtr& e, bool* changed, bool predicates_only);
+
+ExprPtr PassChildren(const ExprPtr& e, bool* changed, bool pred_only) {
+  switch (e->kind) {
+    case ExprKind::kVar:
+    case ExprKind::kLiteral:
+    case ExprKind::kZero:
+      return e;
+    case ExprKind::kRecord: {
+      bool any = false;
+      std::vector<std::pair<std::string, ExprPtr>> fields;
+      fields.reserve(e->fields.size());
+      for (const auto& [n, f] : e->fields) {
+        ExprPtr nf = Pass(f, &any, pred_only);
+        fields.emplace_back(n, nf);
+      }
+      if (!any) return e;
+      *changed = true;
+      return Expr::Record(std::move(fields));
+    }
+    case ExprKind::kComp: {
+      bool any = false;
+      std::vector<Qualifier> quals = e->quals;
+      for (Qualifier& q : quals) q.expr = Pass(q.expr, &any, pred_only);
+      ExprPtr head = Pass(e->a, &any, pred_only);
+      if (!any) return e;
+      *changed = true;
+      return Expr::Comp(e->monoid, head, std::move(quals));
+    }
+    default: {
+      bool any = false;
+      ExprPtr a = e->a ? Pass(e->a, &any, pred_only) : nullptr;
+      ExprPtr b = e->b ? Pass(e->b, &any, pred_only) : nullptr;
+      ExprPtr c = e->c ? Pass(e->c, &any, pred_only) : nullptr;
+      if (!any) return e;
+      *changed = true;
+      auto out = std::make_shared<Expr>(*e);
+      out->a = a;
+      out->b = b;
+      out->c = c;
+      return out;
+    }
+  }
+}
+
+ExprPtr Pass(const ExprPtr& e, bool* changed, bool pred_only) {
+  ExprPtr cur = PassChildren(e, changed, pred_only);
+
+  // N1: beta reduction.
+  if (!pred_only && cur->kind == ExprKind::kApply &&
+      cur->a->kind == ExprKind::kLambda) {
+    *changed = true;
+    return Subst(cur->a->a, cur->a->name, cur->b);
+  }
+  // N2: projection on a record constructor.
+  if (!pred_only && cur->kind == ExprKind::kProj &&
+      cur->a->kind == ExprKind::kRecord) {
+    for (const auto& [n, f] : cur->a->fields) {
+      if (n == cur->name) {
+        *changed = true;
+        return f;
+      }
+    }
+  }
+  if (cur->kind == ExprKind::kUnOp && cur->un_op == UnOpKind::kNot) {
+    if (ExprPtr r = RewriteNot(cur)) {
+      *changed = true;
+      return r;
+    }
+  }
+  if (ExprPtr r = RewriteConstants(cur)) {
+    *changed = true;
+    return r;
+  }
+  if (!pred_only && cur->kind == ExprKind::kComp) {
+    if (ExprPtr r = RewriteComp(cur)) {
+      *changed = true;
+      return r;
+    }
+  }
+  // Merge with zero operand.
+  if (!pred_only && cur->kind == ExprKind::kMerge) {
+    if (cur->a->kind == ExprKind::kZero) {
+      *changed = true;
+      return cur->b;
+    }
+    if (cur->b->kind == ExprKind::kZero) {
+      *changed = true;
+      return cur->a;
+    }
+  }
+  return cur;
+}
+
+ExprPtr RunToFixpoint(const ExprPtr& e, bool pred_only) {
+  ExprPtr cur = e;
+  for (int round = 0; round < kMaxNormalizeRounds; ++round) {
+    bool changed = false;
+    cur = Pass(cur, &changed, pred_only);
+    if (!changed) return cur;
+  }
+  throw InternalError("normalization did not reach a fixpoint");
+}
+
+}  // namespace
+
+ExprPtr Normalize(const ExprPtr& e) { return RunToFixpoint(e, /*pred_only=*/false); }
+
+ExprPtr NormalizePredicate(const ExprPtr& e) {
+  return RunToFixpoint(e, /*pred_only=*/true);
+}
+
+bool IsCanonicalComp(const ExprPtr& e) {
+  if (!e || e->kind != ExprKind::kComp) return false;
+  std::string root;
+  std::vector<std::string> attrs;
+  for (const Qualifier& q : e->quals) {
+    if (q.is_generator && !IsPath(q.expr, &root, &attrs)) return false;
+  }
+  return true;
+}
+
+}  // namespace ldb

@@ -1,0 +1,46 @@
+// The normalization algorithm for monoid comprehensions (Fegaras, SIGMOD'98,
+// Section 2, Figure 4, rules (N1)-(N9)), plus predicate normalization
+// (DeMorgan's laws, double-negation, quantifier duals), which the paper's
+// prototype runs alongside it (Section 6).
+//
+// Normalization puts comprehensions into canonical form
+//     ⊕{ e | v1 <- path1, ..., vn <- pathn, pred }
+// unnesting along the way every Kim type-N and type-J nesting: generator
+// domains that are themselves comprehensions (N7) and existential
+// quantifications in filters (N8). The remaining nesting forms — nested
+// queries in the head or in a non-existential predicate position — are the
+// ones requiring outer-joins/grouping and are handled by the unnesting
+// algorithm proper (src/core/unnest.h).
+//
+// Soundness caveats implemented faithfully:
+//  * (N6)/(D7) — splitting a generator over a set union e1 ∪ e2 under a
+//    non-idempotent accumulator inserts the membership guard
+//    all{ w != v | w <- e1 } on the second branch, avoiding the 1 = 2
+//    inconsistency of Section 2.
+//  * (N7) — flattening a *set* comprehension domain into a non-idempotent
+//    outer comprehension would over-count duplicates, so it fires only when
+//    the inner monoid is a bag/list or the outer monoid is idempotent.
+//  * (N8) — fires only for idempotent outer monoids, as in the paper.
+
+#ifndef LAMBDADB_CORE_NORMALIZE_H_
+#define LAMBDADB_CORE_NORMALIZE_H_
+
+#include "src/core/expr.h"
+
+namespace ldb {
+
+/// Exhaustively applies the normalization rules (bottom-up, to fixpoint).
+ExprPtr Normalize(const ExprPtr& e);
+
+/// Applies only predicate normalization: pushes `not` inward through
+/// and/or/comparisons and through quantifier comprehensions
+/// (not some{p|q} = all{not p|q} and dually), and folds constants.
+ExprPtr NormalizePredicate(const ExprPtr& e);
+
+/// True if `e` is a comprehension in canonical form: every generator domain
+/// is a path (Var or chain of projections rooted at a Var/extent).
+bool IsCanonicalComp(const ExprPtr& e);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_NORMALIZE_H_

@@ -1,0 +1,170 @@
+#include "src/core/optimizer.h"
+
+#include <set>
+
+#include "src/core/cost.h"
+#include "src/core/materialize.h"
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/core/simplify.h"
+#include "src/core/typecheck.h"
+#include "src/core/unnest.h"
+#include "src/runtime/error.h"
+#include "src/runtime/eval_algebra.h"
+#include "src/runtime/exec_pipeline.h"
+#include "src/runtime/eval_calculus.h"
+
+namespace ldb {
+
+namespace {
+
+// The duplicate-safety check: a nest merges stream tuples with equal
+// group-by keys, assuming equal keys = the same logical iteration of the
+// embedding query. An unnest over a bag/list-typed path can emit several
+// stream tuples that are indistinguishable by their variables (e.g. the
+// word "a" occurring twice in one document), and if such a variable reaches
+// a nest's group keys, distinct logical iterations collapse into one group
+// — double-counting contributions below and dropping rows above. Extent
+// scans always bind distinct object refs and set-typed paths bind distinct
+// elements per parent, so only bag/list unnests can introduce ambiguity.
+//
+// Returns the set of "duplicate-capable" variables flowing out of `op`, and
+// throws UnsupportedError if any nest groups by one of them. (A bag/list
+// unnest used as a nest's *own* accumulated variable is fine — bag
+// multiplicity is exactly what e.g. sum should see.)
+std::set<std::string> DupVars(const AlgPtr& op, const Schema& schema) {
+  if (!op) return {};
+  switch (op->kind) {
+    case AlgKind::kUnit:
+    case AlgKind::kScan:
+      return {};
+    case AlgKind::kSelect:
+      return DupVars(op->left, schema);
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin: {
+      std::set<std::string> out = DupVars(op->left, schema);
+      std::set<std::string> right = DupVars(op->right, schema);
+      out.insert(right.begin(), right.end());
+      return out;
+    }
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest: {
+      std::set<std::string> out = DupVars(op->left, schema);
+      TypeEnv env = PlanOutputEnv(op->left, schema);
+      TypePtr t = TypeCheck(op->path, schema, env);
+      if (t->kind() == Type::Kind::kBag || t->kind() == Type::Kind::kList) {
+        out.insert(op->var);
+      }
+      return out;
+    }
+    case AlgKind::kNest: {
+      std::set<std::string> below = DupVars(op->left, schema);
+      for (const auto& [name, key] : op->group_by) {
+        for (const std::string& v : FreeVars(key)) {
+          if (below.count(v) > 0) {
+            throw UnsupportedError(
+                "unnesting would group by '" + v +
+                "', which ranges over a bag/list path: duplicate iterations "
+                "would merge (the paper's future work). Use set-valued "
+                "collections or evaluate with the baseline.");
+          }
+        }
+      }
+      return {};  // only the (clean) keys and the reduction survive the nest
+    }
+    case AlgKind::kReduce:
+      // A reduce folds every row, duplicates included — faithful to the
+      // baseline's iteration, so nothing to check.
+      return DupVars(op->left, schema);
+  }
+  return {};
+}
+
+}  // namespace
+
+CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
+  CompiledQuery out;
+  out.calculus = calculus;
+  if (options_.typecheck) {
+    TypeCheck(calculus, schema_);
+  }
+  out.normalized = options_.normalize ? Normalize(calculus) : calculus;
+  if (out.normalized->kind != ExprKind::kComp) {
+    throw UnsupportedError(
+        "Compile expects a comprehension-rooted query; use Run for general "
+        "terms");
+  }
+  out.plan = UnnestComp(out.normalized, schema_);
+  LDB_INTERNAL_CHECK(IsFullyUnnested(out.plan),
+                     "unnesting left a nested comprehension (Theorem 1)");
+  if (options_.check_duplicate_safety) {
+    DupVars(out.plan, schema_);  // throws on unsafe group keys
+  }
+  out.simplified = options_.simplify ? Simplify(out.plan, schema_) : out.plan;
+  if (options_.materialize_paths) {
+    out.simplified = MaterializePaths(out.simplified, schema_);
+  }
+  if (options_.reorder_joins) {
+    out.simplified = ReorderJoins(out.simplified, options_.catalog);
+  }
+  if (options_.typecheck) {
+    out.result_type = TypeCheckPlan(out.simplified, schema_);
+  }
+  return out;
+}
+
+Value Optimizer::Execute(const CompiledQuery& q, const Database& db) const {
+  if (options_.pipelined_execution) {
+    PhysPtr physical = PlanPhysical(q.simplified, db, options_.physical);
+    return ExecutePipelined(physical, db);
+  }
+  return ExecutePlan(q.simplified, db, options_.physical);
+}
+
+namespace {
+
+// Replaces every maximal comprehension subterm (closed at the top level)
+// with its computed value.
+ExprPtr FoldComps(const ExprPtr& e, const Optimizer& opt, const Database& db) {
+  if (!e) return e;
+  if (e->kind == ExprKind::kComp) {
+    CompiledQuery q = opt.Compile(e);
+    return Expr::Lit(opt.Execute(q, db));
+  }
+  switch (e->kind) {
+    case ExprKind::kVar:
+    case ExprKind::kLiteral:
+    case ExprKind::kZero:
+      return e;
+    case ExprKind::kRecord: {
+      std::vector<std::pair<std::string, ExprPtr>> fields;
+      for (const auto& [n, f] : e->fields) {
+        fields.emplace_back(n, FoldComps(f, opt, db));
+      }
+      return Expr::Record(std::move(fields));
+    }
+    default: {
+      auto out = std::make_shared<Expr>(*e);
+      out->a = FoldComps(e->a, opt, db);
+      out->b = FoldComps(e->b, opt, db);
+      out->c = FoldComps(e->c, opt, db);
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+Value Optimizer::Run(const ExprPtr& calculus, const Database& db) const {
+  ExprPtr normalized = options_.normalize ? Normalize(calculus) : calculus;
+  if (normalized->kind == ExprKind::kComp) {
+    CompiledQuery q = Compile(calculus);
+    return Execute(q, db);
+  }
+  // Mixed top level: compile and run each closed comprehension, then
+  // evaluate the residue directly.
+  ExprPtr folded = FoldComps(normalized, *this, db);
+  return EvalCalculus(folded, db);
+}
+
+}  // namespace ldb

@@ -1,0 +1,82 @@
+// The end-to-end optimizer pipeline (paper, Sections 1.2 and 6):
+//
+//   calculus --normalize--> canonical comprehension --unnest (C1-C9)-->
+//   algebra plan --simplify (Section 5)--> plan --physical selection-->
+//   executable plan
+//
+// Every stage can be toggled off for the ablation experiments (P-NORM,
+// P-SIMP, P-PHYS in DESIGN.md). The baseline path evaluates the calculus
+// term directly with nested loops (EvalCalculus).
+//
+// Queries whose top level is not a comprehension (e.g. a record of several
+// aggregates, or `A union B`) are executed by compiling each maximal —
+// necessarily closed — comprehension subterm to a plan and folding the
+// results back into the enclosing expression.
+
+#ifndef LAMBDADB_CORE_OPTIMIZER_H_
+#define LAMBDADB_CORE_OPTIMIZER_H_
+
+#include <string>
+
+#include "src/core/algebra.h"
+#include "src/core/catalog.h"
+#include "src/core/expr.h"
+#include "src/runtime/database.h"
+#include "src/runtime/physical.h"
+
+namespace ldb {
+
+struct OptimizerOptions {
+  bool normalize = true;        ///< run the Figure 4 rules first
+  bool simplify = true;         ///< run the Section 5 rule on the plan
+  bool materialize_paths = false;  ///< rewrite ref navigation into joins
+                                   ///< (paper Section 6, citing [1])
+  bool reorder_joins = false;      ///< permute inner-join chains by cost
+  Catalog catalog;                 ///< statistics for reorder_joins
+  bool typecheck = true;        ///< check the calculus and the final plan
+  PhysicalOptions physical;     ///< hash vs nested-loop operators
+  bool pipelined_execution = true;  ///< Volcano iterators (exec_pipeline)
+                                    ///< vs the materializing executor
+
+  /// Verify that unnesting a bag comprehension cannot merge duplicate
+  /// groups (every generator domain must be an extent or set-typed path);
+  /// reject otherwise. See DESIGN.md, "Bags and lists".
+  bool check_duplicate_safety = true;
+};
+
+/// A compiled query, exposing every intermediate the paper shows so that
+/// examples and tests can print the Figure 1/2/8 artifacts.
+struct CompiledQuery {
+  ExprPtr calculus;    ///< input term
+  ExprPtr normalized;  ///< after Figure 4
+  AlgPtr plan;         ///< after unnesting (C1-C9)
+  AlgPtr simplified;   ///< after Section 5 (== plan if simplify is off)
+  TypePtr result_type; ///< nullptr when typecheck is off
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Schema& schema, OptimizerOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  /// Compiles a comprehension-rooted calculus term through every stage.
+  /// Throws TypeError / UnsupportedError.
+  CompiledQuery Compile(const ExprPtr& calculus) const;
+
+  /// Executes a compiled query.
+  Value Execute(const CompiledQuery& q, const Database& db) const;
+
+  /// Compile + execute. Handles non-comprehension top-level terms.
+  Value Run(const ExprPtr& calculus, const Database& db) const;
+
+  const Schema& schema() const { return schema_; }
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const Schema& schema_;
+  OptimizerOptions options_;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_OPTIMIZER_H_

@@ -1,0 +1,237 @@
+#include "src/core/pretty.h"
+
+#include <sstream>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+void Print(const ExprPtr& e, std::ostringstream& os);
+
+void PrintQuals(const std::vector<Qualifier>& quals, std::ostringstream& os) {
+  bool first = true;
+  for (const Qualifier& q : quals) {
+    if (!first) os << ", ";
+    first = false;
+    if (q.is_generator) {
+      os << q.var << " <- ";
+      Print(q.expr, os);
+    } else {
+      Print(q.expr, os);
+    }
+  }
+}
+
+void Print(const ExprPtr& e, std::ostringstream& os) {
+  if (!e) {
+    os << "<null-expr>";
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::kVar:
+      os << e->name;
+      return;
+    case ExprKind::kLiteral:
+      os << e->literal.ToString();
+      return;
+    case ExprKind::kRecord: {
+      os << '<';
+      bool first = true;
+      for (const auto& [n, f] : e->fields) {
+        if (!first) os << ", ";
+        first = false;
+        os << n << '=';
+        Print(f, os);
+      }
+      os << '>';
+      return;
+    }
+    case ExprKind::kProj:
+      Print(e->a, os);
+      os << '.' << e->name;
+      return;
+    case ExprKind::kIf:
+      os << "if ";
+      Print(e->a, os);
+      os << " then ";
+      Print(e->b, os);
+      os << " else ";
+      Print(e->c, os);
+      return;
+    case ExprKind::kBinOp:
+      os << '(';
+      Print(e->a, os);
+      os << ' ' << BinOpName(e->bin_op) << ' ';
+      Print(e->b, os);
+      os << ')';
+      return;
+    case ExprKind::kUnOp:
+      os << UnOpName(e->un_op) << '(';
+      Print(e->a, os);
+      os << ')';
+      return;
+    case ExprKind::kLambda:
+      os << "\\" << e->name << ". ";
+      Print(e->a, os);
+      return;
+    case ExprKind::kApply:
+      Print(e->a, os);
+      os << '(';
+      Print(e->b, os);
+      os << ')';
+      return;
+    case ExprKind::kComp: {
+      os << MonoidName(e->monoid) << "{ ";
+      Print(e->a, os);
+      if (!e->quals.empty()) {
+        os << " | ";
+        PrintQuals(e->quals, os);
+      }
+      os << " }";
+      return;
+    }
+    case ExprKind::kMerge:
+      os << '(';
+      Print(e->a, os);
+      os << " (+)" << MonoidName(e->monoid) << ' ';
+      Print(e->b, os);
+      os << ')';
+      return;
+    case ExprKind::kZero:
+      os << "zero[" << MonoidName(e->monoid) << ']';
+      return;
+  }
+}
+
+void PrintOp(const AlgPtr& op, int indent, std::ostringstream& os) {
+  os << std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (!op) {
+    os << "<null-plan>\n";
+    return;
+  }
+  auto pred_suffix = [&]() -> std::string {
+    if (op->pred && !op->pred->IsTrueLiteral()) {
+      return " if " + PrintExpr(op->pred);
+    }
+    return "";
+  };
+  switch (op->kind) {
+    case AlgKind::kUnit:
+      os << "Unit\n";
+      return;
+    case AlgKind::kScan:
+      os << "Scan[" << op->var << " <- " << op->extent << pred_suffix() << "]\n";
+      return;
+    case AlgKind::kSelect:
+      os << "Select[" << PrintExpr(op->pred) << "]\n";
+      PrintOp(op->left, indent + 1, os);
+      return;
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin:
+      os << (op->kind == AlgKind::kJoin ? "Join[" : "OuterJoin[")
+         << PrintExpr(op->pred) << "]\n";
+      PrintOp(op->left, indent + 1, os);
+      PrintOp(op->right, indent + 1, os);
+      return;
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest:
+      os << (op->kind == AlgKind::kUnnest ? "Unnest[" : "OuterUnnest[")
+         << op->var << " := " << PrintExpr(op->path) << pred_suffix() << "]\n";
+      PrintOp(op->left, indent + 1, os);
+      return;
+    case AlgKind::kNest: {
+      os << "Nest[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
+         << " -> " << op->var << " group_by(";
+      bool first = true;
+      for (const auto& [n, k] : op->group_by) {
+        if (!first) os << ", ";
+        first = false;
+        if (k->kind == ExprKind::kVar && k->name == n) {
+          os << n;
+        } else {
+          os << n << '=' << PrintExpr(k);
+        }
+      }
+      os << ") nulls(";
+      first = true;
+      for (const std::string& v : op->null_vars) {
+        if (!first) os << ", ";
+        first = false;
+        os << v;
+      }
+      os << ')' << pred_suffix() << "]\n";
+      PrintOp(op->left, indent + 1, os);
+      return;
+    }
+    case AlgKind::kReduce:
+      os << "Reduce[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
+         << pred_suffix() << "]\n";
+      PrintOp(op->left, indent + 1, os);
+      return;
+  }
+}
+
+void Shape(const AlgPtr& op, std::ostringstream& os) {
+  if (!op) return;
+  switch (op->kind) {
+    case AlgKind::kUnit:
+      os << "Unit";
+      return;
+    case AlgKind::kScan:
+      os << "Scan(" << op->extent << ')';
+      return;
+    case AlgKind::kSelect:
+      os << "Select(";
+      Shape(op->left, os);
+      os << ')';
+      return;
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin:
+      os << (op->kind == AlgKind::kJoin ? "Join(" : "OuterJoin(");
+      Shape(op->left, os);
+      os << ',';
+      Shape(op->right, os);
+      os << ')';
+      return;
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest:
+      os << (op->kind == AlgKind::kUnnest ? "Unnest(" : "OuterUnnest(");
+      Shape(op->left, os);
+      os << ')';
+      return;
+    case AlgKind::kNest:
+      os << "Nest(";
+      Shape(op->left, os);
+      os << ')';
+      return;
+    case AlgKind::kReduce:
+      os << "Reduce(";
+      Shape(op->left, os);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const ExprPtr& e) {
+  std::ostringstream os;
+  Print(e, os);
+  return os.str();
+}
+
+std::string PrintPlan(const AlgPtr& op) {
+  std::ostringstream os;
+  PrintOp(op, 0, os);
+  return os.str();
+}
+
+std::string PlanShape(const AlgPtr& op) {
+  std::ostringstream os;
+  Shape(op, os);
+  return os.str();
+}
+
+}  // namespace ldb

@@ -1,0 +1,33 @@
+// Pretty printers for calculus terms and algebra plans.
+//
+// Calculus terms print in the paper's comprehension syntax (ASCII), e.g.
+//   set{ <E=e.name, C=c.name> | e <- Employees, c <- e.children }
+// Algebra plans print as indented trees mirroring Figures 1/2/8:
+//   Reduce[set/<E=e.name,C=c.name>]
+//     Unnest[c := e.children]
+//       Scan[e <- Employees]
+
+#ifndef LAMBDADB_CORE_PRETTY_H_
+#define LAMBDADB_CORE_PRETTY_H_
+
+#include <string>
+
+#include "src/core/algebra.h"
+#include "src/core/expr.h"
+
+namespace ldb {
+
+/// One-line rendering of a calculus term.
+std::string PrintExpr(const ExprPtr& e);
+
+/// Multi-line indented rendering of an algebra plan.
+std::string PrintPlan(const AlgPtr& op);
+
+/// One-line compact rendering of a plan's operator structure, e.g.
+/// "Reduce(Nest(OuterJoin(Scan(Departments),Scan(Employees))))" — convenient
+/// for asserting plan *shapes* in tests.
+std::string PlanShape(const AlgPtr& op);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_PRETTY_H_

@@ -1,0 +1,174 @@
+#include "src/core/simplify.h"
+
+#include <algorithm>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+ExprPtr ReplaceSubterm(const ExprPtr& e, const ExprPtr& target,
+                       const ExprPtr& replacement) {
+  if (!e) return e;
+  if (ExprEqual(e, target)) return replacement;
+  switch (e->kind) {
+    case ExprKind::kVar:
+    case ExprKind::kLiteral:
+    case ExprKind::kZero:
+      return e;
+    case ExprKind::kRecord: {
+      std::vector<std::pair<std::string, ExprPtr>> fields;
+      fields.reserve(e->fields.size());
+      for (const auto& [n, f] : e->fields) {
+        fields.emplace_back(n, ReplaceSubterm(f, target, replacement));
+      }
+      return Expr::Record(std::move(fields));
+    }
+    case ExprKind::kComp: {
+      std::vector<Qualifier> quals = e->quals;
+      for (Qualifier& q : quals) q.expr = ReplaceSubterm(q.expr, target, replacement);
+      return Expr::Comp(e->monoid, ReplaceSubterm(e->a, target, replacement),
+                        std::move(quals));
+    }
+    default: {
+      auto out = std::make_shared<Expr>(*e);
+      out->a = e->a ? ReplaceSubterm(e->a, target, replacement) : nullptr;
+      out->b = e->b ? ReplaceSubterm(e->b, target, replacement) : nullptr;
+      out->c = e->c ? ReplaceSubterm(e->c, target, replacement) : nullptr;
+      return out;
+    }
+  }
+}
+
+namespace {
+
+bool InVars(const std::string& v, const std::vector<std::string>& vars) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+// True if every free variable of e (ignoring extents) is in `vars`.
+bool FreeVarsWithin(const ExprPtr& e, const std::vector<std::string>& vars,
+                    const Schema& schema) {
+  for (const std::string& v : FreeVars(e)) {
+    if (!InVars(v, vars) && !schema.IsExtent(v)) return false;
+  }
+  return true;
+}
+
+// If `e` is a path rooted at `root` with at least one attribute, returns the
+// attribute chain.
+bool PathFrom(const ExprPtr& e, const std::string& root,
+              std::vector<std::string>* attrs) {
+  std::string r;
+  if (!IsPath(e, &r, attrs)) return false;
+  return r == root && !attrs->empty();
+}
+
+// Tries the Section 5 rule at a Reduce node. Returns nullptr if no match.
+AlgPtr TrySection5(const AlgPtr& reduce, const Schema& schema) {
+  if (reduce->kind != AlgKind::kReduce) return nullptr;
+  if (!IsIdempotentMonoid(reduce->monoid)) return nullptr;
+  const AlgPtr& nest = reduce->left;
+  if (!nest || nest->kind != AlgKind::kNest) return nullptr;
+  const AlgPtr& ojoin = nest->left;
+  if (!ojoin || ojoin->kind != AlgKind::kOuterJoin) return nullptr;
+  const AlgPtr& outer = ojoin->left;
+  const AlgPtr& inner = ojoin->right;
+  if (!outer || outer->kind != AlgKind::kScan) return nullptr;
+  if (!inner || inner->kind != AlgKind::kScan) return nullptr;
+  if (outer->extent != inner->extent) return nullptr;
+
+  const std::string& a = outer->var;  // the outer (grouping) variable
+  const std::string& u = inner->var;  // the inner (aggregated) variable
+
+  // Same selection on both scans (modulo renaming u -> a).
+  if (!ExprEqual(outer->pred, Subst(inner->pred, u, Expr::Var(a)))) {
+    return nullptr;
+  }
+
+  // The nest must group exactly by {a} and null-convert exactly {u}.
+  if (nest->group_by.size() != 1 || nest->group_by[0].first != a) return nullptr;
+  const ExprPtr& gk = nest->group_by[0].second;
+  if (gk->kind != ExprKind::kVar || gk->name != a) return nullptr;
+  if (nest->null_vars != std::vector<std::string>{u}) return nullptr;
+
+  // The join predicate must be a conjunction of key equalities a.M = u.M
+  // over identical attribute chains.
+  std::vector<ExprPtr> key_paths;  // rooted at a
+  for (const ExprPtr& c : SplitConjuncts(ojoin->pred)) {
+    if (c->kind != ExprKind::kBinOp || c->bin_op != BinOpKind::kEq) return nullptr;
+    std::vector<std::string> la, lu;
+    ExprPtr a_side, u_side;
+    if (PathFrom(c->a, a, &la) && PathFrom(c->b, u, &lu)) {
+      a_side = c->a;
+    } else if (PathFrom(c->a, u, &lu) && PathFrom(c->b, a, &la)) {
+      a_side = c->b;
+    } else {
+      return nullptr;
+    }
+    if (la != lu) return nullptr;
+    key_paths.push_back(Expr::Path(Expr::Var(a), la));
+  }
+  if (key_paths.empty()) return nullptr;
+
+  // The nest head must use only the inner variable (it is rewritten u -> a);
+  // the nest predicate only the outer one.
+  if (!FreeVarsWithin(nest->head, {a, u}, schema)) return nullptr;
+  if (!FreeVarsWithin(nest->pred, {a}, schema)) return nullptr;
+
+  // Rewrite the reduce's head/pred: each key path a.M becomes a fresh
+  // group-by variable; afterwards the reduce must not mention a or u.
+  std::vector<std::pair<std::string, ExprPtr>> group_by;
+  ExprPtr reduce_head = reduce->head;
+  ExprPtr reduce_pred = reduce->pred;
+  for (const ExprPtr& kp : key_paths) {
+    std::string k = Gensym::Fresh("k");
+    reduce_head = ReplaceSubterm(reduce_head, kp, Expr::Var(k));
+    reduce_pred = ReplaceSubterm(reduce_pred, kp, Expr::Var(k));
+    group_by.emplace_back(k, kp);
+  }
+  std::vector<std::string> visible{nest->var};
+  for (const auto& [k, kp] : group_by) visible.push_back(k);
+  if (!FreeVarsWithin(reduce_head, visible, schema)) return nullptr;
+  if (!FreeVarsWithin(reduce_pred, visible, schema)) return nullptr;
+
+  // NULL-key rows never self-match through the outer-join, so they must
+  // contribute zero (not their own head value) in the rewritten nest.
+  std::vector<ExprPtr> nest_conjuncts = SplitConjuncts(nest->pred);
+  for (const ExprPtr& kp : key_paths) {
+    nest_conjuncts.push_back(Expr::Not(Expr::Un(UnOpKind::kIsNull, kp)));
+  }
+
+  AlgPtr new_nest = AlgOp::Nest(
+      outer, nest->monoid, Subst(nest->head, u, Expr::Var(a)), nest->var,
+      std::move(group_by), /*null_vars=*/{}, MakeConjunction(nest_conjuncts));
+  return AlgOp::Reduce(new_nest, reduce->monoid, reduce_head, reduce_pred);
+}
+
+AlgPtr SimplifyOnce(const AlgPtr& op, const Schema& schema, bool* changed) {
+  if (!op) return op;
+  if (AlgPtr r = TrySection5(op, schema)) {
+    *changed = true;
+    return r;
+  }
+  AlgPtr left = SimplifyOnce(op->left, schema, changed);
+  AlgPtr right = SimplifyOnce(op->right, schema, changed);
+  if (left == op->left && right == op->right) return op;
+  auto out = std::make_shared<AlgOp>(*op);
+  out->left = left;
+  out->right = right;
+  return out;
+}
+
+}  // namespace
+
+AlgPtr Simplify(const AlgPtr& plan, const Schema& schema) {
+  AlgPtr cur = plan;
+  for (int round = 0; round < 100; ++round) {
+    bool changed = false;
+    cur = SimplifyOnce(cur, schema, &changed);
+    if (!changed) return cur;
+  }
+  throw InternalError("simplification did not converge");
+}
+
+}  // namespace ldb

@@ -1,0 +1,47 @@
+// Plan simplification (Fegaras, SIGMOD'98, Section 5).
+//
+// The unnesting algorithm compiles group-by-style queries (an aggregate
+// correlated with the *same* extent as the outer loop) into a self
+// outer-join followed by a nest — Figure 8.A. The simplification rule
+//
+//   Γ(b)( g(a) =⋈(a.M = b.M) σq(b) )  →  Γ'( g(a) )
+//
+// collapses that into a single nest over one scan, grouping by the key path
+// itself — Figure 8.B. This pass implements the rule (generalized to
+// multiple equality keys) plus trivial clean-ups.
+//
+// Soundness conditions checked before firing (see simplify.cc):
+//  * both join inputs scan the same extent with the same selection,
+//  * the join predicate is a conjunction of key equalities a.M = b.M over
+//    identical attribute paths,
+//  * the nest groups exactly by the outer scan variable and null-converts
+//    exactly the inner one,
+//  * the enclosing reduce is over an idempotent monoid (one output row per
+//    distinct key replaces one per outer object),
+//  * after rewriting key paths to the new group-by variables, the reduce no
+//    longer mentions the outer scan variable.
+//
+// Rows whose key attributes are NULL never self-match through the
+// outer-join, so the rewritten nest keeps them as groups with a zero value
+// (a NULL-key guard in the nest predicate) — preserving the original plan's
+// output exactly.
+
+#ifndef LAMBDADB_CORE_SIMPLIFY_H_
+#define LAMBDADB_CORE_SIMPLIFY_H_
+
+#include "src/core/algebra.h"
+#include "src/runtime/schema.h"
+
+namespace ldb {
+
+/// Applies the Section 5 simplification wherever it matches, to fixpoint.
+AlgPtr Simplify(const AlgPtr& plan, const Schema& schema);
+
+/// Replaces every subterm of `e` structurally equal to `target` with
+/// `replacement` (helper shared with tests).
+ExprPtr ReplaceSubterm(const ExprPtr& e, const ExprPtr& target,
+                       const ExprPtr& replacement);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_SIMPLIFY_H_

@@ -1,0 +1,160 @@
+#include "src/core/type.h"
+
+#include <sstream>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+// Factory helper: Type's constructor is private, so build via a local
+// subclass that re-exposes it.
+static TypePtr NewType(Type::Kind kind) {
+  struct Accessor : Type {
+    explicit Accessor(Kind k) : Type(k) {}
+  };
+  return std::make_shared<const Accessor>(kind);
+}
+
+TypePtr Type::Bool() {
+  static TypePtr t = NewType(Kind::kBool);
+  return t;
+}
+TypePtr Type::Int() {
+  static TypePtr t = NewType(Kind::kInt);
+  return t;
+}
+TypePtr Type::Real() {
+  static TypePtr t = NewType(Kind::kReal);
+  return t;
+}
+TypePtr Type::Str() {
+  static TypePtr t = NewType(Kind::kStr);
+  return t;
+}
+TypePtr Type::Any() {
+  static TypePtr t = NewType(Kind::kAny);
+  return t;
+}
+
+TypePtr Type::Tuple(std::vector<std::pair<std::string, TypePtr>> fields) {
+  auto t = std::const_pointer_cast<Type>(NewType(Kind::kTuple));
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+TypePtr Type::Set(TypePtr elem) { return Collection(Kind::kSet, std::move(elem)); }
+TypePtr Type::Bag(TypePtr elem) { return Collection(Kind::kBag, std::move(elem)); }
+TypePtr Type::List(TypePtr elem) { return Collection(Kind::kList, std::move(elem)); }
+
+TypePtr Type::Collection(Kind kind, TypePtr elem) {
+  LDB_INTERNAL_CHECK(kind == Kind::kSet || kind == Kind::kBag || kind == Kind::kList,
+                     "not a collection kind");
+  auto t = std::const_pointer_cast<Type>(NewType(kind));
+  t->elem_ = std::move(elem);
+  return t;
+}
+
+TypePtr Type::Class(std::string name) {
+  auto t = std::const_pointer_cast<Type>(NewType(Kind::kClass));
+  t->name_ = std::move(name);
+  return t;
+}
+
+TypePtr Type::Func(TypePtr arg, TypePtr result) {
+  auto t = std::const_pointer_cast<Type>(NewType(Kind::kFunc));
+  t->elem_ = std::move(arg);
+  t->result_ = std::move(result);
+  return t;
+}
+
+TypePtr Type::FieldType(const std::string& name) const {
+  for (const auto& [n, t] : fields_) {
+    if (n == name) return t;
+  }
+  return nullptr;
+}
+
+bool Type::Equal(const TypePtr& a, const TypePtr& b) {
+  return Unify(a, b) != nullptr;
+}
+
+TypePtr Type::Unify(const TypePtr& a, const TypePtr& b) {
+  if (!a || !b) return nullptr;
+  if (a->kind_ == Kind::kAny) return b;
+  if (b->kind_ == Kind::kAny) return a;
+  if (a->is_numeric() && b->is_numeric()) {
+    return (a->kind_ == Kind::kReal || b->kind_ == Kind::kReal) ? Real() : Int();
+  }
+  if (a->kind_ != b->kind_) return nullptr;
+  switch (a->kind_) {
+    case Kind::kBool:
+    case Kind::kStr:
+      return a;
+    case Kind::kClass:
+      return a->name_ == b->name_ ? a : nullptr;
+    case Kind::kSet:
+    case Kind::kBag:
+    case Kind::kList: {
+      TypePtr e = Unify(a->elem_, b->elem_);
+      return e ? Collection(a->kind_, e) : nullptr;
+    }
+    case Kind::kFunc: {
+      TypePtr arg = Unify(a->elem_, b->elem_);
+      TypePtr res = Unify(a->result_, b->result_);
+      return (arg && res) ? Func(arg, res) : nullptr;
+    }
+    case Kind::kTuple: {
+      if (a->fields_.size() != b->fields_.size()) return nullptr;
+      std::vector<std::pair<std::string, TypePtr>> fields;
+      for (size_t i = 0; i < a->fields_.size(); ++i) {
+        if (a->fields_[i].first != b->fields_[i].first) return nullptr;
+        TypePtr f = Unify(a->fields_[i].second, b->fields_[i].second);
+        if (!f) return nullptr;
+        fields.emplace_back(a->fields_[i].first, f);
+      }
+      return Tuple(std::move(fields));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+std::string Type::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kBool:
+      return "bool";
+    case Kind::kInt:
+      return "int";
+    case Kind::kReal:
+      return "real";
+    case Kind::kStr:
+      return "string";
+    case Kind::kAny:
+      return "any";
+    case Kind::kClass:
+      return name_;
+    case Kind::kSet:
+      return "set(" + elem_->ToString() + ")";
+    case Kind::kBag:
+      return "bag(" + elem_->ToString() + ")";
+    case Kind::kList:
+      return "list(" + elem_->ToString() + ")";
+    case Kind::kFunc:
+      return elem_->ToString() + " -> " + result_->ToString();
+    case Kind::kTuple: {
+      os << '(';
+      bool first = true;
+      for (const auto& [n, t] : fields_) {
+        if (!first) os << ", ";
+        first = false;
+        os << n << ": " << t->ToString();
+      }
+      os << ')';
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace ldb

@@ -1,0 +1,97 @@
+// The type system of the monoid comprehension calculus (Fegaras, SIGMOD'98,
+// Section 2 and Figure 3).
+//
+// Types are immutable shared trees. Every type domain is implicitly extended
+// with the NULL value (paper, Section 2), so there is no separate nullable
+// wrapper; NULL inhabits every type.
+
+#ifndef LAMBDADB_CORE_TYPE_H_
+#define LAMBDADB_CORE_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldb {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// A type in the calculus: primitives, records, collections, class
+/// references, and functions (used internally for lambdas and the algebra
+/// typing rules of Figure 6).
+class Type {
+ public:
+  enum class Kind {
+    kBool,
+    kInt,
+    kReal,
+    kStr,
+    kTuple,  ///< record (A1: t1, ..., An: tn)
+    kSet,
+    kBag,
+    kList,
+    kClass,  ///< named object class; values are references into its extent
+    kFunc,   ///< t1 -> t2
+    kAny,    ///< bottom placeholder: the element type of an empty collection,
+             ///< and the type of NULL; unifies with everything
+  };
+
+  static TypePtr Bool();
+  static TypePtr Int();
+  static TypePtr Real();
+  static TypePtr Str();
+  static TypePtr Any();
+  static TypePtr Tuple(std::vector<std::pair<std::string, TypePtr>> fields);
+  static TypePtr Set(TypePtr elem);
+  static TypePtr Bag(TypePtr elem);
+  static TypePtr List(TypePtr elem);
+  static TypePtr Class(std::string name);
+  static TypePtr Func(TypePtr arg, TypePtr result);
+  /// Builds the collection type of the given kind (kSet/kBag/kList).
+  static TypePtr Collection(Kind kind, TypePtr elem);
+
+  Kind kind() const { return kind_; }
+  bool is_collection() const {
+    return kind_ == Kind::kSet || kind_ == Kind::kBag || kind_ == Kind::kList;
+  }
+  bool is_numeric() const { return kind_ == Kind::kInt || kind_ == Kind::kReal; }
+
+  /// Element type of a collection; arg/result of a function.
+  const TypePtr& elem() const { return elem_; }
+  const TypePtr& result() const { return result_; }
+  /// Fields of a record type.
+  const std::vector<std::pair<std::string, TypePtr>>& fields() const {
+    return fields_;
+  }
+  /// Class name of a kClass type.
+  const std::string& class_name() const { return name_; }
+
+  /// Looks up a record field type; returns nullptr if absent.
+  TypePtr FieldType(const std::string& name) const;
+
+  /// Structural equality; kAny equals anything.
+  static bool Equal(const TypePtr& a, const TypePtr& b);
+
+  /// The least upper bound of two types if they unify (treating kAny as
+  /// bottom), or nullptr if they are incompatible. Int and Real unify to Real.
+  static TypePtr Unify(const TypePtr& a, const TypePtr& b);
+
+  std::string ToString() const;
+
+ protected:
+  explicit Type(Kind kind) : kind_(kind) {}
+
+ private:
+
+  Kind kind_;
+  TypePtr elem_;    // collection element / function argument
+  TypePtr result_;  // function result
+  std::vector<std::pair<std::string, TypePtr>> fields_;
+  std::string name_;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_TYPE_H_

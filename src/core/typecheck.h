@@ -1,0 +1,42 @@
+// Type checking for the monoid calculus (Figure 3 of the paper) and for
+// algebra plans (Figure 6).
+//
+// The checker resolves free variables against a Schema: a name that is a
+// declared extent types as set(ClassType); class-typed values project
+// through their declared attributes (implicit dereference of object refs).
+
+#ifndef LAMBDADB_CORE_TYPECHECK_H_
+#define LAMBDADB_CORE_TYPECHECK_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/algebra.h"
+#include "src/core/expr.h"
+#include "src/runtime/schema.h"
+
+namespace ldb {
+
+/// A typing environment: variable name -> type.
+using TypeEnv = std::map<std::string, TypePtr>;
+
+/// Infers the type of a calculus term under `env`, resolving extents through
+/// `schema`. Throws TypeError on ill-typed terms.
+TypePtr TypeCheck(const ExprPtr& e, const Schema& schema,
+                  const TypeEnv& env = {});
+
+/// Computes the typed output environment of a (non-Reduce) plan node,
+/// validating the subtree along the way. Useful for analyses that need the
+/// type of an operator's inputs (e.g. the duplicate-safety check for bag
+/// unnesting in the optimizer).
+TypeEnv PlanOutputEnv(const AlgPtr& op, const Schema& schema);
+
+/// Validates an algebra plan bottom-up per the typing rules of Figure 6:
+/// every predicate must be bool, every unnest path a collection, every
+/// nest/reduce head compatible with its monoid. Returns the type of the
+/// value the root reduce produces. Throws TypeError on violations.
+TypePtr TypeCheckPlan(const AlgPtr& plan, const Schema& schema);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_TYPECHECK_H_

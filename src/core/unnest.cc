@@ -1,0 +1,304 @@
+#include "src/core/unnest.h"
+
+#include <algorithm>
+
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+class Unnester {
+ public:
+  explicit Unnester(const Schema& schema, std::vector<UnnestStep>* steps)
+      : schema_(schema), steps_(steps) {}
+
+  AlgPtr TranslateOuter(const ExprPtr& comp) {
+    std::string ignored;
+    return Compile(comp, /*input=*/nullptr, /*w=*/{}, /*inner=*/false, &ignored);
+  }
+
+ private:
+  const Schema& schema_;
+  std::vector<UnnestStep>* steps_;  // may be null
+  bool in_head_ = false;  // distinguishes C9 (head) from C8 (predicate)
+
+  void Trace(const char* rule, std::string description) {
+    if (steps_ != nullptr) {
+      steps_->push_back(UnnestStep{rule, std::move(description)});
+    }
+  }
+
+  // True if all free variables of `e` are bound in `w` (extent names are
+  // always available).
+  bool Available(const ExprPtr& e, const std::vector<std::string>& w) const {
+    for (const std::string& v : FreeVars(e)) {
+      if (std::find(w.begin(), w.end(), v) != w.end()) continue;
+      if (schema_.IsExtent(v)) continue;
+      return false;
+    }
+    return true;
+  }
+
+  static bool InList(const std::string& v, const std::vector<std::string>& w) {
+    return std::find(w.begin(), w.end(), v) != w.end();
+  }
+
+  // Rules (C8)/(C9): walks `e` and splices every maximal comprehension
+  // subterm whose free variables are available, replacing it with the
+  // variable its nest binds. Comprehensions that are not yet available are
+  // left untouched (they will be spliced after more generators compile).
+  ExprPtr SpliceComps(const ExprPtr& e, AlgPtr* plan,
+                      std::vector<std::string>* w,
+                      std::vector<std::string>* u_group, bool parent_inner,
+                      bool* changed) {
+    if (!e) return e;
+    if (e->kind == ExprKind::kComp) {
+      if (!Available(e, *w)) return e;  // not yet; do not descend
+      const bool was_head = in_head_;  // Compile below resets the flag
+      std::string out_var;
+      *plan = Compile(e, *plan, *w, /*inner=*/true, &out_var);
+      Trace(was_head ? "C9" : "C8",
+            std::string("spliced nested ") + MonoidName(e->monoid) +
+                "-comprehension " + PrintExpr(e) + " -> " + out_var);
+      w->push_back(out_var);
+      if (parent_inner) u_group->push_back(out_var);
+      *changed = true;
+      return Expr::Var(out_var);
+    }
+    switch (e->kind) {
+      case ExprKind::kVar:
+      case ExprKind::kLiteral:
+      case ExprKind::kZero:
+        return e;
+      case ExprKind::kRecord: {
+        bool any = false;
+        std::vector<std::pair<std::string, ExprPtr>> fields;
+        fields.reserve(e->fields.size());
+        for (const auto& [n, f] : e->fields) {
+          fields.emplace_back(n, SpliceComps(f, plan, w, u_group, parent_inner, &any));
+        }
+        if (!any) return e;
+        *changed = true;
+        return Expr::Record(std::move(fields));
+      }
+      default: {
+        bool any = false;
+        ExprPtr a = e->a ? SpliceComps(e->a, plan, w, u_group, parent_inner, &any)
+                         : nullptr;
+        ExprPtr b = e->b ? SpliceComps(e->b, plan, w, u_group, parent_inner, &any)
+                         : nullptr;
+        ExprPtr c = e->c ? SpliceComps(e->c, plan, w, u_group, parent_inner, &any)
+                         : nullptr;
+        if (!any) return e;
+        *changed = true;
+        auto out = std::make_shared<Expr>(*e);
+        out->a = a;
+        out->b = b;
+        out->c = c;
+        return out;
+      }
+    }
+  }
+
+  // Collects every pending conjunct that is comprehension-free and whose
+  // free variables are bound by `vars`, removes them from `pending`, and
+  // returns their conjunction (True if none).
+  ExprPtr TakeApplicable(std::vector<ExprPtr>* pending,
+                         const std::vector<std::string>& vars) {
+    std::vector<ExprPtr> taken;
+    auto it = pending->begin();
+    while (it != pending->end()) {
+      if (!ContainsComp(*it) && Available(*it, vars)) {
+        taken.push_back(*it);
+        it = pending->erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return MakeConjunction(taken);
+  }
+
+  // The translation [[ ⊕{e | q1..qn, pred} ]]^u_w (input). For the outermost
+  // comprehension (inner == false, input == nullptr) this implements
+  // (C1)-(C4) + (C8)/(C9) and returns a Reduce-rooted plan. For an inner
+  // comprehension it implements (C5)-(C7) + (C8)/(C9), splices onto `input`,
+  // binds the comprehension's per-tuple value to a fresh variable returned
+  // through *out_var, and returns the extended plan.
+  AlgPtr Compile(const ExprPtr& comp, AlgPtr input, std::vector<std::string> w,
+                 bool inner, std::string* out_var) {
+    LDB_INTERNAL_CHECK(comp->kind == ExprKind::kComp, "not a comprehension");
+    if (comp->monoid == MonoidKind::kList) {
+      throw UnsupportedError(
+          "unnesting of list comprehensions (the paper's future work)");
+    }
+    // Predicate splices of THIS comprehension are C8 even when the
+    // comprehension itself was entered from an enclosing head (C9).
+    const bool outer_in_head = in_head_;
+    in_head_ = false;
+
+    const std::vector<std::string> w_entry = w;  // the group-by vars (w\u)
+    std::vector<std::string> u_group;  // vars introduced inside this box
+    std::vector<std::string> u_null;   // generator vars introduced inside
+
+    AlgPtr plan = input;
+    ExprPtr head = comp->a;
+
+    // Separate generators from filter conjuncts.
+    std::vector<Qualifier> gens;
+    std::vector<ExprPtr> pending;
+    for (const Qualifier& q : comp->quals) {
+      if (q.is_generator) {
+        gens.push_back(q);
+      } else {
+        for (const ExprPtr& c : SplitConjuncts(q.expr)) pending.push_back(c);
+      }
+    }
+
+    // Splices every available nested comprehension in the pending conjuncts
+    // (rule C8, applied as early as possible).
+    auto splice_pending = [&]() {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (ExprPtr& c : pending) {
+          if (!ContainsComp(c)) continue;
+          c = SpliceComps(c, &plan, &w, &u_group, inner, &changed);
+        }
+      }
+    };
+
+    for (size_t gi = 0; gi < gens.size(); ++gi) {
+      splice_pending();  // (C8)
+
+      const Qualifier& g = gens[gi];
+      std::string root;
+      std::vector<std::string> attrs;
+      if (!IsPath(g.expr, &root, &attrs)) {
+        throw UnsupportedError(
+            "non-canonical generator domain (normalize the query first): " +
+            g.var);
+      }
+
+      const bool root_is_extent = !InList(root, w) && schema_.IsExtent(root);
+      if (root_is_extent && attrs.empty()) {
+        // Generator over a class extent.
+        ExprPtr self_pred = TakeApplicable(&pending, {g.var});
+        AlgPtr scan = AlgOp::Scan(root, g.var, self_pred);
+        if (plan == nullptr) {
+          plan = scan;  // (C1): the seed is a selection over the extent
+          Trace("C1", "seed: selection over extent " + root + " binding " +
+                          g.var);
+        } else {
+          std::vector<std::string> joined = w;
+          joined.push_back(g.var);
+          ExprPtr join_pred = TakeApplicable(&pending, joined);
+          plan = inner ? AlgOp::OuterJoin(plan, scan, join_pred)   // (C6)
+                       : AlgOp::Join(plan, scan, join_pred);       // (C3)
+          Trace(inner ? "C6" : "C3",
+                std::string(inner ? "outer-join" : "join") + " with " + root +
+                    " binding " + g.var + " on " + PrintExpr(plan->pred));
+        }
+      } else if (InList(root, w)) {
+        // Generator over a path rooted at a bound variable.
+        LDB_INTERNAL_CHECK(plan != nullptr, "path generator with no input");
+        std::vector<std::string> extended = w;
+        extended.push_back(g.var);
+        ExprPtr pred = TakeApplicable(&pending, extended);
+        plan = inner ? AlgOp::OuterUnnest(plan, g.expr, g.var, pred)  // (C7)
+                     : AlgOp::Unnest(plan, g.expr, g.var, pred);      // (C4)
+        Trace(inner ? "C7" : "C4",
+              std::string(inner ? "outer-unnest" : "unnest") + " of " +
+                  PrintExpr(g.expr) + " binding " + g.var);
+      } else {
+        throw TypeError("unknown extent or unbound variable '" + root +
+                        "' in generator domain");
+      }
+      w.push_back(g.var);
+      if (inner) {
+        u_group.push_back(g.var);
+        u_null.push_back(g.var);
+      }
+    }
+
+    // All generators consumed: splice what remains in predicates (C8 "worst
+    // case") and in the head (C9).
+    splice_pending();
+    {
+      in_head_ = true;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        head = SpliceComps(head, &plan, &w, &u_group, inner, &changed);
+      }
+      in_head_ = outer_in_head;
+    }
+
+    for (const ExprPtr& c : pending) {
+      if (ContainsComp(c)) {
+        throw TypeError("nested query references unbound variables: cannot "
+                        "splice conjunct");
+      }
+    }
+    ExprPtr final_pred = TakeApplicable(&pending, w);
+    if (!pending.empty()) {
+      throw TypeError("predicate references unbound variables");
+    }
+
+    if (!inner) {
+      // (C2): the outermost comprehension reduces the stream to a value. A
+      // comprehension with no generators reduces the unit stream.
+      if (plan == nullptr) plan = AlgOp::Unit();
+      Trace("C2", std::string("reduce with ") + MonoidName(comp->monoid) +
+                      " over head " + PrintExpr(head));
+      return AlgOp::Reduce(plan, comp->monoid, head, final_pred);
+    }
+
+    // (C5): an inner comprehension becomes a nest that groups by the
+    // variables that existed at entry (w\u) and converts NULLs of its own
+    // generator variables (u) into the monoid zero.
+    LDB_INTERNAL_CHECK(plan != nullptr, "inner comprehension with no input");
+    *out_var = Gensym::Fresh("v");
+    std::vector<std::pair<std::string, ExprPtr>> group_by;
+    group_by.reserve(w_entry.size());
+    for (const std::string& v : w_entry) {
+      group_by.emplace_back(v, Expr::Var(v));
+    }
+    {
+      std::string groups;
+      for (const std::string& v : w_entry) {
+        if (!groups.empty()) groups += ", ";
+        groups += v;
+      }
+      std::string nulls;
+      for (const std::string& v : u_null) {
+        if (!nulls.empty()) nulls += ", ";
+        nulls += v;
+      }
+      Trace("C5", std::string("nest with ") + MonoidName(comp->monoid) +
+                      " -> " + *out_var + ", group by (" + groups +
+                      "), null-convert (" + nulls + ")");
+    }
+    return AlgOp::Nest(plan, comp->monoid, head, *out_var, std::move(group_by),
+                       u_null, final_pred);
+  }
+};
+
+}  // namespace
+
+AlgPtr UnnestComp(const ExprPtr& comp, const Schema& schema) {
+  return UnnestCompTraced(comp, schema, nullptr);
+}
+
+AlgPtr UnnestCompTraced(const ExprPtr& comp, const Schema& schema,
+                        std::vector<UnnestStep>* steps) {
+  if (!comp || comp->kind != ExprKind::kComp) {
+    throw UnsupportedError("UnnestComp expects a comprehension");
+  }
+  Unnester u(schema, steps);
+  return u.TranslateOuter(comp);
+}
+
+}  // namespace ldb

@@ -1,0 +1,64 @@
+// The query unnesting algorithm (Fegaras, SIGMOD'98, Section 4, Figure 7,
+// rules (C1)-(C9)): translates canonical monoid comprehensions into nested
+// relational algebra plans with NO nested subqueries left anywhere
+// (Theorem 1, completeness), preserving meaning (Theorem 2, soundness).
+//
+// Outermost comprehensions compile with rules (C1)-(C4): the first generator
+// becomes a selection over its extent (C1), later generators become joins
+// (C3) or unnests (C4), and the comprehension itself becomes the final
+// reduce (C2). Inner (nested) comprehensions compile with (C5)-(C7), which
+// are the same rules except that reduce becomes nest, join becomes left
+// outer-join, and unnest becomes outer-unnest, so the spliced box can never
+// block the embedding stream. The actual unnesting is (C8) — a nested
+// comprehension in a *predicate* is spliced onto the stream as soon as its
+// free variables are all available — and (C9) — a nested comprehension in
+// the *head* is spliced after all generators are consumed. The spliced box's
+// nest groups by the variables that existed when the box was entered (w\u)
+// and converts to the monoid zero the NULLs of the generator variables the
+// box itself introduced (u) — the "which nulls to convert when" subtlety of
+// Section 1.2.
+//
+// Predicates are routed greedily ("performing selections as early as
+// possible", Section 1): each conjunct attaches to the first operator whose
+// output binds all of its free variables — the p[v]/p[w,v] split of (C1)/(C3).
+//
+// Scope (per the paper): set comprehensions and all primitive monoids (sum,
+// prod, max, min, some, all, avg). Bag comprehensions are additionally
+// unnested under the object-identity restriction checked by the optimizer
+// (see DESIGN.md); list comprehensions are rejected (the paper's Section 8
+// leaves ordered collections as future work).
+
+#ifndef LAMBDADB_CORE_UNNEST_H_
+#define LAMBDADB_CORE_UNNEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/algebra.h"
+#include "src/core/expr.h"
+#include "src/runtime/schema.h"
+
+namespace ldb {
+
+/// One step of the unnesting derivation: which rule of Figure 7 fired and
+/// what it did — the machine-checkable version of the paper's Section 4
+/// worked example for QUERY D.
+struct UnnestStep {
+  std::string rule;         ///< "C1" ... "C9"
+  std::string description;  ///< human-readable account of the step
+};
+
+/// Translates a canonical comprehension into an algebra plan rooted at a
+/// Reduce. The input must be normalized (all generator domains paths); call
+/// Normalize() first. Throws UnsupportedError on list comprehensions or
+/// non-canonical domains, TypeError on unknown extents.
+AlgPtr UnnestComp(const ExprPtr& comp, const Schema& schema);
+
+/// Like UnnestComp, additionally recording every rule application into
+/// *steps (appended in firing order).
+AlgPtr UnnestCompTraced(const ExprPtr& comp, const Schema& schema,
+                        std::vector<UnnestStep>* steps);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_UNNEST_H_

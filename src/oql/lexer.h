@@ -1,0 +1,37 @@
+// Lexer for the OQL subset. Keywords are case-insensitive (ODMG convention);
+// identifiers are case-sensitive. Strings use single or double quotes.
+
+#ifndef LAMBDADB_OQL_LEXER_H_
+#define LAMBDADB_OQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldb::oql {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kReal,
+  kString,
+  kSymbol,  // punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;    // identifier (original case), symbol, or string body
+  std::string lower;   // lowercased text (for keyword matching)
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t offset = 0;   // byte offset, for error messages
+};
+
+/// Tokenizes the input. Throws ParseError on bad characters or unterminated
+/// strings.
+std::vector<Token> Lex(const std::string& input);
+
+}  // namespace ldb::oql
+
+#endif  // LAMBDADB_OQL_LEXER_H_

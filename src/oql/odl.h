@@ -1,0 +1,36 @@
+// ODL (Object Definition Language) schema parser — the ODMG companion of
+// OQL [4]. Lets applications declare the class schema textually instead of
+// building ClassDecl objects by hand:
+//
+//   class Employee (extent Employees) {
+//     attribute string name;
+//     attribute long age;
+//     attribute double salary;
+//     attribute long dno;
+//     relationship Manager manager;
+//     relationship set<Person> children;
+//   };
+//
+// Supported types: boolean, short/int/integer/long (-> int), float/double/
+// real (-> real), string, class names, and set<T>/bag<T>/list<T>.
+// `attribute` and `relationship` are interchangeable (both declare a typed
+// member; "relationship" is the conventional keyword for reference-valued
+// ones). Classes may be referenced before they are declared; names are
+// resolved against the whole schema at the end.
+
+#ifndef LAMBDADB_OQL_ODL_H_
+#define LAMBDADB_OQL_ODL_H_
+
+#include <string>
+
+#include "src/runtime/schema.h"
+
+namespace ldb::oql {
+
+/// Parses an ODL schema definition. Throws ParseError on syntax errors and
+/// TypeError on unknown type names or duplicate classes/extents.
+Schema ParseODL(const std::string& input);
+
+}  // namespace ldb::oql
+
+#endif  // LAMBDADB_OQL_ODL_H_

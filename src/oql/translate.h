@@ -1,0 +1,52 @@
+// Translation of OQL into the monoid comprehension calculus, following the
+// scheme of Fegaras & Maier (the paper's reference [13]) used throughout the
+// SIGMOD'98 examples:
+//
+//   select distinct e from ...         ->  set{ e | ... }
+//   select e from ...                  ->  bag{ e | ... }
+//   exists v in D: p                   ->  some{ p | v <- D }
+//   for all v in D: p                  ->  all{ p | v <- D }
+//   x in D                             ->  some{ w = x | w <- D }
+//   count(q)                           ->  sum{ 1 | quals(q) }
+//   sum/avg/max/min(q)                 ->  sum/avg/max/min{ head(q) | quals(q) }
+//   exists(q)                          ->  some{ true | quals(q) }
+//   select g, agg(f) ... group by g    ->  set{ <g=g, agg=agg{f[u/v] |
+//                                            u <- D, where[u/v], g[u/v]=g }>
+//                                            | v <- D, where }
+//
+// The group-by translation is the paper's Section 5 example generalized to
+// several aggregates and group keys, restricted to a single from-binding.
+
+#ifndef LAMBDADB_OQL_TRANSLATE_H_
+#define LAMBDADB_OQL_TRANSLATE_H_
+
+#include "src/core/expr.h"
+#include "src/oql/ast.h"
+
+namespace ldb::oql {
+
+/// Translates an OQL AST into a calculus term. Pure syntax-directed; name
+/// resolution (extents vs variables) happens later in the type checker and
+/// unnester. Throws UnsupportedError for OQL outside the fragment,
+/// including a top-level `order by` (use TranslateWithOrdering).
+ExprPtr Translate(const NodePtr& query);
+
+/// A translated query plus its ordering request. `order by` produces a LIST
+/// result; since ordered collections are outside the unnesting algorithm
+/// (paper Section 8), the sort runs in the facade AFTER execution: the head
+/// is wrapped as <key$=<k1,...>, val$=head>, the wrapped comprehension runs
+/// through the normal pipeline, and the caller sorts by key$ (per-key
+/// descending flags) and projects val$ into a list.
+struct OrderedQuery {
+  ExprPtr comp;                 ///< the (possibly wrapped) comprehension
+  bool ordered = false;
+  std::vector<bool> descending; ///< one flag per order-by key
+};
+
+/// Like Translate, but compiles a top-level `order by` into the wrapped
+/// form described above.
+OrderedQuery TranslateWithOrdering(const NodePtr& query);
+
+}  // namespace ldb::oql
+
+#endif  // LAMBDADB_OQL_TRANSLATE_H_

@@ -1,0 +1,97 @@
+#include "src/runtime/database.h"
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+Value Database::Insert(const std::string& class_name, Value object) {
+  const ClassDecl* decl = schema_.FindClass(class_name);
+  if (decl == nullptr) throw TypeError("unknown class '" + class_name + "'");
+  if (object.kind() != Value::Kind::kTuple) {
+    throw EvalError("object must be a tuple: " + object.ToString());
+  }
+  auto& vec = objects_[class_name];
+  int64_t oid = static_cast<int64_t>(vec.size());
+  vec.push_back(std::move(object));
+  Value ref = Value::MakeRef(class_name, oid);
+  if (!decl->extent.empty()) extents_[decl->extent].push_back(ref);
+  return ref;
+}
+
+void Database::Update(const Value& ref, Value object) {
+  const Ref& r = ref.AsRef();
+  auto it = objects_.find(r.class_name);
+  if (it == objects_.end() || r.oid < 0 ||
+      r.oid >= static_cast<int64_t>(it->second.size())) {
+    throw EvalError("dangling reference " + ref.ToString());
+  }
+  it->second[static_cast<size_t>(r.oid)] = std::move(object);
+}
+
+const Value& Database::Deref(const Ref& ref) const {
+  auto it = objects_.find(ref.class_name);
+  if (it == objects_.end() || ref.oid < 0 ||
+      ref.oid >= static_cast<int64_t>(it->second.size())) {
+    throw EvalError("dangling reference " + ref.class_name + "#" +
+                    std::to_string(ref.oid));
+  }
+  return it->second[static_cast<size_t>(ref.oid)];
+}
+
+const std::vector<Value>& Database::Extent(const std::string& extent_name) const {
+  if (!schema_.IsExtent(extent_name)) {
+    throw TypeError("unknown extent '" + extent_name + "'");
+  }
+  static const std::vector<Value> kEmpty;
+  auto it = extents_.find(extent_name);
+  return it == extents_.end() ? kEmpty : it->second;
+}
+
+Value Database::Navigate(const Value& v, const std::string& attr) const {
+  if (v.is_null()) return Value::Null();
+  if (v.kind() == Value::Kind::kRef) {
+    return Deref(v.AsRef()).Field(attr);
+  }
+  return v.Field(attr);
+}
+
+size_t Database::ObjectCount() const {
+  size_t n = 0;
+  for (const auto& [cls, vec] : objects_) n += vec.size();
+  return n;
+}
+
+void Database::BuildIndex(const std::string& extent_name,
+                          const std::string& attr) {
+  const ClassDecl* cls = schema_.FindExtent(extent_name);
+  if (cls == nullptr) throw TypeError("unknown extent '" + extent_name + "'");
+  if (!cls->AttributeType(attr)) {
+    throw TypeError("class " + cls->name + " has no attribute '" + attr + "'");
+  }
+  IndexMap index;
+  for (const Value& ref : Extent(extent_name)) {
+    const Value& key = Deref(ref.AsRef()).Field(attr);
+    if (key.is_null()) continue;  // equality with NULL never matches
+    index[key].push_back(ref);
+  }
+  indexes_[IndexKey{extent_name, attr}] = std::move(index);
+}
+
+bool Database::HasIndex(const std::string& extent_name,
+                        const std::string& attr) const {
+  return indexes_.count(IndexKey{extent_name, attr}) > 0;
+}
+
+const std::vector<Value>& Database::IndexLookup(const std::string& extent_name,
+                                                const std::string& attr,
+                                                const Value& key) const {
+  static const std::vector<Value> kEmpty;
+  auto it = indexes_.find(IndexKey{extent_name, attr});
+  if (it == indexes_.end()) {
+    throw EvalError("no index on " + extent_name + "." + attr);
+  }
+  auto hit = it->second.find(key);
+  return hit == it->second.end() ? kEmpty : hit->second;
+}
+
+}  // namespace ldb

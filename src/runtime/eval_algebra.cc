@@ -1,0 +1,264 @@
+#include "src/runtime/eval_algebra.h"
+
+#include <unordered_map>
+
+#include "src/runtime/error.h"
+#include "src/runtime/expr_eval.h"
+
+namespace ldb {
+
+namespace {
+
+class Executor {
+ public:
+  Executor(const Database& db, const PhysicalOptions& options)
+      : ev_(db), options_(options) {}
+
+  Value Run(const AlgPtr& plan) {
+    LDB_INTERNAL_CHECK(plan && plan->kind == AlgKind::kReduce,
+                       "plan root must be a reduce");
+    std::vector<Env> input = Stream(plan->left);
+    Accumulator acc(plan->monoid);  // (O4)
+    for (const Env& env : input) {
+      if (!ev_.EvalPred(plan->pred, env)) continue;
+      acc.Add(ev_.Eval(plan->head, env));
+      if (acc.Saturated()) break;
+    }
+    return acc.Finish();
+  }
+
+ private:
+  ExprEvaluator ev_;
+  PhysicalOptions options_;
+
+  std::vector<Env> Stream(const AlgPtr& op) {
+    LDB_INTERNAL_CHECK(op != nullptr, "null plan node");
+    switch (op->kind) {
+      case AlgKind::kUnit:
+        return {Env()};
+      case AlgKind::kScan:
+        return EvalScan(*op);
+      case AlgKind::kSelect: {
+        std::vector<Env> out;
+        for (Env& env : Stream(op->left)) {
+          if (ev_.EvalPred(op->pred, env)) out.push_back(std::move(env));
+        }
+        return out;
+      }
+      case AlgKind::kJoin:
+      case AlgKind::kOuterJoin:
+        return EvalJoin(*op);
+      case AlgKind::kUnnest:
+      case AlgKind::kOuterUnnest:
+        return EvalUnnest(*op);
+      case AlgKind::kNest:
+        return EvalNest(*op);
+      case AlgKind::kReduce:
+        throw InternalError("reduce below the plan root");
+    }
+    throw InternalError("unhandled operator");
+  }
+
+  std::vector<Env> EvalScan(const AlgOp& op) {  // σp(X) over an extent (O2)
+    std::vector<Env> out;
+    // Access-path choice: a predicate pinning an indexed attribute to a
+    // constant fetches through the index instead of scanning the extent.
+    IndexMatch m;
+    if (options_.use_indexes && MatchIndexScan(op, ev_.db(), &m)) {
+      Value key = ev_.Eval(m.key, Env());
+      if (key.is_null()) return out;  // = NULL never matches
+      for (const Value& ref : ev_.db().IndexLookup(op.extent, m.attr, key)) {
+        Env env;
+        env.Bind(op.var, ref);
+        if (ev_.EvalPred(m.residual, env)) out.push_back(std::move(env));
+      }
+      return out;
+    }
+    for (const Value& ref : ev_.db().Extent(op.extent)) {
+      Env env;
+      env.Bind(op.var, ref);
+      if (ev_.EvalPred(op.pred, env)) out.push_back(std::move(env));
+    }
+    return out;
+  }
+
+  static Env Concat(const Env& l, const Env& r) {
+    Env out = l;
+    for (const auto& [v, val] : r.bindings()) out.Bind(v, val);
+    return out;
+  }
+
+  static Env PadNulls(const Env& l, const std::vector<std::string>& vars) {
+    Env out = l;
+    for (const std::string& v : vars) out.Bind(v, Value::Null());
+    return out;
+  }
+
+  // (O1) join and (O5) left outer-join, hash or nested-loop.
+  std::vector<Env> EvalJoin(const AlgOp& op) {
+    const bool outer = op.kind == AlgKind::kOuterJoin;
+    std::vector<Env> left = Stream(op.left);
+    std::vector<Env> right = Stream(op.right);
+    std::vector<std::string> right_vars = OutputVars(op.right);
+    std::vector<Env> out;
+
+    JoinKeys keys = ExtractEquiKeys(op.pred, OutputVars(op.left), right_vars);
+    if (options_.use_hash_joins && keys.hashable()) {
+      // Inner joins build the hash table on the smaller input; outer joins
+      // must probe with the left rows (padding is per left row), so they
+      // always build on the right.
+      if (!outer && left.size() < right.size()) {
+        std::swap(left, right);
+        std::swap(keys.left_keys, keys.right_keys);
+      }
+      // Build on the right input.
+      std::unordered_map<Value, std::vector<const Env*>, ValueHash> table;
+      table.reserve(right.size());
+      for (const Env& r : right) {
+        Elems kv;
+        kv.reserve(keys.right_keys.size());
+        bool null_key = false;
+        for (const ExprPtr& k : keys.right_keys) {
+          Value v = ev_.Eval(k, r);
+          // An equality with a NULL side never matches (comparisons with
+          // NULL are false), so NULL-keyed build rows are dropped.
+          if (v.is_null()) null_key = true;
+          kv.push_back(std::move(v));
+        }
+        if (!null_key) table[Value::List(std::move(kv))].push_back(&r);
+      }
+      for (const Env& l : left) {
+        Elems kv;
+        kv.reserve(keys.left_keys.size());
+        bool null_key = false;
+        for (const ExprPtr& k : keys.left_keys) {
+          Value v = ev_.Eval(k, l);
+          if (v.is_null()) null_key = true;
+          kv.push_back(std::move(v));
+        }
+        size_t matches = 0;
+        if (!null_key) {
+          auto it = table.find(Value::List(std::move(kv)));
+          if (it != table.end()) {
+            for (const Env* r : it->second) {
+              Env merged = Concat(l, *r);
+              if (ev_.EvalPred(keys.residual, merged)) {
+                out.push_back(std::move(merged));
+                ++matches;
+              }
+            }
+          }
+        }
+        if (outer && matches == 0) out.push_back(PadNulls(l, right_vars));
+      }
+      return out;
+    }
+
+    // Nested loops.
+    for (const Env& l : left) {
+      size_t matches = 0;
+      for (const Env& r : right) {
+        Env merged = Concat(l, r);
+        if (ev_.EvalPred(op.pred, merged)) {
+          out.push_back(std::move(merged));
+          ++matches;
+        }
+      }
+      if (outer && matches == 0) out.push_back(PadNulls(l, right_vars));
+    }
+    return out;
+  }
+
+  // (O3) unnest and (O6) outer-unnest.
+  std::vector<Env> EvalUnnest(const AlgOp& op) {
+    const bool outer = op.kind == AlgKind::kOuterUnnest;
+    std::vector<Env> out;
+    for (const Env& l : Stream(op.left)) {
+      Value coll = ev_.Eval(op.path, l);
+      size_t matches = 0;
+      if (!coll.is_null()) {
+        for (const Value& elem : coll.AsElems()) {
+          Env extended = l.With(op.var, elem);
+          if (ev_.EvalPred(op.pred, extended)) {
+            out.push_back(std::move(extended));
+            ++matches;
+          }
+        }
+      }
+      if (outer && matches == 0) {
+        out.push_back(l.With(op.var, Value::Null()));
+      }
+    }
+    return out;
+  }
+
+  // (O7) nest: hash grouping on the group-by keys. Every input row creates
+  // its group (so outer-join padding yields a group with the zero element);
+  // a row contributes its head value only if its null-test variables are
+  // all non-NULL and the predicate holds.
+  std::vector<Env> EvalNest(const AlgOp& op) {
+    std::vector<Env> input = Stream(op.left);
+    struct Group {
+      Elems key;
+      Accumulator acc;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<Value, size_t, ValueHash> index;
+    for (const Env& env : input) {
+      Elems key;
+      key.reserve(op.group_by.size());
+      for (const auto& [name, expr] : op.group_by) {
+        key.push_back(ev_.Eval(expr, env));
+      }
+      Value key_value = Value::List(key);
+      auto [it, inserted] = index.emplace(key_value, groups.size());
+      if (inserted) {
+        groups.push_back(Group{std::move(key), Accumulator(op.monoid)});
+      }
+      Group& g = groups[it->second];
+
+      bool padded = false;
+      for (const std::string& v : op.null_vars) {
+        const Value* val = env.Lookup(v);
+        LDB_INTERNAL_CHECK(val != nullptr, "nest null-var not bound");
+        if (val->is_null()) {
+          padded = true;
+          break;
+        }
+      }
+      if (!padded && ev_.EvalPred(op.pred, env)) {
+        g.acc.Add(ev_.Eval(op.head, env));
+      }
+    }
+    std::vector<Env> out;
+    out.reserve(groups.size());
+    for (Group& g : groups) {
+      Env env;
+      for (size_t i = 0; i < op.group_by.size(); ++i) {
+        env.Bind(op.group_by[i].first, g.key[i]);
+      }
+      env.Bind(op.var, g.acc.Finish());
+      out.push_back(std::move(env));
+    }
+    // A nest with no group-by attributes is scalar aggregation (it arises
+    // when an UNCORRELATED subquery is spliced before any outer generator):
+    // it must emit exactly one row even over an empty input, carrying the
+    // monoid's zero — all{...} over nothing is true, sum is 0, etc.
+    if (op.group_by.empty() && groups.empty()) {
+      Env env;
+      env.Bind(op.var, Accumulator(op.monoid).Finish());
+      out.push_back(std::move(env));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Value ExecutePlan(const AlgPtr& plan, const Database& db,
+                  const PhysicalOptions& options) {
+  Executor ex(db, options);
+  return ex.Run(plan);
+}
+
+}  // namespace ldb

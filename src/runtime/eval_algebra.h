@@ -1,0 +1,24 @@
+// Executor for nested relational algebra plans (the operators of Figure 5),
+// with physical operator selection per PhysicalOptions (hash vs nested-loop
+// joins).
+//
+// Streams are materialized vectors of environments. Each operator consumes
+// its children's streams and produces its own; the root Reduce folds the
+// final stream into a Value.
+
+#ifndef LAMBDADB_RUNTIME_EVAL_ALGEBRA_H_
+#define LAMBDADB_RUNTIME_EVAL_ALGEBRA_H_
+
+#include "src/core/algebra.h"
+#include "src/runtime/database.h"
+#include "src/runtime/physical.h"
+
+namespace ldb {
+
+/// Executes a Reduce-rooted plan and returns the query result.
+Value ExecutePlan(const AlgPtr& plan, const Database& db,
+                  const PhysicalOptions& options = {});
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_EVAL_ALGEBRA_H_

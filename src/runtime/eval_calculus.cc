@@ -1,0 +1,12 @@
+#include "src/runtime/eval_calculus.h"
+
+#include "src/runtime/expr_eval.h"
+
+namespace ldb {
+
+Value EvalCalculus(const ExprPtr& e, const Database& db) {
+  ExprEvaluator ev(db);
+  return ev.Eval(e, Env());
+}
+
+}  // namespace ldb

@@ -1,0 +1,19 @@
+// The baseline query evaluator: direct nested-loop interpretation of a
+// calculus term (no unnesting, no algebra). This is the strategy the paper
+// attributes to OODB systems without unnesting (Section 1) and the
+// comparator every benchmark measures against.
+
+#ifndef LAMBDADB_RUNTIME_EVAL_CALCULUS_H_
+#define LAMBDADB_RUNTIME_EVAL_CALCULUS_H_
+
+#include "src/core/expr.h"
+#include "src/runtime/database.h"
+
+namespace ldb {
+
+/// Evaluates a closed calculus term by nested loops.
+Value EvalCalculus(const ExprPtr& e, const Database& db);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_EVAL_CALCULUS_H_

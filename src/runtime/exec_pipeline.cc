@@ -1,0 +1,448 @@
+#include "src/runtime/exec_pipeline.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+// -- leaf iterators ----------------------------------------------------------
+
+class UnitRowIter : public RowIterator {
+ public:
+  void Open() override { done_ = false; }
+  bool Next(Env* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = Env();
+    return true;
+  }
+
+ private:
+  bool done_ = true;
+};
+
+class TableScanIter : public RowIterator {
+ public:
+  TableScanIter(const PhysOp& op, ExprEvaluator* ev) : op_(op), ev_(ev) {}
+
+  void Open() override { pos_ = 0; }
+  bool Next(Env* out) override {
+    const std::vector<Value>& extent = ev_->db().Extent(op_.extent);
+    while (pos_ < extent.size()) {
+      Env env;
+      env.Bind(op_.var, extent[pos_++]);
+      if (ev_->EvalPred(op_.pred, env)) {
+        *out = std::move(env);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PhysOp& op_;
+  ExprEvaluator* ev_;
+  size_t pos_ = 0;
+};
+
+class IndexScanIter : public RowIterator {
+ public:
+  IndexScanIter(const PhysOp& op, ExprEvaluator* ev) : op_(op), ev_(ev) {}
+
+  void Open() override {
+    pos_ = 0;
+    Value key = ev_->Eval(op_.index_key, Env());
+    bucket_ = key.is_null()
+                  ? nullptr  // = NULL never matches
+                  : &ev_->db().IndexLookup(op_.extent, op_.index_attr, key);
+  }
+  bool Next(Env* out) override {
+    if (bucket_ == nullptr) return false;
+    while (pos_ < bucket_->size()) {
+      Env env;
+      env.Bind(op_.var, (*bucket_)[pos_++]);
+      if (ev_->EvalPred(op_.pred, env)) {
+        *out = std::move(env);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PhysOp& op_;
+  ExprEvaluator* ev_;
+  const std::vector<Value>* bucket_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// -- streaming unary iterators ----------------------------------------------
+
+class FilterIter : public RowIterator {
+ public:
+  FilterIter(const PhysOp& op, std::unique_ptr<RowIterator> child,
+             ExprEvaluator* ev)
+      : op_(op), child_(std::move(child)), ev_(ev) {}
+
+  void Open() override { child_->Open(); }
+  bool Next(Env* out) override {
+    Env env;
+    while (child_->Next(&env)) {
+      if (ev_->EvalPred(op_.pred, env)) {
+        *out = std::move(env);
+        return true;
+      }
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const PhysOp& op_;
+  std::unique_ptr<RowIterator> child_;
+  ExprEvaluator* ev_;
+};
+
+class UnnestIter : public RowIterator {
+ public:
+  UnnestIter(const PhysOp& op, std::unique_ptr<RowIterator> child,
+             ExprEvaluator* ev)
+      : op_(op), outer_(op.kind == PhysKind::kOuterUnnest),
+        child_(std::move(child)), ev_(ev) {}
+
+  void Open() override {
+    child_->Open();
+    have_row_ = false;
+  }
+
+  bool Next(Env* out) override {
+    while (true) {
+      if (!have_row_) {
+        if (!child_->Next(&current_)) return false;
+        Value coll = ev_->Eval(op_.path, current_);
+        elems_ = coll.is_null() ? nullptr
+                                : std::make_shared<const Elems>(coll.AsElems());
+        pos_ = 0;
+        emitted_ = false;
+        have_row_ = true;
+      }
+      if (elems_ != nullptr) {
+        while (pos_ < elems_->size()) {
+          Env env = current_.With(op_.var, (*elems_)[pos_++]);
+          if (ev_->EvalPred(op_.pred, env)) {
+            emitted_ = true;
+            *out = std::move(env);
+            return true;
+          }
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !emitted_) {
+        *out = current_.With(op_.var, Value::Null());
+        return true;
+      }
+    }
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const PhysOp& op_;
+  bool outer_;
+  std::unique_ptr<RowIterator> child_;
+  ExprEvaluator* ev_;
+  Env current_;
+  std::shared_ptr<const Elems> elems_;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool emitted_ = false;
+};
+
+// -- joins -------------------------------------------------------------------
+
+Env Concat(const Env& a, const Env& b) {
+  Env out = a;
+  for (const auto& [v, val] : b.bindings()) out.Bind(v, val);
+  return out;
+}
+
+Env PadNulls(const Env& a, const std::vector<std::string>& vars) {
+  Env out = a;
+  for (const std::string& v : vars) out.Bind(v, Value::Null());
+  return out;
+}
+
+// Buffers the right child on Open; iterates it per left row.
+class NLJoinIter : public RowIterator {
+ public:
+  NLJoinIter(const PhysOp& op, std::unique_ptr<RowIterator> left,
+             std::unique_ptr<RowIterator> right, ExprEvaluator* ev)
+      : op_(op), outer_(op.kind == PhysKind::kNLOuterJoin),
+        left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
+
+  void Open() override {
+    left_->Open();
+    right_->Open();
+    buffer_.clear();
+    Env env;
+    while (right_->Next(&env)) buffer_.push_back(env);
+    right_->Close();
+    have_row_ = false;
+  }
+
+  bool Next(Env* out) override {
+    while (true) {
+      if (!have_row_) {
+        if (!left_->Next(&current_)) return false;
+        pos_ = 0;
+        matched_ = false;
+        have_row_ = true;
+      }
+      while (pos_ < buffer_.size()) {
+        Env merged = Concat(current_, buffer_[pos_++]);
+        if (ev_->EvalPred(op_.pred, merged)) {
+          matched_ = true;
+          *out = std::move(merged);
+          return true;
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !matched_) {
+        *out = PadNulls(current_, op_.pad_vars);
+        return true;
+      }
+    }
+  }
+  void Close() override {
+    left_->Close();
+    buffer_.clear();
+  }
+
+ private:
+  const PhysOp& op_;
+  bool outer_;
+  std::unique_ptr<RowIterator> left_, right_;
+  ExprEvaluator* ev_;
+  std::vector<Env> buffer_;
+  Env current_;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool matched_ = false;
+};
+
+// Builds a hash table from the build side on Open; streams the probe side.
+class HashJoinIter : public RowIterator {
+ public:
+  HashJoinIter(const PhysOp& op, std::unique_ptr<RowIterator> left,
+               std::unique_ptr<RowIterator> right, ExprEvaluator* ev)
+      : op_(op), outer_(op.kind == PhysKind::kHashOuterJoin),
+        left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
+
+  void Open() override {
+    // Probe side streams: for an outer join it is always the left child; for
+    // inner joins the planner may have flipped the build side.
+    RowIterator* build = op_.build_is_left ? left_.get() : right_.get();
+    probe_ = op_.build_is_left ? right_.get() : left_.get();
+    build->Open();
+    probe_->Open();
+    table_.clear();
+    Env env;
+    while (build->Next(&env)) {
+      Value key = EvalKey(op_.build_keys, env);
+      if (!key.is_null()) table_[key].push_back(env);
+    }
+    build->Close();
+    have_row_ = false;
+  }
+
+  bool Next(Env* out) override {
+    while (true) {
+      if (!have_row_) {
+        if (!probe_->Next(&current_)) return false;
+        Value key = EvalKey(op_.probe_keys, current_);
+        bucket_ = nullptr;
+        if (!key.is_null()) {
+          auto it = table_.find(key);
+          if (it != table_.end()) bucket_ = &it->second;
+        }
+        pos_ = 0;
+        matched_ = false;
+        have_row_ = true;
+      }
+      if (bucket_ != nullptr) {
+        while (pos_ < bucket_->size()) {
+          // Keep left-side bindings first regardless of build side.
+          const Env& build_env = (*bucket_)[pos_++];
+          Env merged = op_.build_is_left ? Concat(build_env, current_)
+                                         : Concat(current_, build_env);
+          if (ev_->EvalPred(op_.pred, merged)) {
+            matched_ = true;
+            *out = std::move(merged);
+            return true;
+          }
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !matched_) {
+        *out = PadNulls(current_, op_.pad_vars);
+        return true;
+      }
+    }
+  }
+  void Close() override {
+    left_->Close();
+    right_->Close();
+    table_.clear();
+  }
+
+ private:
+  Value EvalKey(const std::vector<ExprPtr>& keys, const Env& env) {
+    Elems parts;
+    parts.reserve(keys.size());
+    for (const ExprPtr& k : keys) {
+      Value v = ev_->Eval(k, env);
+      if (v.is_null()) return Value::Null();  // = NULL never matches
+      parts.push_back(std::move(v));
+    }
+    return Value::List(std::move(parts));
+  }
+
+  const PhysOp& op_;
+  bool outer_;
+  std::unique_ptr<RowIterator> left_, right_;
+  RowIterator* probe_ = nullptr;
+  ExprEvaluator* ev_;
+  std::unordered_map<Value, std::vector<Env>, ValueHash> table_;
+  Env current_;
+  const std::vector<Env>* bucket_ = nullptr;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool matched_ = false;
+};
+
+// -- grouping (blocking) ------------------------------------------------------
+
+class HashNestIter : public RowIterator {
+ public:
+  HashNestIter(const PhysOp& op, std::unique_ptr<RowIterator> child,
+               ExprEvaluator* ev)
+      : op_(op), child_(std::move(child)), ev_(ev) {}
+
+  void Open() override {
+    child_->Open();
+    groups_.clear();
+    index_.clear();
+    Env env;
+    while (child_->Next(&env)) {
+      Elems key;
+      key.reserve(op_.group_by.size());
+      for (const auto& [name, expr] : op_.group_by) {
+        key.push_back(ev_->Eval(expr, env));
+      }
+      Value key_value = Value::List(key);
+      auto [it, inserted] = index_.emplace(key_value, groups_.size());
+      if (inserted) groups_.push_back(Group{std::move(key), Accumulator(op_.monoid)});
+      Group& g = groups_[it->second];
+      bool padded = false;
+      for (const std::string& v : op_.null_vars) {
+        const Value* val = env.Lookup(v);
+        LDB_INTERNAL_CHECK(val != nullptr, "nest null-var not bound");
+        if (val->is_null()) {
+          padded = true;
+          break;
+        }
+      }
+      if (!padded && ev_->EvalPred(op_.pred, env)) {
+        g.acc.Add(ev_->Eval(op_.head, env));
+      }
+    }
+    child_->Close();
+    // Scalar aggregation (no keys) always yields one row (see eval_algebra).
+    if (op_.group_by.empty() && groups_.empty()) {
+      groups_.push_back(Group{{}, Accumulator(op_.monoid)});
+    }
+    pos_ = 0;
+  }
+
+  bool Next(Env* out) override {
+    if (pos_ >= groups_.size()) return false;
+    Group& g = groups_[pos_++];
+    Env env;
+    for (size_t i = 0; i < op_.group_by.size(); ++i) {
+      env.Bind(op_.group_by[i].first, g.key[i]);
+    }
+    env.Bind(op_.var, g.acc.Finish());
+    *out = std::move(env);
+    return true;
+  }
+  void Close() override {
+    groups_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Group {
+    Elems key;
+    Accumulator acc;
+  };
+  const PhysOp& op_;
+  std::unique_ptr<RowIterator> child_;
+  ExprEvaluator* ev_;
+  std::vector<Group> groups_;
+  std::unordered_map<Value, size_t, ValueHash> index_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RowIterator> MakeIterator(const PhysPtr& op, ExprEvaluator* ev) {
+  LDB_INTERNAL_CHECK(op != nullptr, "null physical operator");
+  switch (op->kind) {
+    case PhysKind::kUnitRow:
+      return std::make_unique<UnitRowIter>();
+    case PhysKind::kTableScan:
+      return std::make_unique<TableScanIter>(*op, ev);
+    case PhysKind::kIndexScan:
+      return std::make_unique<IndexScanIter>(*op, ev);
+    case PhysKind::kFilter:
+      return std::make_unique<FilterIter>(*op, MakeIterator(op->left, ev), ev);
+    case PhysKind::kUnnest:
+    case PhysKind::kOuterUnnest:
+      return std::make_unique<UnnestIter>(*op, MakeIterator(op->left, ev), ev);
+    case PhysKind::kNLJoin:
+    case PhysKind::kNLOuterJoin:
+      return std::make_unique<NLJoinIter>(*op, MakeIterator(op->left, ev),
+                                          MakeIterator(op->right, ev), ev);
+    case PhysKind::kHashJoin:
+    case PhysKind::kHashOuterJoin:
+      return std::make_unique<HashJoinIter>(*op, MakeIterator(op->left, ev),
+                                            MakeIterator(op->right, ev), ev);
+    case PhysKind::kHashNest:
+      return std::make_unique<HashNestIter>(*op, MakeIterator(op->left, ev), ev);
+    case PhysKind::kReduce:
+      throw InternalError("reduce is driven by ExecutePipelined, not pulled");
+  }
+  throw InternalError("unhandled physical operator");
+}
+
+Value ExecutePipelined(const PhysPtr& plan, const Database& db) {
+  LDB_INTERNAL_CHECK(plan && plan->kind == PhysKind::kReduce,
+                     "pipelined execution expects a Reduce root");
+  ExprEvaluator ev(db);
+  std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
+  input->Open();
+  Accumulator acc(plan->monoid);
+  Env env;
+  while (input->Next(&env)) {
+    if (!ev.EvalPred(plan->pred, env)) continue;
+    acc.Add(ev.Eval(plan->head, env));
+    if (acc.Saturated()) break;  // the pipeline stops pulling here
+  }
+  input->Close();
+  return acc.Finish();
+}
+
+}  // namespace ldb

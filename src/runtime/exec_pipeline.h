@@ -1,0 +1,41 @@
+// Volcano-style pipelined execution of physical plans: every operator is an
+// open/next/close iterator, rows flow one at a time, and the root reduce
+// stops pulling the moment a quantifier saturates (an `exists` stops at the
+// first witness instead of materializing the whole join).
+//
+// Blocking points are exactly the hash builds (join build sides, grouping
+// tables) — everything else streams.
+
+#ifndef LAMBDADB_RUNTIME_EXEC_PIPELINE_H_
+#define LAMBDADB_RUNTIME_EXEC_PIPELINE_H_
+
+#include <memory>
+
+#include "src/runtime/expr_eval.h"
+#include "src/runtime/physical_plan.h"
+
+namespace ldb {
+
+/// A pull-based row iterator over environments.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+  /// Acquires resources / builds hash tables. Must be called before Next.
+  virtual void Open() = 0;
+  /// Produces the next row into *out; returns false at end of stream.
+  virtual bool Next(Env* out) = 0;
+  /// Releases buffered state. Idempotent.
+  virtual void Close() {}
+};
+
+/// Builds the iterator tree for a (non-Reduce) physical subtree. Exposed for
+/// tests; `ev` must outlive the returned iterator.
+std::unique_ptr<RowIterator> MakeIterator(const PhysPtr& op, ExprEvaluator* ev);
+
+/// Executes a Reduce-rooted physical plan by pulling rows through the
+/// pipeline; short-circuits saturated quantifier roots.
+Value ExecutePipelined(const PhysPtr& plan, const Database& db);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_EXEC_PIPELINE_H_

@@ -1,0 +1,76 @@
+// Physical operator selection for algebra plans.
+//
+// Unnesting by itself "does not result in performance improvement; it makes
+// possible other optimizations" (paper, Section 1). The optimization it
+// enables here is the classic one: once a correlated subquery has become a
+// (outer-)join with an equality predicate, the join can run as a HASH join
+// instead of a nested loop. This module analyses join predicates and
+// extracts hash keys; the executor (eval_algebra) consults it.
+//
+// PhysicalOptions.use_hash_joins is the ablation knob for experiment P-PHYS:
+// with it off, the unnested plan runs every join as a nested loop and the
+// benchmark shows unnesting alone is roughly cost-neutral.
+
+#ifndef LAMBDADB_RUNTIME_PHYSICAL_H_
+#define LAMBDADB_RUNTIME_PHYSICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/algebra.h"
+
+namespace ldb {
+
+/// Execution options for the algebra executor.
+struct PhysicalOptions {
+  /// Use hash (outer-)joins when the predicate has equality conjuncts whose
+  /// two sides split across the join inputs; otherwise nested loops.
+  bool use_hash_joins = true;
+  /// Use a hash index (Database::BuildIndex) instead of a full extent scan
+  /// when a scan predicate pins an indexed attribute to a constant.
+  bool use_indexes = true;
+};
+
+/// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`
+/// are the hashable equalities (left_keys evaluate over the left input's
+/// variables, right_keys over the right's); `residual` is the conjunction of
+/// everything else (evaluated after the key match).
+struct JoinKeys {
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  ExprPtr residual;  // never null; True() if nothing remains
+
+  bool hashable() const { return !left_keys.empty(); }
+};
+
+/// Splits `pred` into hash keys and a residual with respect to the variable
+/// sets produced by the two join inputs.
+JoinKeys ExtractEquiKeys(const ExprPtr& pred,
+                         const std::vector<std::string>& left_vars,
+                         const std::vector<std::string>& right_vars);
+
+/// The result of matching a scan predicate against an index: `attr` is the
+/// indexed attribute, `key` the constant expression it is pinned to, and
+/// `residual` the rest of the predicate (checked per fetched object).
+struct IndexMatch {
+  std::string attr;
+  ExprPtr key;
+  ExprPtr residual;
+};
+
+class Database;  // fwd
+
+/// If `scan`'s predicate contains a conjunct `var.attr = k` (or `k =
+/// var.attr`) with `k` variable-free and db has an index on (extent, attr),
+/// fills *out and returns true.
+bool MatchIndexScan(const AlgOp& scan, const Database& db, IndexMatch* out);
+
+/// Renders the plan annotated with the physical algorithm each join would
+/// use under `options` (HashJoin / NLJoin / HashOuterJoin / ...). With a
+/// database, scans over indexed attributes show as IndexScan.
+std::string ExplainPhysical(const AlgPtr& plan, const PhysicalOptions& options,
+                            const Database* db = nullptr);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_PHYSICAL_H_

@@ -1,0 +1,225 @@
+#include "src/runtime/physical_plan.h"
+
+#include <sstream>
+
+#include "src/core/cost.h"
+#include "src/core/pretty.h"
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+std::shared_ptr<PhysOp> New(PhysKind k) {
+  auto op = std::make_shared<PhysOp>();
+  op->kind = k;
+  op->pred = Expr::True();
+  return op;
+}
+
+class Planner {
+ public:
+  Planner(const Database& db, const PhysicalOptions& options)
+      : db_(db), options_(options), catalog_(Catalog::FromDatabase(db)) {}
+
+  PhysPtr Root(const AlgPtr& plan) {
+    LDB_INTERNAL_CHECK(plan && plan->kind == AlgKind::kReduce,
+                       "physical planning expects a Reduce root");
+    auto out = New(PhysKind::kReduce);
+    out->left = Plan(plan->left);
+    out->pred = plan->pred;
+    out->head = plan->head;
+    out->monoid = plan->monoid;
+    return out;
+  }
+
+ private:
+  const Database& db_;
+  PhysicalOptions options_;
+  Catalog catalog_;
+
+  PhysPtr Plan(const AlgPtr& op) {
+    LDB_INTERNAL_CHECK(op != nullptr, "null logical operator");
+    switch (op->kind) {
+      case AlgKind::kUnit:
+        return New(PhysKind::kUnitRow);
+      case AlgKind::kScan:
+        return PlanScan(*op);
+      case AlgKind::kSelect: {
+        auto out = New(PhysKind::kFilter);
+        out->left = Plan(op->left);
+        out->pred = op->pred;
+        return out;
+      }
+      case AlgKind::kJoin:
+      case AlgKind::kOuterJoin:
+        return PlanJoin(*op);
+      case AlgKind::kUnnest:
+      case AlgKind::kOuterUnnest: {
+        auto out = New(op->kind == AlgKind::kUnnest ? PhysKind::kUnnest
+                                                    : PhysKind::kOuterUnnest);
+        out->left = Plan(op->left);
+        out->path = op->path;
+        out->var = op->var;
+        out->pred = op->pred;
+        return out;
+      }
+      case AlgKind::kNest: {
+        auto out = New(PhysKind::kHashNest);
+        out->left = Plan(op->left);
+        out->monoid = op->monoid;
+        out->head = op->head;
+        out->var = op->var;
+        out->group_by = op->group_by;
+        out->null_vars = op->null_vars;
+        out->pred = op->pred;
+        return out;
+      }
+      case AlgKind::kReduce:
+        throw InternalError("reduce below the plan root");
+    }
+    throw InternalError("unhandled logical operator");
+  }
+
+  PhysPtr PlanScan(const AlgOp& scan) {
+    IndexMatch m;
+    if (options_.use_indexes && MatchIndexScan(scan, db_, &m)) {
+      auto out = New(PhysKind::kIndexScan);
+      out->extent = scan.extent;
+      out->var = scan.var;
+      out->index_attr = m.attr;
+      out->index_key = m.key;
+      out->pred = m.residual;
+      return out;
+    }
+    auto out = New(PhysKind::kTableScan);
+    out->extent = scan.extent;
+    out->var = scan.var;
+    out->pred = scan.pred;
+    return out;
+  }
+
+  PhysPtr PlanJoin(const AlgOp& join) {
+    const bool outer = join.kind == AlgKind::kOuterJoin;
+    PhysPtr left = Plan(join.left);
+    PhysPtr right = Plan(join.right);
+    std::vector<std::string> lvars = OutputVars(join.left);
+    std::vector<std::string> rvars = OutputVars(join.right);
+    JoinKeys keys = ExtractEquiKeys(join.pred, lvars, rvars);
+
+    if (options_.use_hash_joins && keys.hashable()) {
+      auto out = New(outer ? PhysKind::kHashOuterJoin : PhysKind::kHashJoin);
+      out->left = left;
+      out->right = right;
+      out->pred = keys.residual;
+      out->pad_vars = rvars;
+      // Outer joins must probe with left rows; inner joins build on the side
+      // the statistics say is smaller.
+      bool build_left = false;
+      if (!outer) {
+        double lcard = RoughCard(join.left);
+        double rcard = RoughCard(join.right);
+        build_left = lcard < rcard;
+      }
+      out->build_is_left = build_left;
+      if (build_left) {
+        out->build_keys = keys.left_keys;
+        out->probe_keys = keys.right_keys;
+      } else {
+        out->build_keys = keys.right_keys;
+        out->probe_keys = keys.left_keys;
+      }
+      return out;
+    }
+
+    auto out = New(outer ? PhysKind::kNLOuterJoin : PhysKind::kNLJoin);
+    out->left = left;
+    out->right = right;
+    out->pred = join.pred;
+    out->pad_vars = rvars;
+    return out;
+  }
+
+  // A statistics peek for build-side choice: actual extent sizes where
+  // visible, otherwise a neutral constant.
+  double RoughCard(const AlgPtr& op) {
+    return EstimateCardinality(op, catalog_);
+  }
+};
+
+void Print(const PhysPtr& op, int indent, std::ostringstream& os) {
+  if (!op) return;
+  os << std::string(static_cast<size_t>(indent) * 2, ' ');
+  auto pred_suffix = [&]() -> std::string {
+    if (op->pred && !op->pred->IsTrueLiteral()) {
+      return " if " + PrintExpr(op->pred);
+    }
+    return "";
+  };
+  switch (op->kind) {
+    case PhysKind::kUnitRow:
+      os << "UnitRow\n";
+      return;
+    case PhysKind::kTableScan:
+      os << "TableScan[" << op->var << " <- " << op->extent << pred_suffix()
+         << "]\n";
+      return;
+    case PhysKind::kIndexScan:
+      os << "IndexScan[" << op->var << " <- " << op->extent << '.'
+         << op->index_attr << " = " << PrintExpr(op->index_key) << pred_suffix()
+         << "]\n";
+      return;
+    case PhysKind::kFilter:
+      os << "Filter[" << PrintExpr(op->pred) << "]\n";
+      break;
+    case PhysKind::kNLJoin:
+      os << "NLJoin[" << PrintExpr(op->pred) << "]\n";
+      break;
+    case PhysKind::kHashJoin:
+    case PhysKind::kHashOuterJoin: {
+      os << (op->kind == PhysKind::kHashJoin ? "HashJoin[" : "HashOuterJoin[");
+      os << "build=" << (op->build_is_left ? "left" : "right") << " keys(";
+      for (size_t i = 0; i < op->probe_keys.size(); ++i) {
+        if (i) os << ", ";
+        os << PrintExpr(op->probe_keys[i]) << '=' << PrintExpr(op->build_keys[i]);
+      }
+      os << ')' << pred_suffix() << "]\n";
+      break;
+    }
+    case PhysKind::kNLOuterJoin:
+      os << "NLOuterJoin[" << PrintExpr(op->pred) << "]\n";
+      break;
+    case PhysKind::kUnnest:
+    case PhysKind::kOuterUnnest:
+      os << (op->kind == PhysKind::kUnnest ? "Unnest[" : "OuterUnnest[")
+         << op->var << " := " << PrintExpr(op->path) << pred_suffix() << "]\n";
+      break;
+    case PhysKind::kHashNest: {
+      os << "HashNest[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
+         << " -> " << op->var << pred_suffix() << "]\n";
+      break;
+    }
+    case PhysKind::kReduce:
+      os << "Reduce[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
+         << pred_suffix() << "]\n";
+      break;
+  }
+  Print(op->left, indent + 1, os);
+  Print(op->right, indent + 1, os);
+}
+
+}  // namespace
+
+PhysPtr PlanPhysical(const AlgPtr& plan, const Database& db,
+                     const PhysicalOptions& options) {
+  Planner planner(db, options);
+  return planner.Root(plan);
+}
+
+std::string PrintPhysicalPlan(const PhysPtr& plan) {
+  std::ostringstream os;
+  Print(plan, 0, os);
+  return os.str();
+}
+
+}  // namespace ldb

@@ -1,0 +1,37 @@
+#include "src/runtime/schema.h"
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+TypePtr ClassDecl::AttributeType(const std::string& attr) const {
+  for (const auto& [n, t] : attributes) {
+    if (n == attr) return t;
+  }
+  return nullptr;
+}
+
+void Schema::AddClass(ClassDecl decl) {
+  if (classes_.count(decl.name) > 0) {
+    throw TypeError("duplicate class '" + decl.name + "'");
+  }
+  if (!decl.extent.empty()) {
+    if (extent_owner_.count(decl.extent) > 0) {
+      throw TypeError("duplicate extent '" + decl.extent + "'");
+    }
+    extent_owner_[decl.extent] = decl.name;
+  }
+  classes_[decl.name] = std::move(decl);
+}
+
+const ClassDecl* Schema::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const ClassDecl* Schema::FindExtent(const std::string& extent) const {
+  auto it = extent_owner_.find(extent);
+  return it == extent_owner_.end() ? nullptr : FindClass(it->second);
+}
+
+}  // namespace ldb

@@ -1,0 +1,56 @@
+// Schema of an in-memory OODB: named classes with typed attributes, each
+// class having a named extent (the set of all its instances).
+//
+// This is the substrate the paper assumes (class extents like `Employees`,
+// `Departments`, relationship attributes like `e.children` and `e.manager`).
+// The paper's prototype evaluated plans in memory (Section 6); this store
+// plays the role SHORE would have played.
+
+#ifndef LAMBDADB_RUNTIME_SCHEMA_H_
+#define LAMBDADB_RUNTIME_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/type.h"
+
+namespace ldb {
+
+/// A class declaration: attribute names/types plus the extent name under
+/// which all instances are reachable in queries (e.g. class Employee with
+/// extent "Employees").
+struct ClassDecl {
+  std::string name;
+  std::string extent;  ///< empty if the class has no named extent
+  std::vector<std::pair<std::string, TypePtr>> attributes;
+
+  TypePtr AttributeType(const std::string& attr) const;
+};
+
+/// A database schema: the set of class declarations.
+class Schema {
+ public:
+  /// Declares a class. Throws TypeError on duplicate class or extent names.
+  void AddClass(ClassDecl decl);
+
+  /// Returns the class declaration, or nullptr if unknown.
+  const ClassDecl* FindClass(const std::string& name) const;
+  /// Returns the class owning the named extent, or nullptr.
+  const ClassDecl* FindExtent(const std::string& extent) const;
+
+  /// True iff `name` is a declared extent.
+  bool IsExtent(const std::string& name) const {
+    return FindExtent(name) != nullptr;
+  }
+
+  const std::map<std::string, ClassDecl>& classes() const { return classes_; }
+
+ private:
+  std::map<std::string, ClassDecl> classes_;        // by class name
+  std::map<std::string, std::string> extent_owner_;  // extent -> class name
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_SCHEMA_H_

@@ -1,0 +1,47 @@
+// Database serialization: dump a schema + all objects to a stream and load
+// them back. This gives the in-memory store the persistence role the paper
+// planned to delegate to SHORE (Section 6) — enough to snapshot generated
+// workloads, ship regression databases with tests, and reload them byte-
+// identically.
+//
+// The format is a line-oriented text format with length-prefixed strings
+// (so arbitrary content round-trips):
+//
+//   lambdadb-dump 1
+//   class <name> <extent-or-"-"> <n-attrs>
+//   attr <len>:<name> <type>
+//   ...
+//   objects <class> <count>
+//   <value>          (one per line)
+//
+// Types serialize as: b | i | r | s | C<len>:<name> | S(<t>) | G(<t>) |
+// L(<t>) | T<n>(<len>:<name><t>...). Values as: N | B0/B1 | I<int>; |
+// R<%.17g>; | s<len>:<bytes> | t<n>(<len>:<name><v>...) | e/g/l<n>(<v>...) |
+// f<len>:<class>#<oid>; (numeric atoms are ';'-terminated so they cannot
+// run into a following length prefix).
+
+#ifndef LAMBDADB_RUNTIME_SERIALIZE_H_
+#define LAMBDADB_RUNTIME_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/runtime/database.h"
+
+namespace ldb {
+
+/// Writes the database (schema + every object, in oid order) to `os`.
+void DumpDatabase(const Database& db, std::ostream& os);
+
+/// Reads a database previously written by DumpDatabase. Indexes are not
+/// part of the dump (rebuild them after loading). Throws ParseError on
+/// malformed input.
+Database LoadDatabase(std::istream& is);
+
+/// Convenience: round-trip through a string.
+std::string DumpDatabaseToString(const Database& db);
+Database LoadDatabaseFromString(const std::string& dump);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_SERIALIZE_H_

@@ -1,0 +1,295 @@
+#include "src/runtime/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+namespace {
+
+int KindRank(Value::Kind k) { return static_cast<int>(k); }
+
+void SortCanonical(Elems* elems) {
+  std::sort(elems->begin(), elems->end(),
+            [](const Value& a, const Value& b) { return Value::Compare(a, b) < 0; });
+}
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.b_ = b;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.kind_ = Kind::kInt;
+  v.i_ = i;
+  return v;
+}
+
+Value Value::Real(double d) {
+  Value v;
+  v.kind_ = Kind::kReal;
+  v.r_ = d;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kStr;
+  v.s_ = std::move(s);
+  return v;
+}
+
+Value Value::Tuple(Fields fields) {
+  Value v;
+  v.kind_ = Kind::kTuple;
+  v.tuple_ = std::make_shared<const Fields>(std::move(fields));
+  return v;
+}
+
+Value Value::Set(Elems elems) {
+  SortCanonical(&elems);
+  elems.erase(std::unique(elems.begin(), elems.end(),
+                          [](const Value& a, const Value& b) {
+                            return Compare(a, b) == 0;
+                          }),
+              elems.end());
+  Value v;
+  v.kind_ = Kind::kSet;
+  v.elems_ = std::make_shared<const Elems>(std::move(elems));
+  return v;
+}
+
+Value Value::Bag(Elems elems) {
+  SortCanonical(&elems);
+  Value v;
+  v.kind_ = Kind::kBag;
+  v.elems_ = std::make_shared<const Elems>(std::move(elems));
+  return v;
+}
+
+Value Value::List(Elems elems) {
+  Value v;
+  v.kind_ = Kind::kList;
+  v.elems_ = std::make_shared<const Elems>(std::move(elems));
+  return v;
+}
+
+Value Value::MakeRef(std::string class_name, int64_t oid) {
+  Value v;
+  v.kind_ = Kind::kRef;
+  v.ref_ = Ref{std::move(class_name), oid};
+  return v;
+}
+
+bool Value::AsBool() const {
+  if (kind_ != Kind::kBool) throw EvalError("expected bool, got " + ToString());
+  return b_;
+}
+
+int64_t Value::AsInt() const {
+  if (kind_ != Kind::kInt) throw EvalError("expected int, got " + ToString());
+  return i_;
+}
+
+double Value::AsReal() const {
+  if (kind_ != Kind::kReal) throw EvalError("expected real, got " + ToString());
+  return r_;
+}
+
+double Value::AsNumeric() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(i_);
+  if (kind_ == Kind::kReal) return r_;
+  throw EvalError("expected numeric, got " + ToString());
+}
+
+const std::string& Value::AsStr() const {
+  if (kind_ != Kind::kStr) throw EvalError("expected string, got " + ToString());
+  return s_;
+}
+
+const Fields& Value::AsTuple() const {
+  if (kind_ != Kind::kTuple) throw EvalError("expected tuple, got " + ToString());
+  return *tuple_;
+}
+
+const Elems& Value::AsElems() const {
+  if (!is_collection()) throw EvalError("expected collection, got " + ToString());
+  return *elems_;
+}
+
+const Ref& Value::AsRef() const {
+  if (kind_ != Kind::kRef) throw EvalError("expected ref, got " + ToString());
+  return ref_;
+}
+
+const Value& Value::Field(const std::string& name) const {
+  for (const auto& [n, v] : AsTuple()) {
+    if (n == name) return v;
+  }
+  throw EvalError("tuple has no attribute '" + name + "': " + ToString());
+}
+
+bool Value::HasField(const std::string& name) const {
+  if (kind_ != Kind::kTuple) return false;
+  for (const auto& [n, v] : *tuple_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  // Numeric values of different kinds (int vs real) compare by numeric value
+  // so that 3 == 3.0; everything else ranks by kind first.
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.AsNumeric(), y = b.AsNumeric();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.kind_ != b.kind_) return KindRank(a.kind_) < KindRank(b.kind_) ? -1 : 1;
+  switch (a.kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool:
+      return (a.b_ ? 1 : 0) - (b.b_ ? 1 : 0);
+    case Kind::kInt:
+    case Kind::kReal:
+      return 0;  // handled above
+    case Kind::kStr:
+      return a.s_.compare(b.s_);
+    case Kind::kTuple: {
+      const Fields& fa = *a.tuple_;
+      const Fields& fb = *b.tuple_;
+      size_t n = std::min(fa.size(), fb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = fa[i].first.compare(fb[i].first);
+        if (c != 0) return c;
+        c = Compare(fa[i].second, fb[i].second);
+        if (c != 0) return c;
+      }
+      if (fa.size() != fb.size()) return fa.size() < fb.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::kSet:
+    case Kind::kBag:
+    case Kind::kList: {
+      const Elems& ea = *a.elems_;
+      const Elems& eb = *b.elems_;
+      size_t n = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(ea[i], eb[i]);
+        if (c != 0) return c;
+      }
+      if (ea.size() != eb.size()) return ea.size() < eb.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::kRef: {
+      int c = a.ref_.class_name.compare(b.ref_.class_name);
+      if (c != 0) return c;
+      if (a.ref_.oid != b.ref_.oid) return a.ref_.oid < b.ref_.oid ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9e3779b9;
+  switch (kind_) {
+    case Kind::kNull:
+      return h;
+    case Kind::kBool:
+      return HashCombine(h, b_ ? 1 : 2);
+    case Kind::kInt:
+      // Hash ints through double so that 3 and 3.0 (which compare equal) hash
+      // the same.
+      return HashCombine(0x7f, std::hash<double>()(static_cast<double>(i_)));
+    case Kind::kReal:
+      return HashCombine(0x7f, std::hash<double>()(r_));
+    case Kind::kStr:
+      return HashCombine(h, std::hash<std::string>()(s_));
+    case Kind::kTuple: {
+      for (const auto& [n, v] : *tuple_) {
+        h = HashCombine(h, std::hash<std::string>()(n));
+        h = HashCombine(h, v.Hash());
+      }
+      return h;
+    }
+    case Kind::kSet:
+    case Kind::kBag:
+    case Kind::kList: {
+      for (const Value& v : *elems_) h = HashCombine(h, v.Hash());
+      return h;
+    }
+    case Kind::kRef:
+      h = HashCombine(h, std::hash<std::string>()(ref_.class_name));
+      return HashCombine(h, std::hash<int64_t>()(ref_.oid));
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kNull:
+      os << "NULL";
+      break;
+    case Kind::kBool:
+      os << (b_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << i_;
+      break;
+    case Kind::kReal:
+      os << r_;
+      break;
+    case Kind::kStr:
+      os << '"' << s_ << '"';
+      break;
+    case Kind::kTuple: {
+      os << '<';
+      bool first = true;
+      for (const auto& [n, v] : *tuple_) {
+        if (!first) os << ", ";
+        first = false;
+        os << n << '=' << v.ToString();
+      }
+      os << '>';
+      break;
+    }
+    case Kind::kSet:
+    case Kind::kBag:
+    case Kind::kList: {
+      const char* open = kind_ == Kind::kSet ? "{" : kind_ == Kind::kBag ? "{|" : "[";
+      const char* close = kind_ == Kind::kSet ? "}" : kind_ == Kind::kBag ? "|}" : "]";
+      os << open;
+      bool first = true;
+      for (const Value& v : *elems_) {
+        if (!first) os << ", ";
+        first = false;
+        os << v.ToString();
+      }
+      os << close;
+      break;
+    }
+    case Kind::kRef:
+      os << ref_.class_name << '#' << ref_.oid;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ldb

@@ -1,0 +1,111 @@
+#include "src/workload/company.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ldb::workload {
+
+Schema CompanySchema() {
+  Schema schema;
+  schema.AddClass(ClassDecl{
+      "Person",
+      "Persons",
+      {{"name", Type::Str()}, {"age", Type::Int()}},
+  });
+  schema.AddClass(ClassDecl{
+      "Manager",
+      "Managers",
+      {{"name", Type::Str()},
+       {"age", Type::Int()},
+       {"salary", Type::Real()},
+       {"children", Type::Set(Type::Class("Person"))}},
+  });
+  schema.AddClass(ClassDecl{
+      "Employee",
+      "Employees",
+      {{"name", Type::Str()},
+       {"age", Type::Int()},
+       {"salary", Type::Real()},
+       {"dno", Type::Int()},
+       {"manager", Type::Class("Manager")},
+       {"children", Type::Set(Type::Class("Person"))}},
+  });
+  schema.AddClass(ClassDecl{
+      "Department",
+      "Departments",
+      {{"dno", Type::Int()}, {"name", Type::Str()}, {"budget", Type::Real()}},
+  });
+  return schema;
+}
+
+Database MakeCompanyDatabase(const CompanyParams& params) {
+  Database db(CompanySchema());
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> age(18, 70);
+  std::uniform_int_distribution<int> child_age(0, 25);
+  std::uniform_real_distribution<double> salary(30000.0, 120000.0);
+
+  auto make_children = [&](const std::string& parent, int index) {
+    Elems kids;
+    if (unit(rng) >= params.childless_fraction) {
+      std::uniform_int_distribution<int> n_children(1, std::max(1, params.max_children));
+      int n = params.max_children > 0 ? n_children(rng) : 0;
+      for (int k = 0; k < n; ++k) {
+        Value ref = db.Insert(
+            "Person",
+            Value::Tuple({{"name", Value::Str(parent + "-kid-" +
+                                              std::to_string(index) + "-" +
+                                              std::to_string(k))},
+                          {"age", Value::Int(child_age(rng))}}));
+        kids.push_back(ref);
+      }
+    }
+    return Value::Set(std::move(kids));
+  };
+
+  for (int d = 0; d < params.n_departments; ++d) {
+    db.Insert("Department",
+              Value::Tuple({{"dno", Value::Int(d)},
+                            {"name", Value::Str("dept-" + std::to_string(d))},
+                            {"budget", Value::Real(1e5 + 1e4 * d)}}));
+  }
+
+  std::vector<Value> managers;
+  for (int m = 0; m < params.n_managers; ++m) {
+    managers.push_back(db.Insert(
+        "Manager",
+        Value::Tuple({{"name", Value::Str("mgr-" + std::to_string(m))},
+                      {"age", Value::Int(age(rng))},
+                      {"salary", Value::Real(salary(rng) * 1.5)},
+                      {"children", make_children("mgr", m)}})));
+  }
+
+  // Departments whose dno falls in the "empty" tail get no employees, so
+  // outer-join padding paths are exercised.
+  int first_empty_dept = params.n_departments -
+      static_cast<int>(params.empty_department_fraction * params.n_departments);
+  if (first_empty_dept < 1) first_empty_dept = 1;
+
+  for (int e = 0; e < params.n_employees; ++e) {
+    Value manager = Value::Null();
+    if (!managers.empty() && unit(rng) >= params.no_manager_fraction) {
+      std::uniform_int_distribution<size_t> pick(0, managers.size() - 1);
+      manager = managers[pick(rng)];
+    }
+    std::uniform_int_distribution<int> dept(0, std::max(0, first_empty_dept - 1));
+    db.Insert("Employee",
+              Value::Tuple({{"name", Value::Str("emp-" + std::to_string(e))},
+                            {"age", Value::Int(age(rng))},
+                            {"salary", Value::Real(salary(rng))},
+                            {"dno", Value::Int(params.n_departments > 0
+                                                   ? dept(rng)
+                                                   : 0)},
+                            {"manager", manager},
+                            {"children", make_children("emp", e)}}));
+  }
+  return db;
+}
+
+}  // namespace ldb::workload

@@ -1,0 +1,45 @@
+// The Company workload: the schema behind the paper's Queries A, B, D, the
+// Section 2 Managers example, and the Figure 8 group-by query.
+//
+//   class Person     (extent Persons)     { name, age }
+//   class Manager    (extent Managers)    { name, age, salary, children }
+//   class Employee   (extent Employees)   { name, age, salary, dno,
+//                                           manager (ref Manager, nullable),
+//                                           children set<ref Person> }
+//   class Department (extent Departments) { dno, name, budget }
+//
+// The generator is seeded and parameterized so experiments can sweep
+// cardinalities and selectivities; it deliberately produces the edge cases
+// the unnesting algorithm must preserve: employees with no children,
+// departments with no employees (outer-join padding / count bug), employees
+// with no manager (NULL navigation).
+
+#ifndef LAMBDADB_WORKLOAD_COMPANY_H_
+#define LAMBDADB_WORKLOAD_COMPANY_H_
+
+#include <cstdint>
+
+#include "src/runtime/database.h"
+
+namespace ldb::workload {
+
+struct CompanyParams {
+  int n_departments = 10;
+  int n_employees = 100;
+  int n_managers = 10;
+  int max_children = 3;          ///< per employee/manager, uniform [0, max]
+  double childless_fraction = 0.2;
+  double empty_department_fraction = 0.2;  ///< departments no employee joins
+  double no_manager_fraction = 0.1;        ///< employees with NULL manager
+  uint64_t seed = 42;
+};
+
+/// Builds the Company schema (no data).
+Schema CompanySchema();
+
+/// Builds and populates a Company database.
+Database MakeCompanyDatabase(const CompanyParams& params);
+
+}  // namespace ldb::workload
+
+#endif  // LAMBDADB_WORKLOAD_COMPANY_H_

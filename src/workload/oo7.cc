@@ -1,0 +1,113 @@
+#include "src/workload/oo7.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ldb::workload {
+
+Schema OO7Schema() {
+  Schema schema;
+  schema.AddClass(ClassDecl{
+      "AtomicPart",
+      "AtomicParts",
+      {{"id", Type::Int()},
+       {"x", Type::Int()},
+       {"y", Type::Int()},
+       {"build_date", Type::Int()}},
+  });
+  schema.AddClass(ClassDecl{
+      "Document",
+      "Documents",
+      {{"title", Type::Str()}, {"text_len", Type::Int()}},
+  });
+  schema.AddClass(ClassDecl{
+      "CompositePart",
+      "CompositeParts",
+      {{"id", Type::Int()},
+       {"build_date", Type::Int()},
+       {"documentation", Type::Class("Document")},
+       {"parts", Type::Set(Type::Class("AtomicPart"))},
+       {"root_part", Type::Class("AtomicPart")}},
+  });
+  schema.AddClass(ClassDecl{
+      "BaseAssembly",
+      "BaseAssemblies",
+      {{"id", Type::Int()},
+       {"build_date", Type::Int()},
+       {"components", Type::Set(Type::Class("CompositePart"))}},
+  });
+  schema.AddClass(ClassDecl{
+      "Module",
+      "Modules",
+      {{"id", Type::Int()},
+       {"man", Type::Str()},
+       {"assemblies", Type::Set(Type::Class("BaseAssembly"))}},
+  });
+  return schema;
+}
+
+Database MakeOO7Database(const OO7Params& params) {
+  Database db(OO7Schema());
+  std::mt19937_64 rng(params.seed);
+  // OO7 build dates: assemblies in [1000, 1999], composite parts straddle
+  // that range so Q5's "component newer than its assembly" has selective
+  // but non-empty answers.
+  std::uniform_int_distribution<int> assembly_date(1000, 1999);
+  std::uniform_int_distribution<int> composite_date(500, 2499);
+  std::uniform_int_distribution<int> part_date(0, 2999);
+  std::uniform_int_distribution<int> coord(0, 99999);
+
+  int next_atomic_id = 0;
+  std::vector<Value> composites;
+  composites.reserve(static_cast<size_t>(params.n_composite_parts));
+  for (int cp = 0; cp < params.n_composite_parts; ++cp) {
+    Elems parts;
+    Value root = Value::Null();
+    for (int p = 0; p < params.parts_per_composite; ++p) {
+      Value ref = db.Insert(
+          "AtomicPart",
+          Value::Tuple({{"id", Value::Int(next_atomic_id++)},
+                        {"x", Value::Int(coord(rng))},
+                        {"y", Value::Int(coord(rng))},
+                        {"build_date", Value::Int(part_date(rng))}}));
+      if (p == 0) root = ref;
+      parts.push_back(ref);
+    }
+    Value doc = db.Insert(
+        "Document",
+        Value::Tuple({{"title", Value::Str("doc-" + std::to_string(cp))},
+                      {"text_len", Value::Int(100 + cp)}}));
+    composites.push_back(db.Insert(
+        "CompositePart",
+        Value::Tuple({{"id", Value::Int(cp)},
+                      {"build_date", Value::Int(composite_date(rng))},
+                      {"documentation", doc},
+                      {"parts", Value::Set(std::move(parts))},
+                      {"root_part", root}})));
+  }
+
+  std::uniform_int_distribution<size_t> pick_comp(0, composites.size() - 1);
+  int next_assembly_id = 0;
+  for (int m = 0; m < params.n_modules; ++m) {
+    Elems assemblies;
+    for (int a = 0; a < params.assemblies_per_module; ++a) {
+      Elems components;
+      for (int c = 0; c < params.components_per_assembly; ++c) {
+        components.push_back(composites[pick_comp(rng)]);
+      }
+      assemblies.push_back(db.Insert(
+          "BaseAssembly",
+          Value::Tuple({{"id", Value::Int(next_assembly_id++)},
+                        {"build_date", Value::Int(assembly_date(rng))},
+                        {"components", Value::Set(std::move(components))}})));
+    }
+    db.Insert("Module",
+              Value::Tuple({{"id", Value::Int(m)},
+                            {"man", Value::Str("man-" + std::to_string(m))},
+                            {"assemblies", Value::Set(std::move(assemblies))}}));
+  }
+  return db;
+}
+
+}  // namespace ldb::workload

@@ -1,0 +1,44 @@
+// An OO7-inspired workload (Carey, DeWitt & Naughton, SIGMOD'93) — the
+// standard OODB benchmark design hierarchy, simplified to the two levels the
+// unnesting queries exercise:
+//
+//   class AtomicPart    (extent AtomicParts)    { id, x, y, build_date }
+//   class Document      (extent Documents)      { title, text_len }
+//   class CompositePart (extent CompositeParts) { id, build_date,
+//                                                 documentation (ref Document),
+//                                                 parts set<ref AtomicPart>,
+//                                                 root_part ref AtomicPart }
+//   class BaseAssembly  (extent BaseAssemblies) { id, build_date,
+//                                                 components set<ref CompositePart> }
+//   class Module        (extent Modules)        { id, man,
+//                                                 assemblies set<ref BaseAssembly> }
+//
+// The OO7 parameters kept: fan-outs (parts per composite, components per
+// assembly, assemblies per module) and the build-date ranges that drive the
+// classic OO7 queries (Q5: base assemblies that use a component with a more
+// recent build date).
+
+#ifndef LAMBDADB_WORKLOAD_OO7_H_
+#define LAMBDADB_WORKLOAD_OO7_H_
+
+#include <cstdint>
+
+#include "src/runtime/database.h"
+
+namespace ldb::workload {
+
+struct OO7Params {
+  int n_modules = 2;
+  int assemblies_per_module = 5;
+  int components_per_assembly = 3;
+  int n_composite_parts = 50;       ///< shared pool, referenced by assemblies
+  int parts_per_composite = 20;
+  uint64_t seed = 42;
+};
+
+Schema OO7Schema();
+Database MakeOO7Database(const OO7Params& params);
+
+}  // namespace ldb::workload
+
+#endif  // LAMBDADB_WORKLOAD_OO7_H_

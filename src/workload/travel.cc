@@ -1,0 +1,87 @@
+#include "src/workload/travel.h"
+
+#include <random>
+#include <string>
+
+namespace ldb::workload {
+
+Schema TravelSchema() {
+  Schema schema;
+  schema.AddClass(ClassDecl{
+      "Room",
+      "Rooms",
+      {{"bed_num", Type::Int()}},
+  });
+  schema.AddClass(ClassDecl{
+      "Hotel",
+      "Hotels",
+      {{"name", Type::Str()},
+       {"price", Type::Real()},
+       {"rooms", Type::Set(Type::Class("Room"))}},
+  });
+  schema.AddClass(ClassDecl{
+      "City",
+      "Cities",
+      {{"name", Type::Str()}, {"hotels", Type::Set(Type::Class("Hotel"))}},
+  });
+  schema.AddClass(ClassDecl{
+      "Attraction",
+      "Attractions",
+      {{"name", Type::Str()}},
+  });
+  schema.AddClass(ClassDecl{
+      "State",
+      "States",
+      {{"name", Type::Str()},
+       {"attractions", Type::Set(Type::Class("Attraction"))}},
+  });
+  return schema;
+}
+
+Database MakeTravelDatabase(const TravelParams& params) {
+  Database db(TravelSchema());
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<int> beds(1, 4);
+  std::uniform_real_distribution<double> price(40.0, 400.0);
+
+  for (int c = 0; c < params.n_cities; ++c) {
+    Elems hotels;
+    for (int h = 0; h < params.hotels_per_city; ++h) {
+      Elems rooms;
+      for (int r = 0; r < params.rooms_per_hotel; ++r) {
+        rooms.push_back(db.Insert(
+            "Room", Value::Tuple({{"bed_num", Value::Int(beds(rng))}})));
+      }
+      std::string hotel_name =
+          "hotel-" + std::to_string(c) + "-" + std::to_string(h);
+      hotels.push_back(db.Insert(
+          "Hotel", Value::Tuple({{"name", Value::Str(hotel_name)},
+                                 {"price", Value::Real(price(rng))},
+                                 {"rooms", Value::Set(std::move(rooms))}})));
+    }
+    // City 0 is always "Arlington" so the Section 2 hotel query has matches.
+    std::string city_name = c == 0 ? "Arlington" : "city-" + std::to_string(c);
+    db.Insert("City", Value::Tuple({{"name", Value::Str(city_name)},
+                                    {"hotels", Value::Set(std::move(hotels))}}));
+  }
+
+  for (int s = 0; s < params.n_states; ++s) {
+    Elems attractions;
+    for (int a = 0; a < params.attractions_per_state; ++a) {
+      // Attractions intentionally reuse hotel names sometimes so the "hotel
+      // named like a Texas attraction" query has hits.
+      std::string name = (a % 2 == 0)
+          ? "hotel-" + std::to_string(a) + "-0"
+          : "sight-" + std::to_string(s) + "-" + std::to_string(a);
+      attractions.push_back(
+          db.Insert("Attraction", Value::Tuple({{"name", Value::Str(name)}})));
+    }
+    std::string state_name = s == 0 ? "Texas" : "state-" + std::to_string(s);
+    db.Insert("State",
+              Value::Tuple({{"name", Value::Str(state_name)},
+                            {"attractions", Value::Set(std::move(attractions))}}));
+  }
+  return db;
+}
+
+}  // namespace ldb::workload

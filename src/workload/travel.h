@@ -1,0 +1,34 @@
+// The Travel workload: the schema behind the Section 2 hotel query (Cities /
+// hotels / rooms / States / attractions), which exercises normalization-only
+// unnesting (rules N7/N8 — Kim's type-N and type-J nestings).
+//
+//   class Room       (extent Rooms)       { bed_num }
+//   class Hotel      (extent Hotels)      { name, price, rooms set<ref Room> }
+//   class City       (extent Cities)      { name, hotels set<ref Hotel> }
+//   class Attraction (extent Attractions) { name }
+//   class State      (extent States)      { name, attractions set<ref Attraction> }
+
+#ifndef LAMBDADB_WORKLOAD_TRAVEL_H_
+#define LAMBDADB_WORKLOAD_TRAVEL_H_
+
+#include <cstdint>
+
+#include "src/runtime/database.h"
+
+namespace ldb::workload {
+
+struct TravelParams {
+  int n_cities = 20;
+  int n_states = 10;
+  int hotels_per_city = 5;
+  int rooms_per_hotel = 4;
+  int attractions_per_state = 5;
+  uint64_t seed = 42;
+};
+
+Schema TravelSchema();
+Database MakeTravelDatabase(const TravelParams& params);
+
+}  // namespace ldb::workload
+
+#endif  // LAMBDADB_WORKLOAD_TRAVEL_H_

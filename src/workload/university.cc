@@ -1,0 +1,64 @@
+#include "src/workload/university.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ldb::workload {
+
+Schema UniversitySchema() {
+  Schema schema;
+  schema.AddClass(ClassDecl{
+      "Student",
+      "Students",
+      {{"sid", Type::Int()}, {"name", Type::Str()}},
+  });
+  schema.AddClass(ClassDecl{
+      "Course",
+      "Courses",
+      {{"cno", Type::Int()}, {"title", Type::Str()}},
+  });
+  schema.AddClass(ClassDecl{
+      "Transcript",
+      "Transcripts",
+      {{"sid", Type::Int()}, {"cno", Type::Int()}},
+  });
+  return schema;
+}
+
+Database MakeUniversityDatabase(const UniversityParams& params) {
+  Database db(UniversitySchema());
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<int> db_courses;
+  for (int c = 0; c < params.n_courses; ++c) {
+    bool is_db = unit(rng) < params.db_course_fraction;
+    if (is_db) db_courses.push_back(c);
+    db.Insert("Course",
+              Value::Tuple({{"cno", Value::Int(c)},
+                            {"title", Value::Str(is_db ? "DB" : "other-" +
+                                                              std::to_string(c))}}));
+  }
+
+  auto enroll = [&](int sid, int cno) {
+    db.Insert("Transcript",
+              Value::Tuple({{"sid", Value::Int(sid)}, {"cno", Value::Int(cno)}}));
+  };
+
+  for (int s = 0; s < params.n_students; ++s) {
+    db.Insert("Student",
+              Value::Tuple({{"sid", Value::Int(s)},
+                            {"name", Value::Str("stu-" + std::to_string(s))}}));
+    bool takes_all = unit(rng) < params.take_all_fraction;
+    if (takes_all) {
+      for (int cno : db_courses) enroll(s, cno);
+    }
+    for (int c = 0; c < params.n_courses; ++c) {
+      if (unit(rng) < params.enroll_probability) enroll(s, c);
+    }
+  }
+  return db;
+}
+
+}  // namespace ldb::workload

@@ -1,0 +1,34 @@
+// The University workload: the schema behind the paper's Query E ("students
+// who have taken all database courses", from Claussen et al [7]).
+//
+//   class Student    (extent Students)    { sid, name }
+//   class Course     (extent Courses)     { cno, title }
+//   class Transcript (extent Transcripts) { sid, cno }
+//
+// The generator plants a known fraction of students who took every "DB"
+// course, so Query E's expected answer is known by construction.
+
+#ifndef LAMBDADB_WORKLOAD_UNIVERSITY_H_
+#define LAMBDADB_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "src/runtime/database.h"
+
+namespace ldb::workload {
+
+struct UniversityParams {
+  int n_students = 100;
+  int n_courses = 20;
+  double db_course_fraction = 0.25;   ///< courses titled "DB"
+  double take_all_fraction = 0.1;     ///< students enrolled in every DB course
+  double enroll_probability = 0.3;    ///< other (student, course) pairs
+  uint64_t seed = 42;
+};
+
+Schema UniversitySchema();
+Database MakeUniversityDatabase(const UniversityParams& params);
+
+}  // namespace ldb::workload
+
+#endif  // LAMBDADB_WORKLOAD_UNIVERSITY_H_

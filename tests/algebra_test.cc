@@ -1,0 +1,282 @@
+// Tests for algebra plan construction and introspection (src/core/algebra.*)
+// and for the operator semantics of Figure 5 executed directly
+// (src/runtime/eval_algebra.* at the operator level).
+
+#include "src/core/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pretty.h"
+#include "src/runtime/eval_algebra.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+TEST(AlgebraTest, OutputVars) {
+  AlgPtr scan = AlgOp::Scan("Employees", "e", nullptr);
+  EXPECT_EQ(OutputVars(scan), (std::vector<std::string>{"e"}));
+
+  AlgPtr join = AlgOp::Join(scan, AlgOp::Scan("Departments", "d", nullptr),
+                            nullptr);
+  EXPECT_EQ(OutputVars(join), (std::vector<std::string>{"e", "d"}));
+
+  AlgPtr unnest = AlgOp::Unnest(join, Expr::Proj(V("e"), "children"), "c",
+                                nullptr);
+  EXPECT_EQ(OutputVars(unnest), (std::vector<std::string>{"e", "d", "c"}));
+
+  AlgPtr nest = AlgOp::Nest(unnest, MonoidKind::kSum, Expr::Int(1), "m",
+                            {{"e", V("e")}, {"d", V("d")}}, {"c"}, nullptr);
+  EXPECT_EQ(OutputVars(nest), (std::vector<std::string>{"e", "d", "m"}));
+
+  AlgPtr reduce = AlgOp::Reduce(nest, MonoidKind::kSet, V("m"), nullptr);
+  EXPECT_TRUE(OutputVars(reduce).empty());
+  EXPECT_TRUE(OutputVars(AlgOp::Unit()).empty());
+}
+
+TEST(AlgebraTest, DefaultPredicateIsTrue) {
+  AlgPtr scan = AlgOp::Scan("Employees", "e", nullptr);
+  EXPECT_TRUE(scan->pred->IsTrueLiteral());
+}
+
+TEST(AlgebraTest, IsFullyUnnestedDetectsComps) {
+  ExprPtr comp = Expr::Comp(MonoidKind::kSum, Expr::Int(1),
+                            {Qualifier::Generator("x", V("X"))});
+  AlgPtr good = AlgOp::Reduce(AlgOp::Scan("Employees", "e", nullptr),
+                              MonoidKind::kSet, V("e"), nullptr);
+  EXPECT_TRUE(IsFullyUnnested(good));
+
+  AlgPtr bad_head = AlgOp::Reduce(AlgOp::Scan("Employees", "e", nullptr),
+                                  MonoidKind::kSet, comp, nullptr);
+  EXPECT_FALSE(IsFullyUnnested(bad_head));
+
+  AlgPtr bad_pred = AlgOp::Reduce(AlgOp::Scan("Employees", "e", comp),
+                                  MonoidKind::kSet, V("e"), nullptr);
+  EXPECT_FALSE(IsFullyUnnested(bad_pred));
+}
+
+TEST(AlgebraTest, PlanSizeAndShape) {
+  AlgPtr join = AlgOp::Join(AlgOp::Scan("Employees", "e", nullptr),
+                            AlgOp::Scan("Departments", "d", nullptr), nullptr);
+  AlgPtr plan = AlgOp::Reduce(join, MonoidKind::kSet, V("e"), nullptr);
+  EXPECT_EQ(PlanSize(plan), 4u);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Join(Scan(Employees),Scan(Departments)))");
+}
+
+TEST(AlgebraTest, AlgEqual) {
+  AlgPtr a = AlgOp::Reduce(AlgOp::Scan("Employees", "e", nullptr),
+                           MonoidKind::kSet, V("e"), nullptr);
+  AlgPtr b = AlgOp::Reduce(AlgOp::Scan("Employees", "e", nullptr),
+                           MonoidKind::kSet, V("e"), nullptr);
+  AlgPtr c = AlgOp::Reduce(AlgOp::Scan("Employees", "x", nullptr),
+                           MonoidKind::kSet, V("x"), nullptr);
+  EXPECT_TRUE(AlgEqual(a, b));
+  EXPECT_FALSE(AlgEqual(a, c));
+}
+
+// -- Operator semantics against the tiny database --------------------------
+
+class AlgebraSemanticsTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+};
+
+TEST_F(AlgebraSemanticsTest, ScanWithSelection) {
+  // Employees older than 35: Bob, Dee.
+  AlgPtr plan = AlgOp::Reduce(
+      AlgOp::Scan("Employees", "e",
+                  Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "age"),
+                            Expr::Int(35))),
+      MonoidKind::kSet, Expr::Proj(V("e"), "name"), nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_),
+            Value::Set({Value::Str("Bob"), Value::Str("Dee")}));
+}
+
+TEST_F(AlgebraSemanticsTest, JoinDropsUnmatched) {
+  // Departments joined with employees: the "Empty" department disappears.
+  AlgPtr join = AlgOp::Join(
+      AlgOp::Scan("Departments", "d", nullptr),
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")));
+  AlgPtr plan = AlgOp::Reduce(join, MonoidKind::kSet,
+                              Expr::Proj(V("d"), "name"), nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_),
+            Value::Set({Value::Str("Sales"), Value::Str("R&D")}));
+}
+
+TEST_F(AlgebraSemanticsTest, OuterJoinPadsWithNull) {
+  // Count department-employee pairs per outer row: Empty contributes a
+  // padded row, so the set of (dept, is_null(e)) pairs includes (Empty, true).
+  AlgPtr ojoin = AlgOp::OuterJoin(
+      AlgOp::Scan("Departments", "d", nullptr),
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")));
+  AlgPtr plan = AlgOp::Reduce(
+      ojoin, MonoidKind::kSet,
+      Expr::Record({{"d", Expr::Proj(V("d"), "name")},
+                    {"none", Expr::Un(UnOpKind::kIsNull, V("e"))}}),
+      nullptr);
+  Value result = ExecutePlan(plan, db_);
+  Value expected = Value::Set({
+      Value::Tuple({{"d", Value::Str("Sales")}, {"none", Value::Bool(false)}}),
+      Value::Tuple({{"d", Value::Str("R&D")}, {"none", Value::Bool(false)}}),
+      Value::Tuple({{"d", Value::Str("Empty")}, {"none", Value::Bool(true)}}),
+  });
+  EXPECT_EQ(result, expected);
+}
+
+TEST_F(AlgebraSemanticsTest, OuterJoinHashAndNLAgree) {
+  AlgPtr ojoin = AlgOp::OuterJoin(
+      AlgOp::Scan("Departments", "d", nullptr),
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")));
+  AlgPtr plan = AlgOp::Reduce(ojoin, MonoidKind::kSum, Expr::Int(1), nullptr);
+  PhysicalOptions hash, nl;
+  nl.use_hash_joins = false;
+  EXPECT_EQ(ExecutePlan(plan, db_, hash), ExecutePlan(plan, db_, nl));
+  // 2 Sales + 2 R&D + 1 padded Empty = 5 rows.
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Int(5));
+}
+
+TEST_F(AlgebraSemanticsTest, UnnestDropsEmpty) {
+  // Unnest children: Bob (no kids) disappears.
+  AlgPtr unnest = AlgOp::Unnest(AlgOp::Scan("Employees", "e", nullptr),
+                                Expr::Proj(V("e"), "children"), "c", nullptr);
+  AlgPtr plan = AlgOp::Reduce(unnest, MonoidKind::kSet,
+                              Expr::Proj(V("e"), "name"), nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_),
+            Value::Set({Value::Str("Ann"), Value::Str("Cal"), Value::Str("Dee")}));
+}
+
+TEST_F(AlgebraSemanticsTest, OuterUnnestKeepsEmptyPadded) {
+  AlgPtr unnest = AlgOp::OuterUnnest(AlgOp::Scan("Employees", "e", nullptr),
+                                     Expr::Proj(V("e"), "children"), "c",
+                                     nullptr);
+  AlgPtr plan = AlgOp::Reduce(unnest, MonoidKind::kSet,
+                              Expr::Proj(V("e"), "name"), nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_),
+            Value::Set({Value::Str("Ann"), Value::Str("Bob"), Value::Str("Cal"),
+                        Value::Str("Dee")}));
+}
+
+TEST_F(AlgebraSemanticsTest, OuterUnnestOverNullPathPads) {
+  // e.manager.children when manager is NULL (Cal) navigates to NULL and must
+  // pad, not crash.
+  AlgPtr unnest = AlgOp::OuterUnnest(
+      AlgOp::Scan("Employees", "e",
+                  Expr::Eq(Expr::Proj(V("e"), "name"), Expr::Str("Cal"))),
+      Expr::Path(V("e"), {"manager", "children"}), "d", nullptr);
+  AlgPtr plan = AlgOp::Reduce(unnest, MonoidKind::kSet,
+                              Expr::Un(UnOpKind::kIsNull, V("d")), nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Set({Value::Bool(true)}));
+}
+
+TEST_F(AlgebraSemanticsTest, NestConvertsPaddedNullsToZero) {
+  // The Figure 1.B pattern: group the outer-join by d; Empty gets {}.
+  AlgPtr ojoin = AlgOp::OuterJoin(
+      AlgOp::Scan("Departments", "d", nullptr),
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")));
+  AlgPtr nest = AlgOp::Nest(ojoin, MonoidKind::kSet, Expr::Proj(V("e"), "name"),
+                            "m", {{"d", V("d")}}, {"e"}, nullptr);
+  AlgPtr plan = AlgOp::Reduce(
+      nest, MonoidKind::kSet,
+      Expr::Record({{"D", Expr::Proj(V("d"), "name")}, {"E", V("m")}}), nullptr);
+  Value result = ExecutePlan(plan, db_);
+  Value expected = Value::Set({
+      Value::Tuple({{"D", Value::Str("Sales")},
+                    {"E", Value::Set({Value::Str("Ann"), Value::Str("Bob")})}}),
+      Value::Tuple({{"D", Value::Str("R&D")},
+                    {"E", Value::Set({Value::Str("Cal"), Value::Str("Dee")})}}),
+      Value::Tuple({{"D", Value::Str("Empty")}, {"E", Value::Set({})}}),
+  });
+  EXPECT_EQ(result, expected);
+}
+
+TEST_F(AlgebraSemanticsTest, NestWithPredicateStillCreatesGroups) {
+  // A nest predicate filters contributions, not groups: count employees
+  // above 90k per department; Sales has 1 (Ann), R&D has 1 (Dee), Empty 0 —
+  // and departments whose employees all fail the predicate still group to 0.
+  AlgPtr ojoin = AlgOp::OuterJoin(
+      AlgOp::Scan("Departments", "d", nullptr),
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")));
+  AlgPtr nest = AlgOp::Nest(
+      ojoin, MonoidKind::kSum, Expr::Int(1), "m", {{"d", V("d")}}, {"e"},
+      Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "salary"),
+                Expr::Real(90000)));
+  AlgPtr plan = AlgOp::Reduce(
+      nest, MonoidKind::kSet,
+      Expr::Record({{"D", Expr::Proj(V("d"), "name")}, {"n", V("m")}}), nullptr);
+  Value expected = Value::Set({
+      Value::Tuple({{"D", Value::Str("Sales")}, {"n", Value::Int(1)}}),
+      Value::Tuple({{"D", Value::Str("R&D")}, {"n", Value::Int(1)}}),
+      Value::Tuple({{"D", Value::Str("Empty")}, {"n", Value::Int(0)}}),
+  });
+  EXPECT_EQ(ExecutePlan(plan, db_), expected);
+}
+
+TEST_F(AlgebraSemanticsTest, NestWithExpressionKeys) {
+  // Group employees by dno directly (the simplified Figure 8.B shape).
+  AlgPtr nest = AlgOp::Nest(AlgOp::Scan("Employees", "e", nullptr),
+                            MonoidKind::kAvg, Expr::Proj(V("e"), "salary"),
+                            "m", {{"k", Expr::Proj(V("e"), "dno")}}, {},
+                            nullptr);
+  AlgPtr plan = AlgOp::Reduce(
+      nest, MonoidKind::kSet,
+      Expr::Record({{"dno", V("k")}, {"avg", V("m")}}), nullptr);
+  Value expected = Value::Set({
+      Value::Tuple({{"dno", Value::Int(0)}, {"avg", Value::Real(90000)}}),
+      Value::Tuple({{"dno", Value::Int(1)}, {"avg", Value::Real(90000)}}),
+  });
+  EXPECT_EQ(ExecutePlan(plan, db_), expected);
+}
+
+TEST_F(AlgebraSemanticsTest, ReduceWithQuantifierShortCircuits) {
+  // some{ e.age > 50 } — true because of Dee.
+  AlgPtr plan = AlgOp::Reduce(
+      AlgOp::Scan("Employees", "e", nullptr), MonoidKind::kSome,
+      Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "age"), Expr::Int(50)),
+      nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Bool(true));
+}
+
+TEST_F(AlgebraSemanticsTest, UnitFeedsGeneratorlessReduce) {
+  AlgPtr plan = AlgOp::Reduce(AlgOp::Unit(), MonoidKind::kSum, Expr::Int(7),
+                              nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Int(7));
+}
+
+TEST_F(AlgebraSemanticsTest, SelectOperator) {
+  AlgPtr sel = AlgOp::Select(
+      AlgOp::Scan("Employees", "e", nullptr),
+      Expr::Bin(BinOpKind::kLt, Expr::Proj(V("e"), "age"), Expr::Int(30)));
+  AlgPtr plan = AlgOp::Reduce(sel, MonoidKind::kSet, Expr::Proj(V("e"), "name"),
+                              nullptr);
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Set({Value::Str("Cal")}));
+}
+
+TEST_F(AlgebraSemanticsTest, JoinWithResidualPredicate) {
+  // Equi-key plus residual: employees in a department with bigger budget
+  // than salary/100 — exercises hash join residual handling.
+  ExprPtr pred = Expr::And(
+      Expr::Eq(Expr::Proj(V("e"), "dno"), Expr::Proj(V("d"), "dno")),
+      Expr::Bin(BinOpKind::kGt, Expr::Proj(V("d"), "budget"),
+                Expr::Bin(BinOpKind::kDiv, Expr::Proj(V("e"), "salary"),
+                          Expr::Real(100))));
+  AlgPtr join = AlgOp::Join(AlgOp::Scan("Departments", "d", nullptr),
+                            AlgOp::Scan("Employees", "e", nullptr), pred);
+  AlgPtr plan = AlgOp::Reduce(join, MonoidKind::kSet,
+                              Expr::Proj(V("e"), "name"), nullptr);
+  PhysicalOptions nl;
+  nl.use_hash_joins = false;
+  EXPECT_EQ(ExecutePlan(plan, db_), ExecutePlan(plan, db_, nl));
+  // budget(d0)=0 fails everyone in Sales; budget(d1)=1000 > 600/1200? Cal
+  // salary 60000/100=600 < 1000 yes; Dee 120000/100=1200 > 1000 no.
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Set({Value::Str("Cal")}));
+}
+
+}  // namespace
+}  // namespace ldb

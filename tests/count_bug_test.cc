@@ -1,0 +1,103 @@
+// The "count bug" regression suite (paper Section 1; Kim [16] / Ganski &
+// Wong [15]). The classic failure: rewriting a correlated COUNT subquery as
+// a plain join loses the outer rows whose group is EMPTY, because an empty
+// group never produces a join row — count() must yield 0 for them, not
+// disappear. The paper's fix is exactly the outer-join + nest pair with
+// null-to-zero conversion; these tests pin that behaviour on extents with
+// guaranteed-empty groups.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pretty.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+class CountBugTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();  // "Empty" department has no employees
+};
+
+TEST_F(CountBugTest, EmptyGroupsCountZero) {
+  // Every department must appear, Empty with count 0.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct struct(D: d.name, n: count(select e from e in "
+      "Employees where e.dno = d.dno)) from d in Departments");
+  Value expected = Value::Set({
+      Value::Tuple({{"D", Value::Str("Sales")}, {"n", Value::Int(2)}}),
+      Value::Tuple({{"D", Value::Str("R&D")}, {"n", Value::Int(2)}}),
+      Value::Tuple({{"D", Value::Str("Empty")}, {"n", Value::Int(0)}}),
+  });
+  EXPECT_EQ(r, expected);
+}
+
+TEST_F(CountBugTest, CountZeroPredicateSelectsEmptyDepartments) {
+  // The query the count bug classically breaks: WHERE count(...) = 0 must
+  // select exactly the empty departments; a join-based rewrite returns none.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct d.name from d in Departments "
+      "where count(select e from e in Employees where e.dno = d.dno) = 0");
+  EXPECT_EQ(r, Value::Set({Value::Str("Empty")}));
+}
+
+TEST_F(CountBugTest, ComparisonAgainstAggregateOverEmptyGroup) {
+  // sum over an empty group is 0 (monoid zero); budget > 0 comparisons must
+  // see 0, not a missing row.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct d.name from d in Departments "
+      "where sum(select e.salary from e in Employees where e.dno = d.dno) "
+      "      < d.budget");
+  // Sales: 180000 < 0? no. R&D: 180000 < 1000? no. Empty: 0 < 2000? yes.
+  EXPECT_EQ(r, Value::Set({Value::Str("Empty")}));
+}
+
+TEST_F(CountBugTest, MaxOverEmptyGroupIsNullNotZero) {
+  // max over an empty group is NULL; comparisons with NULL are false, so no
+  // department qualifies through an empty max — including Empty itself.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct d.name from d in Departments "
+      "where max(select e.salary from e in Employees where e.dno = d.dno) "
+      "      >= 0");
+  EXPECT_EQ(r, Value::Set({Value::Str("Sales"), Value::Str("R&D")}));
+}
+
+TEST_F(CountBugTest, EmptyInnerCollectionCountsZero) {
+  // Per-object collection version: Bob has no children.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct struct(E: e.name, n: count(e.children)) "
+      "from e in Employees where count(e.children) = 0");
+  EXPECT_EQ(r, Value::Set({Value::Tuple(
+                   {{"E", Value::Str("Bob")}, {"n", Value::Int(0)}})}));
+}
+
+TEST_F(CountBugTest, WholeExtentEmpty) {
+  // All groups empty: fresh database with departments but no employees.
+  Database db(workload::CompanySchema());
+  db.Insert("Department", Value::Tuple({{"dno", Value::Int(7)},
+                                        {"name", Value::Str("Lonely")},
+                                        {"budget", Value::Real(1)}}));
+  Value r = testing::RunBothWays(
+      db,
+      "select distinct struct(D: d.name, n: count(select e from e in "
+      "Employees where e.dno = d.dno)) from d in Departments");
+  EXPECT_EQ(r, Value::Set({Value::Tuple({{"D", Value::Str("Lonely")},
+                                         {"n", Value::Int(0)}})}));
+}
+
+TEST_F(CountBugTest, NestedCountInsideCount) {
+  // Double-nested aggregates: counts of zero-count groups.
+  Value r = testing::RunBothWays(
+      db_,
+      "count(select d from d in Departments "
+      "where count(select e from e in Employees where e.dno = d.dno) = 0)");
+  EXPECT_EQ(r, Value::Int(1));
+}
+
+}  // namespace
+}  // namespace ldb

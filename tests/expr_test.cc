@@ -1,0 +1,179 @@
+// Unit tests for the calculus AST utilities: free variables, substitution
+// (capture avoidance), structural equality, paths, conjunct handling
+// (src/core/expr.*), and the pretty printer (src/core/pretty.*).
+
+#include "src/core/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pretty.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+TEST(ExprTest, FreeVarsSimple) {
+  ExprPtr e = Expr::Eq(Expr::Proj(V("x"), "a"), V("y"));
+  std::set<std::string> fv = FreeVars(e);
+  EXPECT_EQ(fv, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(ExprTest, FreeVarsGeneratorBindsTail) {
+  // set{ x.a | x <- X, x.b = y }: x bound, X and y free.
+  ExprPtr comp = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("x"), "a"),
+      {Qualifier::Generator("x", V("X")),
+       Qualifier::Filter(Expr::Eq(Expr::Proj(V("x"), "b"), V("y")))});
+  EXPECT_EQ(FreeVars(comp), (std::set<std::string>{"X", "y"}));
+}
+
+TEST(ExprTest, FreeVarsGeneratorDomainNotBound) {
+  // The generator's own domain sees outer bindings: set{ x | x <- x.kids }
+  // has free x in the domain.
+  ExprPtr comp = Expr::Comp(MonoidKind::kSet, V("x"),
+                            {Qualifier::Generator("x", Expr::Proj(V("x"), "kids"))});
+  EXPECT_EQ(FreeVars(comp), (std::set<std::string>{"x"}));
+}
+
+TEST(ExprTest, FreeVarsLambda) {
+  ExprPtr lam = Expr::Lambda("v", Expr::Eq(V("v"), V("w")));
+  EXPECT_EQ(FreeVars(lam), (std::set<std::string>{"w"}));
+}
+
+TEST(ExprTest, SubstReplacesFreeOccurrences) {
+  ExprPtr e = Expr::Eq(V("x"), Expr::Proj(V("x"), "a"));
+  ExprPtr out = Subst(e, "x", V("z"));
+  EXPECT_TRUE(ExprEqual(out, Expr::Eq(V("z"), Expr::Proj(V("z"), "a"))));
+}
+
+TEST(ExprTest, SubstRespectsGeneratorShadowing) {
+  // In set{ x | x <- D, x = y }, substituting for x must not touch the bound
+  // occurrences; substituting into the domain is fine.
+  ExprPtr comp = Expr::Comp(MonoidKind::kSet, V("x"),
+                            {Qualifier::Generator("x", V("x")),
+                             Qualifier::Filter(Expr::Eq(V("x"), V("y")))});
+  ExprPtr out = Subst(comp, "x", V("q"));
+  // Domain becomes q, bound occurrences unchanged.
+  EXPECT_EQ(out->quals[0].expr->name, "q");
+  EXPECT_EQ(out->quals[1].expr->a->name, "x");
+  EXPECT_EQ(out->a->name, "x");
+}
+
+TEST(ExprTest, SubstAvoidsCaptureInComp) {
+  // Substituting y := x into set{ y | x <- D } must rename the binder x.
+  ExprPtr comp = Expr::Comp(MonoidKind::kSet, V("y"),
+                            {Qualifier::Generator("x", V("D"))});
+  ExprPtr out = Subst(comp, "y", V("x"));
+  ASSERT_EQ(out->quals.size(), 1u);
+  EXPECT_NE(out->quals[0].var, "x");           // binder renamed
+  EXPECT_EQ(out->a->name, "x");                // the substituted free x
+}
+
+TEST(ExprTest, SubstAvoidsCaptureInLambda) {
+  ExprPtr lam = Expr::Lambda("x", Expr::Bin(BinOpKind::kAdd, V("x"), V("y")));
+  ExprPtr out = Subst(lam, "y", V("x"));
+  EXPECT_NE(out->name, "x");  // lambda binder renamed
+  // Body: renamed + x.
+  EXPECT_EQ(out->a->b->name, "x");
+  EXPECT_EQ(out->a->a->name, out->name);
+}
+
+TEST(ExprTest, SubstShadowedLambda) {
+  ExprPtr lam = Expr::Lambda("x", V("x"));
+  EXPECT_TRUE(ExprEqual(Subst(lam, "x", V("z")), lam));
+}
+
+TEST(ExprTest, ExprEqualStructural) {
+  ExprPtr a = Expr::And(Expr::Eq(V("x"), Expr::Int(1)), Expr::True());
+  ExprPtr b = Expr::And(Expr::Eq(V("x"), Expr::Int(1)), Expr::True());
+  ExprPtr c = Expr::And(Expr::Eq(V("y"), Expr::Int(1)), Expr::True());
+  EXPECT_TRUE(ExprEqual(a, b));
+  EXPECT_FALSE(ExprEqual(a, c));
+}
+
+TEST(ExprTest, ContainsComp) {
+  ExprPtr comp = Expr::Comp(MonoidKind::kSum, Expr::Int(1), {});
+  EXPECT_TRUE(ContainsComp(comp));
+  EXPECT_TRUE(ContainsComp(Expr::Eq(V("x"), comp)));
+  EXPECT_TRUE(ContainsComp(Expr::Record({{"a", comp}})));
+  EXPECT_FALSE(ContainsComp(Expr::Eq(V("x"), Expr::Int(1))));
+}
+
+TEST(ExprTest, IsPath) {
+  std::string root;
+  std::vector<std::string> attrs;
+  EXPECT_TRUE(IsPath(V("e"), &root, &attrs));
+  EXPECT_EQ(root, "e");
+  EXPECT_TRUE(attrs.empty());
+
+  ExprPtr p = Expr::Proj(Expr::Proj(V("e"), "manager"), "children");
+  EXPECT_TRUE(IsPath(p, &root, &attrs));
+  EXPECT_EQ(root, "e");
+  EXPECT_EQ(attrs, (std::vector<std::string>{"manager", "children"}));
+
+  EXPECT_FALSE(IsPath(Expr::Eq(V("x"), V("y")), &root, &attrs));
+  EXPECT_FALSE(IsPath(Expr::Proj(Expr::Int(1), "a"), &root, &attrs));
+}
+
+TEST(ExprTest, PathBuilder) {
+  ExprPtr p = Expr::Path(V("e"), {"a", "b"});
+  EXPECT_EQ(PrintExpr(p), "e.a.b");
+}
+
+TEST(ExprTest, SplitAndMakeConjunction) {
+  ExprPtr a = Expr::Eq(V("x"), Expr::Int(1));
+  ExprPtr b = Expr::Eq(V("y"), Expr::Int(2));
+  ExprPtr c = Expr::Eq(V("z"), Expr::Int(3));
+  ExprPtr conj = Expr::And(Expr::And(a, b), c);
+  std::vector<ExprPtr> parts = SplitConjuncts(conj);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_TRUE(ExprEqual(parts[0], a));
+  EXPECT_TRUE(ExprEqual(parts[2], c));
+
+  EXPECT_TRUE(SplitConjuncts(Expr::True()).empty());
+  EXPECT_TRUE(MakeConjunction({})->IsTrueLiteral());
+  EXPECT_TRUE(ExprEqual(MakeConjunction({a}), a));
+  EXPECT_TRUE(ExprEqual(MakeConjunction({Expr::True(), a}), a));
+}
+
+TEST(ExprTest, GensymNamesCannotCollideWithOQLIdentifiers) {
+  std::string n = Gensym::Fresh("v");
+  EXPECT_NE(n.find('$'), std::string::npos);
+}
+
+TEST(ExprTest, TrueFalseLiteralPredicates) {
+  EXPECT_TRUE(Expr::True()->IsTrueLiteral());
+  EXPECT_FALSE(Expr::True()->IsFalseLiteral());
+  EXPECT_TRUE(Expr::False()->IsFalseLiteral());
+  EXPECT_FALSE(Expr::Int(1)->IsTrueLiteral());
+}
+
+TEST(PrettyTest, PrintsComprehension) {
+  ExprPtr comp = Expr::Comp(
+      MonoidKind::kSet,
+      Expr::Record({{"E", Expr::Proj(V("e"), "name")}}),
+      {Qualifier::Generator("e", V("Employees")),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "age"),
+                                   Expr::Int(30)))});
+  EXPECT_EQ(PrintExpr(comp),
+            "set{ <E=e.name> | e <- Employees, (e.age > 30) }");
+}
+
+TEST(PrettyTest, PrintsQuantifiersAndZero) {
+  ExprPtr comp = Expr::Comp(MonoidKind::kAll, Expr::True(),
+                            {Qualifier::Generator("a", V("A"))});
+  EXPECT_EQ(PrintExpr(comp), "all{ true | a <- A }");
+  EXPECT_EQ(PrintExpr(Expr::Zero(MonoidKind::kSome)), "zero[some]");
+  EXPECT_EQ(PrintExpr(Expr::Singleton(MonoidKind::kSet, Expr::Int(1))),
+            "set{ 1 }");
+}
+
+TEST(PrettyTest, PrintsIfAndOps) {
+  ExprPtr e = Expr::If(Expr::Un(UnOpKind::kIsNull, V("x")), Expr::Int(0),
+                       Expr::Un(UnOpKind::kNeg, V("x")));
+  EXPECT_EQ(PrintExpr(e), "if is_null(x) then 0 else -(x)");
+}
+
+}  // namespace
+}  // namespace ldb

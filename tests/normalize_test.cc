@@ -1,0 +1,311 @@
+// Tests for the normalization algorithm (Figure 4, rules N1-N9) and
+// predicate normalization (src/core/normalize.*). Each rule gets a direct
+// test; meaning preservation is additionally covered by the property suite.
+
+#include "src/core/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pretty.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+TEST(NormalizeTest, N1BetaReduction) {
+  ExprPtr e = Expr::Apply(Expr::Lambda("v", Expr::Bin(BinOpKind::kAdd, V("v"),
+                                                      Expr::Int(1))),
+                          Expr::Int(2));
+  ExprPtr out = Normalize(e);
+  EXPECT_TRUE(ExprEqual(out, Expr::Bin(BinOpKind::kAdd, Expr::Int(2), Expr::Int(1))));
+}
+
+TEST(NormalizeTest, N2RecordProjection) {
+  ExprPtr e = Expr::Proj(Expr::Record({{"a", Expr::Int(1)}, {"b", V("x")}}), "b");
+  EXPECT_TRUE(ExprEqual(Normalize(e), V("x")));
+}
+
+TEST(NormalizeTest, N3GeneratorOverConditional) {
+  // sum{ v | v <- if p then A else B }
+  //   = sum{ v | p, v <- A } + sum{ v | not p, v <- B }
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSum, V("v"),
+      {Qualifier::Generator("v", Expr::If(V("p"), V("A"), V("B")))});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->kind, ExprKind::kMerge);
+  EXPECT_EQ(out->monoid, MonoidKind::kSum);
+  EXPECT_EQ(out->a->kind, ExprKind::kComp);
+  EXPECT_EQ(out->b->kind, ExprKind::kComp);
+  // then-branch gets filter p before the generator.
+  EXPECT_FALSE(out->a->quals[0].is_generator);
+  EXPECT_TRUE(ExprEqual(out->a->quals[0].expr, V("p")));
+}
+
+TEST(NormalizeTest, N4GeneratorOverZero) {
+  ExprPtr e = Expr::Comp(MonoidKind::kSet, V("v"),
+                         {Qualifier::Generator("v", Expr::Zero(MonoidKind::kSet))});
+  EXPECT_EQ(Normalize(e)->kind, ExprKind::kZero);
+
+  // Empty collection literal behaves like the zero.
+  ExprPtr e2 = Expr::Comp(MonoidKind::kSum, Expr::Int(1),
+                          {Qualifier::Generator("v", Expr::Lit(Value::Set({})))});
+  EXPECT_EQ(Normalize(e2)->kind, ExprKind::kZero);
+}
+
+TEST(NormalizeTest, N5GeneratorOverSingleton) {
+  // set{ v.a | v <- {x} } = set{ x.a }  (a singleton, i.e. a no-qualifier comp)
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("v"), "a"),
+      {Qualifier::Generator("v", Expr::Singleton(MonoidKind::kSet, V("x")))});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->kind, ExprKind::kComp);
+  EXPECT_TRUE(out->quals.empty());
+  EXPECT_TRUE(ExprEqual(out->a, Expr::Proj(V("x"), "a")));
+}
+
+TEST(NormalizeTest, N6MergeSplitIdempotent) {
+  // set{ v | v <- A (+) B } = set{ v | v <- A } (+) set{ v | v <- B }
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSet, V("v"),
+      {Qualifier::Generator("v", Expr::Merge(MonoidKind::kSet, V("A"), V("B")))});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->kind, ExprKind::kMerge);
+  EXPECT_TRUE(ExprEqual(out->a->quals[0].expr, V("A")));
+  EXPECT_TRUE(ExprEqual(out->b->quals[0].expr, V("B")));
+}
+
+TEST(NormalizeTest, N6MergeSplitNonIdempotentGetsMembershipGuard) {
+  // The paper's Section 2 inconsistency: sum{ a | a <- {1} U {1} } must stay
+  // 1, so the second branch needs the all{ w != v | w <- e1 } guard (D7).
+  ExprPtr one = Expr::Singleton(MonoidKind::kSet, Expr::Int(1));
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSum, V("a"),
+      {Qualifier::Generator("a", Expr::Merge(MonoidKind::kSet, one, one))});
+  ExprPtr out = Normalize(e);
+  // Shape check: a merge whose right branch carries a guard that normalizes
+  // to (1 != 1) = false, i.e. the right branch must have a false-ish filter
+  // or be zero. We verify semantically in the property suite; here check the
+  // guard survived: the printed form mentions a '!=' comparison or the whole
+  // branch collapsed to zero.
+  std::string printed = PrintExpr(out);
+  EXPECT_TRUE(printed.find("not(") != std::string::npos ||
+              printed.find("zero") != std::string::npos)
+      << printed;
+}
+
+TEST(NormalizeTest, N6BagMergeSplitNeedsNoGuard) {
+  ExprPtr one = Expr::Singleton(MonoidKind::kBag, Expr::Int(1));
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSum, V("a"),
+      {Qualifier::Generator("a", Expr::Merge(MonoidKind::kBag, one, one))});
+  std::string printed = PrintExpr(Normalize(e));
+  EXPECT_EQ(printed.find("not("), std::string::npos) << printed;
+}
+
+TEST(NormalizeTest, N7FlattensNestedGeneratorDomain) {
+  // set{ h.price | h <- set{ h2 | c <- Cities, h2 <- c.hotels } }
+  //   = set{ h2.price | c <- Cities, h2 <- c.hotels }
+  ExprPtr inner = Expr::Comp(
+      MonoidKind::kSet, V("h2"),
+      {Qualifier::Generator("c", V("Cities")),
+       Qualifier::Generator("h2", Expr::Proj(V("c"), "hotels"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSet, Expr::Proj(V("h"), "price"),
+                         {Qualifier::Generator("h", inner)});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->kind, ExprKind::kComp);
+  ASSERT_EQ(out->quals.size(), 2u);
+  EXPECT_TRUE(out->quals[0].is_generator);
+  EXPECT_TRUE(out->quals[1].is_generator);
+  EXPECT_TRUE(IsCanonicalComp(out));
+}
+
+TEST(NormalizeTest, N7GuardedForSetIntoNonIdempotent) {
+  // sum{ 1 | v <- set{ x.a | x <- X } } counts DISTINCT a-values; flattening
+  // would over-count, so the inner set comprehension must survive.
+  ExprPtr inner = Expr::Comp(MonoidKind::kSet, Expr::Proj(V("x"), "a"),
+                             {Qualifier::Generator("x", V("X"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSum, Expr::Int(1),
+                         {Qualifier::Generator("v", inner)});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->kind, ExprKind::kComp);
+  ASSERT_EQ(out->quals.size(), 1u);
+  EXPECT_EQ(out->quals[0].expr->kind, ExprKind::kComp);  // not flattened
+}
+
+TEST(NormalizeTest, N7BagIntoSumFlattens) {
+  ExprPtr inner = Expr::Comp(MonoidKind::kBag, Expr::Proj(V("x"), "a"),
+                             {Qualifier::Generator("x", V("X"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSum, V("v"),
+                         {Qualifier::Generator("v", inner)});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->quals.size(), 1u);
+  EXPECT_TRUE(out->quals[0].is_generator);
+  EXPECT_TRUE(IsCanonicalComp(out));
+}
+
+TEST(NormalizeTest, N8UnnestsExistentialFilter) {
+  // set{ s | s <- S, some{ t.id = s.id | t <- T } }
+  //   = set{ s | s <- S, t <- T, t.id = s.id }
+  ExprPtr ex = Expr::Comp(
+      MonoidKind::kSome,
+      Expr::Eq(Expr::Proj(V("t"), "id"), Expr::Proj(V("s"), "id")),
+      {Qualifier::Generator("t", V("T"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSet, V("s"),
+                         {Qualifier::Generator("s", V("S")),
+                          Qualifier::Filter(ex)});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->quals.size(), 3u);
+  EXPECT_TRUE(out->quals[0].is_generator);
+  EXPECT_TRUE(out->quals[1].is_generator);  // t pulled up
+  EXPECT_FALSE(out->quals[2].is_generator);
+}
+
+TEST(NormalizeTest, N8DoesNotFireForNonIdempotentOuter) {
+  ExprPtr ex = Expr::Comp(MonoidKind::kSome, Expr::Eq(V("t"), V("s")),
+                          {Qualifier::Generator("t", V("T"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSum, Expr::Int(1),
+                         {Qualifier::Generator("s", V("S")),
+                          Qualifier::Filter(ex)});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->quals.size(), 2u);
+  EXPECT_EQ(out->quals[1].expr->kind, ExprKind::kComp);  // still nested
+}
+
+TEST(NormalizeTest, N9FusesPrimitiveHeads) {
+  // sum{ sum{ x.a | x <- v.kids } | v <- V } = sum{ x.a | v <- V, x <- v.kids }
+  ExprPtr inner = Expr::Comp(MonoidKind::kSum, Expr::Proj(V("x"), "a"),
+                             {Qualifier::Generator("x", Expr::Proj(V("v"), "kids"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSum, inner,
+                         {Qualifier::Generator("v", V("V"))});
+  ExprPtr out = Normalize(e);
+  ASSERT_EQ(out->quals.size(), 2u);
+  EXPECT_EQ(out->a->kind, ExprKind::kProj);
+  EXPECT_TRUE(IsCanonicalComp(out));
+}
+
+TEST(NormalizeTest, ConstantFilters) {
+  ExprPtr e = Expr::Comp(MonoidKind::kSet, V("v"),
+                         {Qualifier::Generator("v", V("A")),
+                          Qualifier::Filter(Expr::True())});
+  EXPECT_EQ(Normalize(e)->quals.size(), 1u);
+
+  ExprPtr f = Expr::Comp(MonoidKind::kSet, V("v"),
+                         {Qualifier::Generator("v", V("A")),
+                          Qualifier::Filter(Expr::False())});
+  EXPECT_EQ(Normalize(f)->kind, ExprKind::kZero);
+}
+
+TEST(NormalizeTest, ConjunctiveFiltersSplit) {
+  ExprPtr e = Expr::Comp(
+      MonoidKind::kSet, V("v"),
+      {Qualifier::Generator("v", V("A")),
+       Qualifier::Filter(Expr::And(Expr::Eq(V("v"), Expr::Int(1)),
+                                   Expr::Eq(V("v"), Expr::Int(2))))});
+  EXPECT_EQ(Normalize(e)->quals.size(), 3u);
+}
+
+TEST(NormalizeTest, PrimitiveComprehensionWithNoQualifiersIsHead) {
+  ExprPtr e = Expr::Comp(MonoidKind::kSum, Expr::Int(5), {});
+  EXPECT_TRUE(ExprEqual(Normalize(e), Expr::Int(5)));
+  // Collection singletons must stay.
+  ExprPtr s = Expr::Singleton(MonoidKind::kSet, Expr::Int(5));
+  EXPECT_EQ(Normalize(s)->kind, ExprKind::kComp);
+}
+
+TEST(NormalizeTest, PredicateDeMorgan) {
+  ExprPtr e = Expr::Not(Expr::And(V("p"), V("q")));
+  ExprPtr out = NormalizePredicate(e);
+  ASSERT_EQ(out->kind, ExprKind::kBinOp);
+  EXPECT_EQ(out->bin_op, BinOpKind::kOr);
+
+  ExprPtr f = Expr::Not(Expr::Bin(BinOpKind::kOr, V("p"), V("q")));
+  EXPECT_EQ(NormalizePredicate(f)->bin_op, BinOpKind::kAnd);
+}
+
+TEST(NormalizeTest, PredicateDoubleNegation) {
+  EXPECT_TRUE(ExprEqual(NormalizePredicate(Expr::Not(Expr::Not(V("p")))), V("p")));
+}
+
+TEST(NormalizeTest, ComparisonFlipsAreNotPerformed) {
+  // not(x < y) must NOT become x >= y: with NULL operands the comparison is
+  // false either way, so the flip would change not(false)=true into false.
+  ExprPtr lt = Expr::Not(Expr::Bin(BinOpKind::kLt, V("x"), V("y")));
+  ExprPtr out = NormalizePredicate(lt);
+  ASSERT_EQ(out->kind, ExprKind::kUnOp);
+  EXPECT_EQ(out->un_op, UnOpKind::kNot);
+}
+
+TEST(NormalizeTest, QuantifierDuals) {
+  // not some{p | v <- D} = all{ not p | v <- D }, and the inner "not p"
+  // keeps normalizing.
+  ExprPtr some = Expr::Comp(MonoidKind::kSome, Expr::Eq(V("v"), Expr::Int(1)),
+                            {Qualifier::Generator("v", V("D"))});
+  ExprPtr out = Normalize(Expr::Not(some));
+  ASSERT_EQ(out->kind, ExprKind::kComp);
+  EXPECT_EQ(out->monoid, MonoidKind::kAll);
+  // The some-head first moves into a filter (some{p|q} = some{true|q,p}), so
+  // the dual is all{ not true | v <- D, v = 1 } with head folding to false.
+  EXPECT_TRUE(out->a->IsFalseLiteral());
+  ASSERT_EQ(out->quals.size(), 2u);
+  EXPECT_FALSE(out->quals[1].is_generator);  // the moved predicate
+
+  ExprPtr all = Expr::Comp(MonoidKind::kAll, V("p"),
+                           {Qualifier::Generator("v", V("D"))});
+  ExprPtr out2 = Normalize(Expr::Not(all));
+  EXPECT_EQ(out2->monoid, MonoidKind::kSome);
+}
+
+TEST(NormalizeTest, SectionTwoHotelQueryNormalizesToCanonical) {
+  // The paper's Section 2 example: after N7 (twice) and N8 (twice) the query
+  // becomes a single flat comprehension with 5 generators and 4 filters.
+  ExprPtr inner_hotels = Expr::Comp(
+      MonoidKind::kSet, V("h"),
+      {Qualifier::Generator("c", V("Cities")),
+       Qualifier::Generator("h", Expr::Proj(V("c"), "hotels")),
+       Qualifier::Filter(Expr::Eq(Expr::Proj(V("c"), "name"),
+                                  Expr::Str("Arlington")))});
+  ExprPtr inner_names = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("t"), "name"),
+      {Qualifier::Generator("s", V("States")),
+       Qualifier::Generator("t", Expr::Proj(V("s"), "attractions")),
+       Qualifier::Filter(Expr::Eq(Expr::Proj(V("s"), "name"), Expr::Str("Texas")))});
+  ExprPtr rooms_exists = Expr::Comp(
+      MonoidKind::kSome,
+      Expr::Eq(Expr::Proj(V("r"), "bed_num"), Expr::Int(3)),
+      {Qualifier::Generator("r", Expr::Proj(V("hotel"), "rooms"))});
+  ExprPtr name_in = Expr::Comp(
+      MonoidKind::kSome, Expr::Eq(V("e"), Expr::Proj(V("hotel"), "name")),
+      {Qualifier::Generator("e", inner_names)});
+  ExprPtr query = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("hotel"), "price"),
+      {Qualifier::Generator("hotel", inner_hotels),
+       Qualifier::Filter(rooms_exists), Qualifier::Filter(name_in)});
+
+  ExprPtr out = Normalize(query);
+  ASSERT_EQ(out->kind, ExprKind::kComp);
+  EXPECT_TRUE(IsCanonicalComp(out));
+  int generators = 0, filters = 0;
+  for (const Qualifier& q : out->quals) (q.is_generator ? generators : filters)++;
+  EXPECT_EQ(generators, 5);  // c, h, r, s, t
+  EXPECT_EQ(filters, 4);
+}
+
+TEST(NormalizeTest, Idempotent) {
+  ExprPtr inner = Expr::Comp(MonoidKind::kSet, V("h2"),
+                             {Qualifier::Generator("c", V("Cities")),
+                              Qualifier::Generator("h2", Expr::Proj(V("c"), "hotels"))});
+  ExprPtr e = Expr::Comp(MonoidKind::kSet, V("h"),
+                         {Qualifier::Generator("h", inner)});
+  ExprPtr once = Normalize(e);
+  ExprPtr twice = Normalize(once);
+  EXPECT_TRUE(ExprEqual(once, twice));
+}
+
+TEST(NormalizeTest, MergeWithZeroCollapses) {
+  ExprPtr e = Expr::Merge(MonoidKind::kSet, Expr::Zero(MonoidKind::kSet), V("A"));
+  EXPECT_TRUE(ExprEqual(Normalize(e), V("A")));
+}
+
+}  // namespace
+}  // namespace ldb

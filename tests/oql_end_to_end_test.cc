@@ -1,0 +1,191 @@
+// End-to-end OQL tests: parse -> translate -> typecheck -> normalize ->
+// unnest -> simplify -> physical -> execute, compared against hand-computed
+// oracles and the baseline evaluator, over all three workload schemas.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/travel.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+class EndToEndCompanyTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+};
+
+TEST_F(EndToEndCompanyTest, FlatSelect) {
+  Value r = testing::RunBothWays(
+      db_, "select distinct e.name from e in Employees where e.salary >= "
+           "100000");
+  EXPECT_EQ(r, Value::Set({Value::Str("Ann"), Value::Str("Dee")}));
+}
+
+TEST_F(EndToEndCompanyTest, PathNavigationThroughManager) {
+  Value r = testing::RunBothWays(
+      db_, "select distinct e.manager.name from e in Employees "
+           "where e.manager.age >= 50");
+  EXPECT_EQ(r, Value::Set({Value::Str("Meg")}));
+}
+
+TEST_F(EndToEndCompanyTest, NullManagerNavigationIsSilentlyFalse) {
+  // Cal's manager is NULL: e.manager.age >= 0 is a comparison with NULL.
+  Value r = testing::RunBothWays(
+      db_, "select distinct e.name from e in Employees "
+           "where e.manager.age >= 0");
+  EXPECT_EQ(r, Value::Set({Value::Str("Ann"), Value::Str("Bob"),
+                           Value::Str("Dee")}));
+}
+
+TEST_F(EndToEndCompanyTest, IsNullTestViaComparisonDuals) {
+  Value r = testing::RunBothWays(
+      db_, "select distinct e.name from e in Employees "
+           "where not (e.manager.age >= 0) and not (e.manager.age < 0)");
+  EXPECT_EQ(r, Value::Set({Value::Str("Cal")}));
+}
+
+TEST_F(EndToEndCompanyTest, CrossProductOfExtents) {
+  Value r = testing::RunBothWays(
+      db_, "count(select struct(a: e.name, b: m.name) "
+           "from e in Employees, m in Managers)");
+  EXPECT_EQ(r, Value::Int(8));
+}
+
+TEST_F(EndToEndCompanyTest, ArithmeticInProjectionAndPredicate) {
+  Value r = testing::RunBothWays(
+      db_, "select distinct e.salary * 2 + 1 from e in Employees "
+           "where e.age mod 5 = 0");
+  // Ann 30, Bob 40, Cal 25, Dee 55 -> all divisible by 5.
+  EXPECT_EQ(r.AsElems().size(), 4u);
+}
+
+TEST_F(EndToEndCompanyTest, MembershipInSubquery) {
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct d.name from d in Departments "
+      "where d.dno in (select e.dno from e in Employees where e.age > 50)");
+  EXPECT_EQ(r, Value::Set({Value::Str("R&D")}));
+}
+
+TEST_F(EndToEndCompanyTest, QuantifierOverQuantifier) {
+  // Employees all of whose children are older than some manager's child.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct e.name from e in Employees "
+      "where for all c in e.children: "
+      "exists m in Managers: exists k in m.children: c.age > k.age");
+  // Manager kids: Pat(20). Ann: Al(5)>20 no -> fails. Bob: vacuous yes.
+  // Cal: Cam(30)>20 yes. Dee: Dan(10)>20 no.
+  EXPECT_EQ(r, Value::Set({Value::Str("Bob"), Value::Str("Cal")}));
+}
+
+TEST_F(EndToEndCompanyTest, AggregatesInSelectAndWhere) {
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct struct(E: e.name, k: count(e.children), "
+      "a: avg(select c.age from c in e.children)) "
+      "from e in Employees where count(e.children) >= 1");
+  Value expected = Value::Set({
+      Value::Tuple({{"E", Value::Str("Ann")},
+                    {"k", Value::Int(2)},
+                    {"a", Value::Real(15.0)}}),
+      Value::Tuple({{"E", Value::Str("Cal")},
+                    {"k", Value::Int(1)},
+                    {"a", Value::Real(30.0)}}),
+      Value::Tuple({{"E", Value::Str("Dee")},
+                    {"k", Value::Int(1)},
+                    {"a", Value::Real(10.0)}}),
+  });
+  EXPECT_EQ(r, expected);
+}
+
+TEST_F(EndToEndCompanyTest, MinMaxAggregates) {
+  EXPECT_EQ(testing::RunBothWays(
+                db_, "min(select e.salary from e in Employees)"),
+            Value::Real(60000));
+  EXPECT_EQ(testing::RunBothWays(
+                db_, "max(select e.age from e in Employees where e.dno = 0)"),
+            Value::Int(40));
+}
+
+TEST_F(EndToEndCompanyTest, SelectFromSubquery) {
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct p.name from p in (select distinct e from e in "
+      "Employees where e.dno = 0)");
+  EXPECT_EQ(r, Value::Set({Value::Str("Ann"), Value::Str("Bob")}));
+}
+
+class EndToEndTravelTest : public ::testing::Test {
+ protected:
+  Database db_ = workload::MakeTravelDatabase({});
+};
+
+TEST_F(EndToEndTravelTest, SectionTwoHotelQuery) {
+  // The paper's Section 2 OQL example, verbatim modulo extent names.
+  const char* q =
+      "select distinct hotel.price "
+      "from hotel in ( select h from c in Cities, h in c.hotels "
+      "                where c.name = 'Arlington' ) "
+      "where exists r in hotel.rooms: r.bed_num = 3 "
+      "  and hotel.name in ( select t.name from s in States, "
+      "                      t in s.attractions where s.name = 'Texas' )";
+  Value optimized = testing::RunBothWays(db_, q);
+  // Texas attractions include "hotel-0-0" and "hotel-2-0"; only "hotel-0-0"
+  // is in Arlington (city 0). Whether it qualifies depends on a 3-bed room,
+  // which is seeded-deterministic; just require agreement plus sane size.
+  EXPECT_LE(optimized.AsElems().size(), 1u);
+}
+
+TEST_F(EndToEndTravelTest, NestedGeneratorsFlattenAndRun) {
+  Value r = testing::RunBothWays(
+      db_,
+      "count(select struct(c: c.name, h: h.name, r: r.bed_num) "
+      "from c in Cities, h in c.hotels, r in h.rooms)");
+  EXPECT_EQ(r, Value::Int(20 * 5 * 4));
+}
+
+class EndToEndUniversityTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyUniversity();
+};
+
+TEST_F(EndToEndUniversityTest, QueryEStudentsWhoTookAllDBCourses) {
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct s.name from s in Students "
+      "where for all c in select c from c in Courses where c.title = 'DB': "
+      "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno");
+  EXPECT_EQ(r, Value::Set({Value::Str("s0"), Value::Str("s3")}));
+}
+
+TEST_F(EndToEndUniversityTest, DivisionViaDoubleNegationAgrees) {
+  // NOT EXISTS course NOT taken — the relational-division dual; DeMorgan
+  // rewrites push the negations into quantifier duals.
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct s.name from s in Students "
+      "where not (exists c in (select c from c in Courses "
+      "                        where c.title = 'DB'): "
+      "           not (exists t in Transcripts: t.sid = s.sid "
+      "                and t.cno = c.cno))");
+  EXPECT_EQ(r, Value::Set({Value::Str("s0"), Value::Str("s3")}));
+}
+
+TEST_F(EndToEndUniversityTest, PerStudentCourseCounts) {
+  Value r = testing::RunBothWays(
+      db_,
+      "select distinct struct(s: s.name, n: count(select t from t in "
+      "Transcripts where t.sid = s.sid)) from s in Students");
+  Value expected = Value::Set({
+      Value::Tuple({{"s", Value::Str("s0")}, {"n", Value::Int(3)}}),
+      Value::Tuple({{"s", Value::Str("s1")}, {"n", Value::Int(1)}}),
+      Value::Tuple({{"s", Value::Str("s2")}, {"n", Value::Int(0)}}),
+      Value::Tuple({{"s", Value::Str("s3")}, {"n", Value::Int(2)}}),
+  });
+  EXPECT_EQ(r, expected);
+}
+
+}  // namespace
+}  // namespace ldb

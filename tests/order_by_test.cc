@@ -1,0 +1,108 @@
+// Tests for `order by` (facade-level sorting; the list boundary of the
+// paper's Section 8 future work).
+
+#include <gtest/gtest.h>
+
+#include "src/oql/parser.h"
+#include "src/oql/translate.h"
+#include "src/runtime/error.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+};
+
+TEST_F(OrderByTest, ParserAcceptsOrderBy) {
+  oql::NodePtr q = oql::Parse(
+      "select e.name from e in Employees order by e.salary desc, e.name asc");
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_TRUE(q->order_by[0].second);   // desc
+  EXPECT_FALSE(q->order_by[1].second);  // asc
+}
+
+TEST_F(OrderByTest, PlainTranslateRejectsOrderBy) {
+  oql::NodePtr q =
+      oql::Parse("select e.name from e in Employees order by e.age");
+  EXPECT_THROW(oql::Translate(q), UnsupportedError);
+  oql::OrderedQuery ordered = oql::TranslateWithOrdering(q);
+  EXPECT_TRUE(ordered.ordered);
+  ASSERT_EQ(ordered.descending.size(), 1u);
+  EXPECT_FALSE(ordered.descending[0]);
+}
+
+TEST_F(OrderByTest, AscendingProducesSortedList) {
+  Value r = RunOQL(db_,
+                   "select e.name from e in Employees order by e.salary");
+  // Cal 60k, Bob 80k, Ann 100k, Dee 120k.
+  EXPECT_EQ(r, Value::List({Value::Str("Cal"), Value::Str("Bob"),
+                            Value::Str("Ann"), Value::Str("Dee")}));
+}
+
+TEST_F(OrderByTest, DescendingAndTieBreaks) {
+  Value r = RunOQL(db_,
+                   "select e.name from e in Employees "
+                   "order by e.dno desc, e.salary asc");
+  // dno 1 first (Cal 60k, Dee 120k), then dno 0 (Bob 80k, Ann 100k).
+  EXPECT_EQ(r, Value::List({Value::Str("Cal"), Value::Str("Dee"),
+                            Value::Str("Bob"), Value::Str("Ann")}));
+}
+
+TEST_F(OrderByTest, BaselineAgrees) {
+  const char* q =
+      "select struct(n: e.name, s: e.salary) from e in Employees "
+      "where e.age > 25 order by e.salary desc";
+  EXPECT_EQ(RunOQL(db_, q), RunOQLBaseline(db_, q));
+  Value r = RunOQL(db_, q);
+  ASSERT_EQ(r.kind(), Value::Kind::kList);
+  EXPECT_EQ(r.AsElems()[0].Field("n"), Value::Str("Dee"));
+}
+
+TEST_F(OrderByTest, OrderByWithWhereAndNestedQuery) {
+  const char* q =
+      "select struct(D: d.name, n: count(select e from e in Employees "
+      "where e.dno = d.dno)) from d in Departments order by d.dno desc";
+  Value r = RunOQL(db_, q);
+  ASSERT_EQ(r.kind(), Value::Kind::kList);
+  ASSERT_EQ(r.AsElems().size(), 3u);
+  EXPECT_EQ(r.AsElems()[0].Field("D"), Value::Str("Empty"));
+  EXPECT_EQ(r.AsElems()[0].Field("n"), Value::Int(0));
+  EXPECT_EQ(RunOQLBaseline(db_, q), r);
+}
+
+TEST_F(OrderByTest, DistinctOrderByDeduplicatesPairs) {
+  // Two employees share dno 0 and dno 1: distinct on (key, value) pairs.
+  Value r = RunOQL(db_,
+                   "select distinct e.dno from e in Employees order by e.dno");
+  EXPECT_EQ(r, Value::List({Value::Int(0), Value::Int(1)}));
+}
+
+TEST_F(OrderByTest, OrderingByNullKeysGroupsFirst) {
+  // NULL sorts before everything (Value::Compare ranks kNull lowest):
+  // Cal's manager is NULL.
+  Value r = RunOQL(db_,
+                   "select e.name from e in Employees order by e.manager.age");
+  ASSERT_EQ(r.AsElems().size(), 4u);
+  EXPECT_EQ(r.AsElems()[0], Value::Str("Cal"));
+}
+
+TEST_F(OrderByTest, StableForEqualKeys) {
+  // Equal keys keep a deterministic order (stable sort over the canonical
+  // bag order).
+  Value a = RunOQL(db_, "select e.name from e in Employees order by e.dno");
+  Value b = RunOQL(db_, "select e.name from e in Employees order by e.dno");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(OrderByTest, GroupByPlusOrderByRejected) {
+  EXPECT_THROW(RunOQL(db_,
+                      "select distinct e.dno, avg(e.salary) from Employees e "
+                      "group by e.dno order by e.dno"),
+               UnsupportedError);
+}
+
+}  // namespace
+}  // namespace ldb

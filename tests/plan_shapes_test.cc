@@ -1,0 +1,115 @@
+// Golden plan-rendering tests: the textual plans for the paper's figures.
+// These pin the exact operator parameters (monoids, group-by variables,
+// null-conversion variables, predicate placement) that Figures 1, 2 and 8
+// display. Gensym::Reset() makes generated variable names deterministic.
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/core/simplify.h"
+#include "src/core/unnest.h"
+#include "src/workload/company.h"
+#include "src/workload/university.h"
+#include "src/oql/parser.h"
+#include "src/oql/translate.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr Q(const std::string& oql) { return oql::Translate(oql::Parse(oql)); }
+
+TEST(PlanShapesTest, Figure1A) {
+  Gensym::Reset();
+  Schema schema = workload::CompanySchema();
+  AlgPtr plan = UnnestComp(
+      Normalize(Q("select distinct struct(E: e.name, C: c.name) "
+                  "from e in Employees, c in e.children")),
+      schema);
+  EXPECT_EQ(PrintPlan(plan),
+            "Reduce[set/<E=e.name, C=c.name>]\n"
+            "  Unnest[c := e.children]\n"
+            "    Scan[e <- Employees]\n");
+}
+
+TEST(PlanShapesTest, Figure1B) {
+  Gensym::Reset();
+  Schema schema = workload::CompanySchema();
+  AlgPtr plan = UnnestComp(
+      Normalize(Q("select distinct struct(D: d, E: (select distinct e "
+                  "from e in Employees where e.dno = d.dno)) "
+                  "from d in Departments")),
+      schema);
+  EXPECT_EQ(PrintPlan(plan),
+            "Reduce[set/<D=d, E=v$0>]\n"
+            "  Nest[set/e -> v$0 group_by(d) nulls(e)]\n"
+            "    OuterJoin[(e.dno = d.dno)]\n"
+            "      Scan[d <- Departments]\n"
+            "      Scan[e <- Employees]\n");
+}
+
+TEST(PlanShapesTest, Figure1D) {
+  Gensym::Reset();
+  Schema schema = workload::CompanySchema();
+  AlgPtr plan = UnnestComp(
+      Normalize(Q(
+          "select distinct struct(E: e, M: count(select distinct c "
+          "from c in e.children "
+          "where for all d in e.manager.children: c.age > d.age)) "
+          "from e in Employees")),
+      schema);
+  EXPECT_EQ(PrintPlan(plan),
+            "Reduce[set/<E=e, M=v$1>]\n"
+            "  Nest[sum/1 -> v$1 group_by(e) nulls(c) if v$0]\n"
+            "    Nest[all/(c.age > d.age) -> v$0 group_by(e, c) nulls(d)]\n"
+            "      OuterUnnest[d := e.manager.children]\n"
+            "        OuterUnnest[c := e.children]\n"
+            "          Scan[e <- Employees]\n");
+}
+
+TEST(PlanShapesTest, Figure1E_Figure2) {
+  Gensym::Reset();
+  Schema schema = workload::UniversitySchema();
+  AlgPtr plan = UnnestComp(
+      Normalize(Q(
+          "select distinct s from s in Students "
+          "where for all c in select c from c in Courses "
+          "where c.title = 'DB': "
+          "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno")),
+      schema);
+  // Normalization alpha-renames the course binder to c$0 when flattening the
+  // quantifier domain (N7).
+  EXPECT_EQ(
+      PrintPlan(plan),
+      "Reduce[set/s if v$2]\n"
+      "  Nest[all/v$1 -> v$2 group_by(s) nulls(c$0)]\n"
+      "    Nest[some/true -> v$1 group_by(s, c$0) nulls(t)]\n"
+      "      OuterJoin[((t.sid = s.sid) and (t.cno = c$0.cno))]\n"
+      "        OuterJoin[true]\n"
+      "          Scan[s <- Students]\n"
+      "          Scan[c$0 <- Courses if (c$0.title = \"DB\")]\n"
+      "        Scan[t <- Transcripts]\n");
+}
+
+TEST(PlanShapesTest, Figure8BeforeAndAfter) {
+  Gensym::Reset();
+  Schema schema = workload::CompanySchema();
+  ExprPtr q = Q("select distinct e.dno, avg(e.salary) from Employees e "
+                "where e.age > 30 group by e.dno");
+  AlgPtr plan = UnnestComp(Normalize(q), schema);
+  EXPECT_EQ(PrintPlan(plan),
+            "Reduce[set/<dno=e.dno, avg=v$1>]\n"
+            "  Nest[avg/e$0.salary -> v$1 group_by(e) nulls(e$0)]\n"
+            "    OuterJoin[(e$0.dno = e.dno)]\n"
+            "      Scan[e <- Employees if (e.age > 30)]\n"
+            "      Scan[e$0 <- Employees if (e$0.age > 30)]\n");
+  AlgPtr simplified = Simplify(plan, schema);
+  EXPECT_EQ(PrintPlan(simplified),
+            "Reduce[set/<dno=k$2, avg=v$1>]\n"
+            "  Nest[avg/e.salary -> v$1 group_by(k$2=e.dno) "
+            "nulls() if not(is_null(e.dno))]\n"
+            "    Scan[e <- Employees if (e.age > 30)]\n");
+}
+
+}  // namespace
+}  // namespace ldb

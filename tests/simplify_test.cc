@@ -1,0 +1,161 @@
+// Tests for the Section 5 simplification (src/core/simplify.*): the
+// Figure 8.A -> 8.B rewrite, its soundness conditions, and ReplaceSubterm.
+
+#include "src/core/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/core/unnest.h"
+#include "src/runtime/eval_algebra.h"
+#include "src/runtime/eval_calculus.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+  const Schema& schema_ = db_.schema();
+
+  AlgPtr PlanOf(const std::string& oql) {
+    return UnnestComp(Normalize(ParseOQL(oql)), schema_);
+  }
+};
+
+const char* kFigure8Query =
+    "select distinct e.dno, avg(e.salary) from Employees e "
+    "where e.age > 30 group by e.dno";
+
+TEST_F(SimplifyTest, Figure8PlanAIsSelfOuterJoin) {
+  AlgPtr plan = PlanOf(kFigure8Query);
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Scan(Employees),Scan(Employees))))");
+}
+
+TEST_F(SimplifyTest, Figure8SimplifiesToSingleScanNest) {
+  AlgPtr plan = PlanOf(kFigure8Query);
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_EQ(PlanShape(simplified), "Reduce(Nest(Scan(Employees)))");
+  // The nest now groups by the key expression e.dno.
+  const AlgOp& nest = *simplified->left;
+  ASSERT_EQ(nest.group_by.size(), 1u);
+  EXPECT_EQ(PrintExpr(nest.group_by[0].second), "e.dno");
+  EXPECT_TRUE(nest.null_vars.empty());
+}
+
+TEST_F(SimplifyTest, Figure8SimplifiedResultUnchanged) {
+  AlgPtr plan = PlanOf(kFigure8Query);
+  AlgPtr simplified = Simplify(plan, schema_);
+  Value a = ExecutePlan(plan, db_);
+  Value b = ExecutePlan(simplified, db_);
+  Value baseline = EvalCalculus(ParseOQL(kFigure8Query), db_);
+  EXPECT_EQ(a, baseline);
+  EXPECT_EQ(b, baseline);
+  // Oracle: employees strictly over 30: Bob(80k,d0), Dee(120k,d1); Ann is
+  // exactly 30 and excluded.
+  Value expected = Value::Set({
+      Value::Tuple({{"dno", Value::Int(0)}, {"avg", Value::Real(80000)}}),
+      Value::Tuple({{"dno", Value::Int(1)}, {"avg", Value::Real(120000)}}),
+  });
+  EXPECT_EQ(b, expected);
+}
+
+TEST_F(SimplifyTest, CountGroupByAlsoSimplifies) {
+  AlgPtr plan = PlanOf(
+      "select distinct e.dno, count(e) from Employees e group by e.dno");
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_EQ(PlanShape(simplified), "Reduce(Nest(Scan(Employees)))");
+  Value expected = Value::Set({
+      Value::Tuple({{"dno", Value::Int(0)}, {"count", Value::Int(2)}}),
+      Value::Tuple({{"dno", Value::Int(1)}, {"count", Value::Int(2)}}),
+  });
+  EXPECT_EQ(ExecutePlan(simplified, db_), expected);
+}
+
+TEST_F(SimplifyTest, DoesNotFireAcrossDifferentExtents) {
+  // Correlated aggregate over a DIFFERENT extent: not the self-join pattern.
+  AlgPtr plan = PlanOf(
+      "select distinct struct(D: d.dno, n: count(select e from e in Employees "
+      "where e.dno = d.dno)) from d in Departments");
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_TRUE(AlgEqual(plan, simplified));
+}
+
+TEST_F(SimplifyTest, DoesNotFireWhenScanPredicatesDiffer) {
+  // Outer filtered at age > 30 but the aggregate ranges over age > 40:
+  // the two scans differ, so the rewrite must not fire.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(D: e.dno, "
+      "  s: sum(select u.salary from u in Employees "
+      "         where u.age > 40 and u.dno = e.dno)) "
+      "from e in Employees where e.age > 30");
+  AlgPtr plan = UnnestComp(Normalize(q), schema_);
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_TRUE(AlgEqual(plan, simplified));
+  EXPECT_EQ(ExecutePlan(simplified, db_), EvalCalculus(q, db_));
+}
+
+TEST_F(SimplifyTest, DoesNotFireWhenReduceStillNeedsOuterVariable) {
+  // The head keeps e.name, which is not a function of the group key, so the
+  // rewrite is not meaning-preserving and must not fire.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(n: e.name, "
+      "  s: avg(select u.salary from u in Employees where u.dno = e.dno)) "
+      "from e in Employees");
+  AlgPtr plan = UnnestComp(Normalize(q), schema_);
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_TRUE(AlgEqual(plan, simplified));
+  EXPECT_EQ(ExecutePlan(simplified, db_), EvalCalculus(q, db_));
+}
+
+TEST_F(SimplifyTest, DoesNotFireForNonIdempotentOuterMonoid) {
+  // A bag outer reduce would change multiplicities (one row per employee vs
+  // one per group), so idempotence of the outer monoid is required.
+  AlgPtr nest = AlgOp::Nest(
+      AlgOp::OuterJoin(
+          AlgOp::Scan("Employees", "a", nullptr),
+          AlgOp::Scan("Employees", "b", nullptr),
+          Expr::Eq(Expr::Proj(V("a"), "dno"), Expr::Proj(V("b"), "dno"))),
+      MonoidKind::kSum, Expr::Int(1), "m", {{"a", V("a")}}, {"b"}, nullptr);
+  AlgPtr plan = AlgOp::Reduce(
+      nest, MonoidKind::kBag,
+      Expr::Record({{"k", Expr::Proj(V("a"), "dno")}, {"n", V("m")}}), nullptr);
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_TRUE(AlgEqual(plan, simplified));
+}
+
+TEST_F(SimplifyTest, MultiKeyGroupBySimplifies) {
+  AlgPtr plan = PlanOf(
+      "select distinct e.dno, e.age, count(e) from Employees e "
+      "group by e.dno, e.age");
+  AlgPtr simplified = Simplify(plan, schema_);
+  EXPECT_EQ(PlanShape(simplified), "Reduce(Nest(Scan(Employees)))");
+  EXPECT_EQ(simplified->left->group_by.size(), 2u);
+  EXPECT_EQ(ExecutePlan(simplified, db_), ExecutePlan(plan, db_));
+}
+
+TEST_F(SimplifyTest, ReplaceSubterm) {
+  ExprPtr target = Expr::Proj(V("e"), "dno");
+  ExprPtr e = Expr::Record({{"a", target}, {"b", Expr::Eq(target, Expr::Int(1))}});
+  ExprPtr out = ReplaceSubterm(e, Expr::Proj(V("e"), "dno"), V("k"));
+  EXPECT_EQ(PrintExpr(out), "<a=k, b=(k = 1)>");
+  // No-op when target absent.
+  EXPECT_TRUE(ExprEqual(ReplaceSubterm(e, V("zzz"), V("k")), e));
+}
+
+TEST_F(SimplifyTest, NullKeysStayGroupedWithZero) {
+  // Build a variant where the key can be NULL through outer-join padding is
+  // impossible with the company schema, so instead check the guard directly:
+  // the simplified nest predicate contains a not-is_null guard on the key.
+  AlgPtr simplified = Simplify(PlanOf(kFigure8Query), schema_);
+  std::string pred = PrintExpr(simplified->left->pred);
+  EXPECT_NE(pred.find("is_null"), std::string::npos) << pred;
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,119 @@
+// Shared helpers for the lambdadb test suites: a tiny hand-built Company
+// database with contents small enough to compute oracles by hand, and
+// conveniences for running queries both ways.
+
+#ifndef LAMBDADB_TESTS_TEST_UTIL_H_
+#define LAMBDADB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lambdadb.h"
+#include "src/workload/company.h"
+#include "src/workload/university.h"
+
+namespace ldb::testing {
+
+// A fixed 3-department / 4-employee / 2-manager company:
+//
+//   Departments: d0 "Sales", d1 "R&D", d2 "Empty" (no employees)
+//   Managers:    m0 "Meg" (age 50, salary 200k, kids: Pat(20))
+//                m1 "Mo"  (age 40, salary 150k, no kids)
+//   Employees:   e0 "Ann" age 30 salary 100k dno 0 mgr m0 kids {Al(5), Amy(25)}
+//                e1 "Bob" age 40 salary  80k dno 0 mgr m1 kids {}
+//                e2 "Cal" age 25 salary  60k dno 1 mgr NULL kids {Cam(30)}
+//                e3 "Dee" age 55 salary 120k dno 1 mgr m0 kids {Dan(10)}
+inline Database TinyCompany() {
+  Database db(workload::CompanySchema());
+  auto person = [&](const std::string& name, int age) {
+    return db.Insert("Person", Value::Tuple({{"name", Value::Str(name)},
+                                             {"age", Value::Int(age)}}));
+  };
+  auto dept = [&](int dno, const std::string& name) {
+    db.Insert("Department",
+              Value::Tuple({{"dno", Value::Int(dno)},
+                            {"name", Value::Str(name)},
+                            {"budget", Value::Real(1000.0 * dno)}}));
+  };
+  dept(0, "Sales");
+  dept(1, "R&D");
+  dept(2, "Empty");
+
+  Value m0 = db.Insert(
+      "Manager", Value::Tuple({{"name", Value::Str("Meg")},
+                               {"age", Value::Int(50)},
+                               {"salary", Value::Real(200000)},
+                               {"children", Value::Set({person("Pat", 20)})}}));
+  Value m1 = db.Insert(
+      "Manager", Value::Tuple({{"name", Value::Str("Mo")},
+                               {"age", Value::Int(40)},
+                               {"salary", Value::Real(150000)},
+                               {"children", Value::Set({})}}));
+
+  auto emp = [&](const std::string& name, int age, double salary, int dno,
+                 Value mgr, Elems kids) {
+    db.Insert("Employee",
+              Value::Tuple({{"name", Value::Str(name)},
+                            {"age", Value::Int(age)},
+                            {"salary", Value::Real(salary)},
+                            {"dno", Value::Int(dno)},
+                            {"manager", mgr},
+                            {"children", Value::Set(std::move(kids))}}));
+  };
+  emp("Ann", 30, 100000, 0, m0, {person("Al", 5), person("Amy", 25)});
+  emp("Bob", 40, 80000, 0, m1, {});
+  emp("Cal", 25, 60000, 1, Value::Null(), {person("Cam", 30)});
+  emp("Dee", 55, 120000, 1, m0, {person("Dan", 10)});
+  return db;
+}
+
+// A fixed university:
+//   Courses: c0 "DB", c1 "DB", c2 "OS"
+//   Students: s0 took {c0, c1, c2}  (all DB)            -> qualifies
+//             s1 took {c0}          (one DB)            -> no
+//             s2 took {}                                -> no
+//             s3 took {c0, c1}      (all DB)            -> qualifies
+inline Database TinyUniversity() {
+  Database db(workload::UniversitySchema());
+  auto course = [&](int cno, const std::string& title) {
+    db.Insert("Course", Value::Tuple({{"cno", Value::Int(cno)},
+                                      {"title", Value::Str(title)}}));
+  };
+  course(0, "DB");
+  course(1, "DB");
+  course(2, "OS");
+  auto student = [&](int sid, const std::string& name) {
+    db.Insert("Student", Value::Tuple({{"sid", Value::Int(sid)},
+                                       {"name", Value::Str(name)}}));
+  };
+  student(0, "s0");
+  student(1, "s1");
+  student(2, "s2");
+  student(3, "s3");
+  auto took = [&](int sid, int cno) {
+    db.Insert("Transcript", Value::Tuple({{"sid", Value::Int(sid)},
+                                          {"cno", Value::Int(cno)}}));
+  };
+  took(0, 0);
+  took(0, 1);
+  took(0, 2);
+  took(1, 0);
+  took(3, 0);
+  took(3, 1);
+  return db;
+}
+
+/// Runs `oql` through the full optimizer pipeline and through the baseline
+/// and EXPECTs the results to agree; returns the optimized result.
+inline Value RunBothWays(const Database& db, const std::string& oql,
+                         OptimizerOptions options = {}) {
+  Value optimized = RunOQL(db, oql, options);
+  Value baseline = RunOQLBaseline(db, oql);
+  EXPECT_EQ(optimized, baseline) << "query: " << oql;
+  return optimized;
+}
+
+}  // namespace ldb::testing
+
+#endif  // LAMBDADB_TESTS_TEST_UTIL_H_

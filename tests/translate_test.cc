@@ -1,0 +1,168 @@
+// Tests for the OQL -> calculus translation (src/oql/translate.*): each paper
+// query must produce the comprehension the paper gives for it.
+
+#include "src/oql/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pretty.h"
+#include "src/oql/parser.h"
+#include "src/runtime/error.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr T(const std::string& oql) { return oql::Translate(oql::Parse(oql)); }
+
+TEST(TranslateTest, QueryA) {
+  // U{ <E=e.name, C=c.name> | e <- Employees, c <- e.children }
+  ExprPtr e = T("select distinct struct(E: e.name, C: c.name) "
+                "from e in Employees, c in e.children");
+  EXPECT_EQ(PrintExpr(e),
+            "set{ <E=e.name, C=c.name> | e <- Employees, c <- e.children }");
+}
+
+TEST(TranslateTest, QueryB) {
+  ExprPtr e = T("select distinct struct(D: d, E: (select distinct e "
+                "from e in Employees where e.dno = d.dno)) "
+                "from d in Departments");
+  EXPECT_EQ(PrintExpr(e),
+            "set{ <D=d, E=set{ e | e <- Employees, (e.dno = d.dno) }> "
+            "| d <- Departments }");
+}
+
+TEST(TranslateTest, QueryD) {
+  // count(...) becomes sum{ 1 | ... }; the for-all becomes an all-comp.
+  ExprPtr e = T("select distinct struct(E: e, M: count(select distinct c "
+                "from c in e.children "
+                "where for all d in e.manager.children: c.age > d.age)) "
+                "from e in Employees");
+  // count over a distinct subquery aggregates the deduplicated set; since c
+  // ranges over a set already, translation uses the generator directly after
+  // normalization. Before normalization we accept either form; check the key
+  // structure instead of the exact string.
+  ASSERT_EQ(e->kind, ExprKind::kComp);
+  EXPECT_EQ(e->monoid, MonoidKind::kSet);
+  const ExprPtr& m = e->a->fields[1].second;
+  ASSERT_EQ(m->kind, ExprKind::kComp);
+  EXPECT_EQ(m->monoid, MonoidKind::kSum);
+  EXPECT_TRUE(ExprEqual(m->a, Expr::Int(1)));
+}
+
+TEST(TranslateTest, QueryEQuantifiers) {
+  ExprPtr e = T("select distinct s from s in Students "
+                "where for all c in select c from c in Courses "
+                "where c.title = 'DB': "
+                "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno");
+  ASSERT_EQ(e->kind, ExprKind::kComp);
+  ASSERT_EQ(e->quals.size(), 2u);
+  const ExprPtr& all = e->quals[1].expr;
+  ASSERT_EQ(all->kind, ExprKind::kComp);
+  EXPECT_EQ(all->monoid, MonoidKind::kAll);
+  // all's head is the existential.
+  ASSERT_EQ(all->a->kind, ExprKind::kComp);
+  EXPECT_EQ(all->a->monoid, MonoidKind::kSome);
+}
+
+TEST(TranslateTest, SelectWithoutDistinctIsBag) {
+  ExprPtr e = T("select e.name from e in Employees");
+  EXPECT_EQ(e->monoid, MonoidKind::kBag);
+}
+
+TEST(TranslateTest, MembershipBecomesExistential) {
+  ExprPtr e = T("3 in x.numbers");
+  ASSERT_EQ(e->kind, ExprKind::kComp);
+  EXPECT_EQ(e->monoid, MonoidKind::kSome);
+  ASSERT_EQ(e->quals.size(), 1u);
+  EXPECT_TRUE(e->quals[0].is_generator);
+  EXPECT_EQ(e->a->bin_op, BinOpKind::kEq);
+}
+
+TEST(TranslateTest, AggregatesOverSubqueries) {
+  ExprPtr mx = T("max(select m.salary from m in Managers where m.age > 40)");
+  ASSERT_EQ(mx->kind, ExprKind::kComp);
+  EXPECT_EQ(mx->monoid, MonoidKind::kMax);
+  EXPECT_EQ(PrintExpr(mx->a), "m.salary");
+  ASSERT_EQ(mx->quals.size(), 2u);
+
+  ExprPtr cnt = T("count(select e from e in Employees)");
+  EXPECT_EQ(cnt->monoid, MonoidKind::kSum);
+  EXPECT_TRUE(ExprEqual(cnt->a, Expr::Int(1)));
+
+  ExprPtr av = T("avg(select e.salary from e in Employees)");
+  EXPECT_EQ(av->monoid, MonoidKind::kAvg);
+}
+
+TEST(TranslateTest, CountDistinctKeepsInnerSet) {
+  ExprPtr cnt = T("count(select distinct e.dno from e in Employees)");
+  ASSERT_EQ(cnt->kind, ExprKind::kComp);
+  EXPECT_EQ(cnt->monoid, MonoidKind::kSum);
+  ASSERT_EQ(cnt->quals.size(), 1u);
+  ASSERT_TRUE(cnt->quals[0].is_generator);
+  EXPECT_EQ(cnt->quals[0].expr->kind, ExprKind::kComp);
+  EXPECT_EQ(cnt->quals[0].expr->monoid, MonoidKind::kSet);
+}
+
+TEST(TranslateTest, AggregateOverCollectionAttribute) {
+  ExprPtr cnt = T("count(e.children)");
+  ASSERT_EQ(cnt->kind, ExprKind::kComp);
+  EXPECT_EQ(cnt->monoid, MonoidKind::kSum);
+  ASSERT_EQ(cnt->quals.size(), 1u);
+  EXPECT_EQ(PrintExpr(cnt->quals[0].expr), "e.children");
+}
+
+TEST(TranslateTest, ExistsFunctionFormBecomesSome) {
+  ExprPtr e = T("exists(select e from e in Employees where e.age > 60)");
+  ASSERT_EQ(e->kind, ExprKind::kComp);
+  EXPECT_EQ(e->monoid, MonoidKind::kSome);
+  EXPECT_TRUE(e->a->IsTrueLiteral());
+}
+
+TEST(TranslateTest, GroupByProducesCorrelatedAggregate) {
+  // The paper's Section 5 translation.
+  ExprPtr e = T("select distinct e.dno, avg(e.salary) from Employees e "
+                "where e.age > 30 group by e.dno");
+  ASSERT_EQ(e->kind, ExprKind::kComp);
+  EXPECT_EQ(e->monoid, MonoidKind::kSet);
+  ASSERT_EQ(e->a->kind, ExprKind::kRecord);
+  ASSERT_EQ(e->a->fields.size(), 2u);
+  EXPECT_EQ(e->a->fields[0].first, "dno");
+  EXPECT_EQ(e->a->fields[1].first, "avg");
+  const ExprPtr& agg = e->a->fields[1].second;
+  ASSERT_EQ(agg->kind, ExprKind::kComp);
+  EXPECT_EQ(agg->monoid, MonoidKind::kAvg);
+  // The aggregate has: generator over Employees, the where filter, and the
+  // group-key correlation filter.
+  ASSERT_EQ(agg->quals.size(), 3u);
+  EXPECT_TRUE(agg->quals[0].is_generator);
+  EXPECT_FALSE(agg->quals[1].is_generator);
+  EXPECT_FALSE(agg->quals[2].is_generator);
+}
+
+TEST(TranslateTest, GroupByRejectsNonAggregateNonKeyProjection) {
+  EXPECT_THROW(T("select e.name from Employees e group by e.dno"),
+               UnsupportedError);
+  EXPECT_THROW(
+      T("select d.dno from d in Departments, e in Employees group by d.dno"),
+      UnsupportedError);
+}
+
+TEST(TranslateTest, StructlessMultiProjectionGetsDerivedNames) {
+  ExprPtr e = T("select e.name, e.age, count(e.children), e.age + 1 "
+                "from e in Employees");
+  ASSERT_EQ(e->a->kind, ExprKind::kRecord);
+  ASSERT_EQ(e->a->fields.size(), 4u);
+  EXPECT_EQ(e->a->fields[0].first, "name");
+  EXPECT_EQ(e->a->fields[1].first, "age");
+  EXPECT_EQ(e->a->fields[2].first, "count");
+  EXPECT_EQ(e->a->fields[3].first, "c4");
+}
+
+TEST(TranslateTest, NotPushesThroughLater) {
+  ExprPtr e = T("not (e.age > 30)");
+  EXPECT_EQ(e->kind, ExprKind::kUnOp);  // translation is literal; normalize
+                                        // handles DeMorgan later
+}
+
+}  // namespace
+}  // namespace ldb

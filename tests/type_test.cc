@@ -1,0 +1,79 @@
+// Unit tests for the type system (src/core/type.*).
+
+#include "src/core/type.h"
+
+#include <gtest/gtest.h>
+
+namespace ldb {
+namespace {
+
+TEST(TypeTest, ToString) {
+  EXPECT_EQ(Type::Int()->ToString(), "int");
+  EXPECT_EQ(Type::Set(Type::Str())->ToString(), "set(string)");
+  EXPECT_EQ(Type::Bag(Type::Bool())->ToString(), "bag(bool)");
+  EXPECT_EQ(Type::Class("Employee")->ToString(), "Employee");
+  EXPECT_EQ(
+      Type::Tuple({{"a", Type::Int()}, {"b", Type::Real()}})->ToString(),
+      "(a: int, b: real)");
+  EXPECT_EQ(Type::Func(Type::Int(), Type::Bool())->ToString(), "int -> bool");
+}
+
+TEST(TypeTest, EqualStructural) {
+  EXPECT_TRUE(Type::Equal(Type::Set(Type::Int()), Type::Set(Type::Int())));
+  EXPECT_FALSE(Type::Equal(Type::Set(Type::Int()), Type::Bag(Type::Int())));
+  EXPECT_FALSE(Type::Equal(Type::Class("A"), Type::Class("B")));
+  EXPECT_TRUE(Type::Equal(Type::Class("A"), Type::Class("A")));
+}
+
+TEST(TypeTest, AnyUnifiesWithEverything) {
+  EXPECT_TRUE(Type::Equal(Type::Any(), Type::Set(Type::Int())));
+  TypePtr u = Type::Unify(Type::Any(), Type::Str());
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->kind(), Type::Kind::kStr);
+}
+
+TEST(TypeTest, NumericUnifyWidensToReal) {
+  TypePtr u = Type::Unify(Type::Int(), Type::Real());
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->kind(), Type::Kind::kReal);
+  u = Type::Unify(Type::Int(), Type::Int());
+  EXPECT_EQ(u->kind(), Type::Kind::kInt);
+}
+
+TEST(TypeTest, CollectionUnifyRecurses) {
+  TypePtr u = Type::Unify(Type::Set(Type::Int()), Type::Set(Type::Real()));
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->elem()->kind(), Type::Kind::kReal);
+  EXPECT_EQ(Type::Unify(Type::Set(Type::Int()), Type::Set(Type::Str())), nullptr);
+}
+
+TEST(TypeTest, TupleUnifyRequiresSameFieldNames) {
+  TypePtr a = Type::Tuple({{"x", Type::Int()}});
+  TypePtr b = Type::Tuple({{"x", Type::Real()}});
+  TypePtr c = Type::Tuple({{"y", Type::Int()}});
+  ASSERT_NE(Type::Unify(a, b), nullptr);
+  EXPECT_EQ(Type::Unify(a, b)->FieldType("x")->kind(), Type::Kind::kReal);
+  EXPECT_EQ(Type::Unify(a, c), nullptr);
+}
+
+TEST(TypeTest, EmptySetElementIsAny) {
+  TypePtr e = Type::Set(Type::Any());
+  EXPECT_TRUE(Type::Equal(e, Type::Set(Type::Class("X"))));
+}
+
+TEST(TypeTest, FieldTypeLookup) {
+  TypePtr t = Type::Tuple({{"a", Type::Int()}});
+  EXPECT_NE(t->FieldType("a"), nullptr);
+  EXPECT_EQ(t->FieldType("zz"), nullptr);
+}
+
+TEST(TypeTest, Predicates) {
+  EXPECT_TRUE(Type::Set(Type::Int())->is_collection());
+  EXPECT_FALSE(Type::Int()->is_collection());
+  EXPECT_TRUE(Type::Int()->is_numeric());
+  EXPECT_TRUE(Type::Real()->is_numeric());
+  EXPECT_FALSE(Type::Str()->is_numeric());
+}
+
+}  // namespace
+}  // namespace ldb

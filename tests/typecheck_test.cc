@@ -1,0 +1,199 @@
+// Tests for the calculus type checker (Figure 3) and the plan type checker
+// (Figure 6) — src/core/typecheck.*.
+
+#include "src/core/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/unnest.h"
+#include "src/runtime/error.h"
+#include "src/workload/company.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  Schema schema_ = workload::CompanySchema();
+};
+
+TEST_F(TypecheckTest, LiteralsAndVars) {
+  EXPECT_EQ(TypeCheck(Expr::Int(1), schema_)->kind(), Type::Kind::kInt);
+  EXPECT_EQ(TypeCheck(Expr::Str("x"), schema_)->kind(), Type::Kind::kStr);
+  EXPECT_EQ(TypeCheck(Expr::Null(), schema_)->kind(), Type::Kind::kAny);
+  TypeEnv env{{"x", Type::Real()}};
+  EXPECT_EQ(TypeCheck(V("x"), schema_, env)->kind(), Type::Kind::kReal);
+  EXPECT_THROW(TypeCheck(V("nope"), schema_), TypeError);
+}
+
+TEST_F(TypecheckTest, ExtentResolvesToSetOfClass) {
+  TypePtr t = TypeCheck(V("Employees"), schema_);
+  ASSERT_EQ(t->kind(), Type::Kind::kSet);
+  EXPECT_EQ(t->elem()->class_name(), "Employee");
+}
+
+TEST_F(TypecheckTest, ProjectionThroughClassAttributes) {
+  TypeEnv env{{"e", Type::Class("Employee")}};
+  EXPECT_EQ(TypeCheck(Expr::Proj(V("e"), "salary"), schema_, env)->kind(),
+            Type::Kind::kReal);
+  // e.manager.children : set(Person)
+  TypePtr t = TypeCheck(
+      Expr::Path(V("e"), {"manager", "children"}), schema_, env);
+  ASSERT_EQ(t->kind(), Type::Kind::kSet);
+  EXPECT_EQ(t->elem()->class_name(), "Person");
+  EXPECT_THROW(TypeCheck(Expr::Proj(V("e"), "nothere"), schema_, env), TypeError);
+}
+
+TEST_F(TypecheckTest, ProjectionOnRecord) {
+  ExprPtr rec = Expr::Record({{"a", Expr::Int(1)}});
+  EXPECT_EQ(TypeCheck(Expr::Proj(rec, "a"), schema_)->kind(), Type::Kind::kInt);
+  EXPECT_THROW(TypeCheck(Expr::Proj(rec, "b"), schema_), TypeError);
+  EXPECT_THROW(TypeCheck(Expr::Proj(Expr::Int(1), "a"), schema_), TypeError);
+}
+
+TEST_F(TypecheckTest, IfRequiresBoolAndUnifiableBranches) {
+  EXPECT_EQ(
+      TypeCheck(Expr::If(Expr::True(), Expr::Int(1), Expr::Real(2)), schema_)
+          ->kind(),
+      Type::Kind::kReal);
+  EXPECT_THROW(TypeCheck(Expr::If(Expr::Int(1), Expr::Int(1), Expr::Int(2)),
+                         schema_),
+               TypeError);
+  EXPECT_THROW(
+      TypeCheck(Expr::If(Expr::True(), Expr::Int(1), Expr::Str("x")), schema_),
+      TypeError);
+}
+
+TEST_F(TypecheckTest, BinOps) {
+  EXPECT_EQ(TypeCheck(Expr::Bin(BinOpKind::kAdd, Expr::Int(1), Expr::Real(2)),
+                      schema_)->kind(),
+            Type::Kind::kReal);
+  EXPECT_EQ(TypeCheck(Expr::Eq(Expr::Int(1), Expr::Real(2)), schema_)->kind(),
+            Type::Kind::kBool);
+  EXPECT_THROW(TypeCheck(Expr::Eq(Expr::Int(1), Expr::Str("x")), schema_),
+               TypeError);
+  EXPECT_THROW(TypeCheck(Expr::Bin(BinOpKind::kAdd, Expr::Int(1), Expr::True()),
+                         schema_),
+               TypeError);
+  EXPECT_THROW(TypeCheck(Expr::And(Expr::Int(1), Expr::True()), schema_),
+               TypeError);
+  // Strings are ordered.
+  EXPECT_EQ(TypeCheck(Expr::Bin(BinOpKind::kLt, Expr::Str("a"), Expr::Str("b")),
+                      schema_)->kind(),
+            Type::Kind::kBool);
+}
+
+TEST_F(TypecheckTest, ComprehensionTyping) {
+  // set{ e.name | e <- Employees, e.age > 30 } : set(string)
+  ExprPtr comp = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("e"), "name"),
+      {Qualifier::Generator("e", V("Employees")),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "age"),
+                                   Expr::Int(30)))});
+  TypePtr t = TypeCheck(comp, schema_);
+  ASSERT_EQ(t->kind(), Type::Kind::kSet);
+  EXPECT_EQ(t->elem()->kind(), Type::Kind::kStr);
+}
+
+TEST_F(TypecheckTest, ComprehensionMonoidHeadConstraints) {
+  // sum over strings is ill-typed.
+  ExprPtr bad = Expr::Comp(MonoidKind::kSum, Expr::Proj(V("e"), "name"),
+                           {Qualifier::Generator("e", V("Employees"))});
+  EXPECT_THROW(TypeCheck(bad, schema_), TypeError);
+  // all over non-bool is ill-typed.
+  ExprPtr bad2 = Expr::Comp(MonoidKind::kAll, Expr::Int(1),
+                            {Qualifier::Generator("e", V("Employees"))});
+  EXPECT_THROW(TypeCheck(bad2, schema_), TypeError);
+  // sum over int head types as int; over real as real.
+  ExprPtr age_sum = Expr::Comp(MonoidKind::kSum, Expr::Proj(V("e"), "age"),
+                               {Qualifier::Generator("e", V("Employees"))});
+  EXPECT_EQ(TypeCheck(age_sum, schema_)->kind(), Type::Kind::kInt);
+}
+
+TEST_F(TypecheckTest, GeneratorDomainMustBeCollection) {
+  ExprPtr bad = Expr::Comp(MonoidKind::kSet, V("x"),
+                           {Qualifier::Generator("x", Expr::Int(1))});
+  EXPECT_THROW(TypeCheck(bad, schema_), TypeError);
+}
+
+TEST_F(TypecheckTest, FilterMustBeBool) {
+  ExprPtr bad = Expr::Comp(MonoidKind::kSet, V("e"),
+                           {Qualifier::Generator("e", V("Employees")),
+                            Qualifier::Filter(Expr::Int(1))});
+  EXPECT_THROW(TypeCheck(bad, schema_), TypeError);
+}
+
+TEST_F(TypecheckTest, NestedComprehensionUsesOuterBindings) {
+  // set{ sum{ c.age | c <- e.children } | e <- Employees } : set(int)
+  ExprPtr inner = Expr::Comp(MonoidKind::kSum, Expr::Proj(V("c"), "age"),
+                             {Qualifier::Generator("c", Expr::Proj(V("e"), "children"))});
+  ExprPtr outer = Expr::Comp(MonoidKind::kSet, inner,
+                             {Qualifier::Generator("e", V("Employees"))});
+  TypePtr t = TypeCheck(outer, schema_);
+  ASSERT_EQ(t->kind(), Type::Kind::kSet);
+  EXPECT_EQ(t->elem()->kind(), Type::Kind::kInt);
+}
+
+TEST_F(TypecheckTest, IsNullAlwaysBool) {
+  TypeEnv env{{"e", Type::Class("Employee")}};
+  EXPECT_EQ(TypeCheck(Expr::Un(UnOpKind::kIsNull, Expr::Proj(V("e"), "manager")),
+                      schema_, env)->kind(),
+            Type::Kind::kBool);
+}
+
+TEST_F(TypecheckTest, PlanTypeChecks) {
+  // Unnest the Query B pattern and type the plan: the result element is
+  // (D: Department, E: set(Employee)).
+  ExprPtr inner = Expr::Comp(
+      MonoidKind::kSet, V("e"),
+      {Qualifier::Generator("e", V("Employees")),
+       Qualifier::Filter(Expr::Eq(Expr::Proj(V("e"), "dno"),
+                                  Expr::Proj(V("d"), "dno")))});
+  ExprPtr query = Expr::Comp(
+      MonoidKind::kSet, Expr::Record({{"D", V("d")}, {"E", inner}}),
+      {Qualifier::Generator("d", V("Departments"))});
+  AlgPtr plan = UnnestComp(Normalize(query), schema_);
+  TypePtr t = TypeCheckPlan(plan, schema_);
+  ASSERT_EQ(t->kind(), Type::Kind::kSet);
+  ASSERT_EQ(t->elem()->kind(), Type::Kind::kTuple);
+  EXPECT_EQ(t->elem()->FieldType("D")->class_name(), "Department");
+  ASSERT_EQ(t->elem()->FieldType("E")->kind(), Type::Kind::kSet);
+  EXPECT_EQ(t->elem()->FieldType("E")->elem()->class_name(), "Employee");
+}
+
+TEST_F(TypecheckTest, PlanRejectsIllFormed) {
+  // Scan of unknown extent.
+  AlgPtr bad = AlgOp::Reduce(AlgOp::Scan("Nowhere", "x", nullptr),
+                             MonoidKind::kSet, V("x"), nullptr);
+  EXPECT_THROW(TypeCheckPlan(bad, schema_), TypeError);
+
+  // Non-boolean predicate.
+  AlgPtr bad2 = AlgOp::Reduce(
+      AlgOp::Scan("Employees", "e", Expr::Proj(V("e"), "age")),
+      MonoidKind::kSet, V("e"), nullptr);
+  EXPECT_THROW(TypeCheckPlan(bad2, schema_), TypeError);
+
+  // Unnest over a non-collection path.
+  AlgPtr bad3 = AlgOp::Reduce(
+      AlgOp::Unnest(AlgOp::Scan("Employees", "e", nullptr),
+                    Expr::Proj(V("e"), "age"), "c", nullptr),
+      MonoidKind::kSet, V("c"), nullptr);
+  EXPECT_THROW(TypeCheckPlan(bad3, schema_), TypeError);
+
+  // Root must be a reduce.
+  EXPECT_THROW(TypeCheckPlan(AlgOp::Scan("Employees", "e", nullptr), schema_),
+               TypeError);
+}
+
+TEST_F(TypecheckTest, PlanRejectsVariableCollision) {
+  AlgPtr join = AlgOp::Join(AlgOp::Scan("Employees", "e", nullptr),
+                            AlgOp::Scan("Employees", "e", nullptr), nullptr);
+  AlgPtr plan = AlgOp::Reduce(join, MonoidKind::kSum, Expr::Int(1), nullptr);
+  EXPECT_THROW(TypeCheckPlan(plan, schema_), TypeError);
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,377 @@
+// Tests for the unnesting algorithm (Figure 7, rules C1-C9) —
+// src/core/unnest.*. Covers each rule, the paper's Queries A-E (plan shape
+// AND result), and the Theorem 1 completeness property.
+
+#include "src/core/unnest.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/runtime/error.h"
+#include "src/runtime/eval_algebra.h"
+#include "src/runtime/eval_calculus.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+ExprPtr V(const std::string& n) { return Expr::Var(n); }
+
+class UnnestTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+  const Schema& schema_ = db_.schema();
+
+  AlgPtr Plan(const ExprPtr& e) { return UnnestComp(Normalize(e), schema_); }
+
+  // Soundness on the spot: baseline result == plan result.
+  Value CheckBothWays(const ExprPtr& e) {
+    AlgPtr plan = Plan(e);
+    EXPECT_TRUE(IsFullyUnnested(plan)) << PrintPlan(plan);
+    Value via_plan = ExecutePlan(plan, db_);
+    Value via_loops = EvalCalculus(e, db_);
+    EXPECT_EQ(via_plan, via_loops) << PrintPlan(plan);
+    return via_plan;
+  }
+};
+
+TEST_F(UnnestTest, C1C2SimpleScanReduce) {
+  // set{ e.name | e <- Employees, e.age > 35 }: selection lands on the scan.
+  ExprPtr q = Expr::Comp(
+      MonoidKind::kSet, Expr::Proj(V("e"), "name"),
+      {Qualifier::Generator("e", V("Employees")),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kGt, Expr::Proj(V("e"), "age"),
+                                   Expr::Int(35)))});
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Scan(Employees))");
+  EXPECT_FALSE(plan->left->pred->IsTrueLiteral());  // pushed to the scan
+  EXPECT_EQ(CheckBothWays(q),
+            Value::Set({Value::Str("Bob"), Value::Str("Dee")}));
+}
+
+TEST_F(UnnestTest, C3CrossAndEquiJoin) {
+  // Join predicate is split: d-only on the scan, join part on the join (C3).
+  ExprPtr q = Expr::Comp(
+      MonoidKind::kSet,
+      Expr::Record({{"e", Expr::Proj(V("e"), "name")},
+                    {"d", Expr::Proj(V("d"), "name")}}),
+      {Qualifier::Generator("e", V("Employees")),
+       Qualifier::Generator("d", V("Departments")),
+       Qualifier::Filter(Expr::Eq(Expr::Proj(V("e"), "dno"),
+                                  Expr::Proj(V("d"), "dno"))),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kGt, Expr::Proj(V("d"), "budget"),
+                                   Expr::Real(500)))});
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Join(Scan(Employees),Scan(Departments)))");
+  // d.budget > 500 must be on the Departments scan, not the join.
+  EXPECT_FALSE(plan->left->right->pred->IsTrueLiteral());
+  CheckBothWays(q);
+}
+
+TEST_F(UnnestTest, C4Unnest) {
+  ExprPtr q = Expr::Comp(MonoidKind::kSet, Expr::Proj(V("c"), "name"),
+                         {Qualifier::Generator("e", V("Employees")),
+                          Qualifier::Generator("c", Expr::Proj(V("e"), "children"))});
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Unnest(Scan(Employees)))");
+  CheckBothWays(q);
+}
+
+TEST_F(UnnestTest, QueryA_Figure1A) {
+  ExprPtr q = ParseOQL(
+      "select distinct struct(E: e.name, C: c.name) "
+      "from e in Employees, c in e.children");
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Unnest(Scan(Employees)))");
+  Value r = CheckBothWays(q);
+  // (Ann,Al), (Ann,Amy), (Cal,Cam), (Dee,Dan); Bob has no children.
+  EXPECT_EQ(r.AsElems().size(), 4u);
+}
+
+TEST_F(UnnestTest, QueryB_Figure1B) {
+  ExprPtr q = ParseOQL(
+      "select distinct struct(D: d.name, E: (select distinct e.name "
+      "from e in Employees where e.dno = d.dno)) from d in Departments");
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Scan(Departments),Scan(Employees))))");
+  // The nest groups by d and zero-converts e-nulls.
+  const AlgOp& nest = *plan->left;
+  ASSERT_EQ(nest.group_by.size(), 1u);
+  EXPECT_EQ(nest.group_by[0].first, "d");
+  EXPECT_EQ(nest.null_vars, (std::vector<std::string>{"e"}));
+  Value r = CheckBothWays(q);
+  // The Empty department appears with the empty set, not dropped.
+  bool found_empty = false;
+  for (const Value& row : r.AsElems()) {
+    if (row.Field("D") == Value::Str("Empty")) {
+      found_empty = true;
+      EXPECT_EQ(row.Field("E"), Value::Set({}));
+    }
+  }
+  EXPECT_TRUE(found_empty);
+}
+
+TEST_F(UnnestTest, QueryC_Figure1C_SetContainment) {
+  // A subset-of B via all{ some{ a = b | b <- B } | a <- A }, expressed over
+  // employee names vs. department names (false) and over itself (true).
+  auto subset_query = [](const std::string& A, const std::string& B) {
+    return Expr::Comp(
+        MonoidKind::kAll,
+        Expr::Comp(MonoidKind::kSome,
+                   Expr::Eq(Expr::Proj(V("a"), "dno"), Expr::Proj(V("b"), "dno")),
+                   {Qualifier::Generator("b", V(B))}),
+        {Qualifier::Generator("a", V(A))});
+  };
+  ExprPtr q = subset_query("Employees", "Departments");
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Scan(Employees),Scan(Departments))))");
+  EXPECT_EQ(CheckBothWays(q), Value::Bool(true));  // dnos 0,1 both exist
+
+  // Reverse: department 2 has no employee.
+  ExprPtr q2 = subset_query("Departments", "Employees");
+  EXPECT_EQ(CheckBothWays(q2), Value::Bool(false));
+}
+
+TEST_F(UnnestTest, QueryD_Figure1D) {
+  ExprPtr q = ParseOQL(
+      "select distinct struct(E: e.name, M: count(select distinct c "
+      "from c in e.children "
+      "where for all d in e.manager.children: c.age > d.age)) "
+      "from e in Employees");
+  AlgPtr plan = Plan(q);
+  // Figure 1.D: two outer-unnests, two nests.
+  EXPECT_EQ(
+      PlanShape(plan),
+      "Reduce(Nest(Nest(OuterUnnest(OuterUnnest(Scan(Employees))))))");
+  Value r = CheckBothWays(q);
+  // Oracle: Meg's kid Pat is 20.
+  //   Ann (mgr Meg): kids Al(5), Amy(25) -> only Amy > 20 -> M=1
+  //   Bob (mgr Mo, no kids of Mo): no children -> M=0
+  //   Cal (no mgr): kid Cam; manager NULL -> all{} over NULL domain = true
+  //       -> Cam counts -> M=1
+  //   Dee (mgr Meg): kid Dan(10) -> 10 > 20 false -> M=0
+  Value expected = Value::Set({
+      Value::Tuple({{"E", Value::Str("Ann")}, {"M", Value::Int(1)}}),
+      Value::Tuple({{"E", Value::Str("Bob")}, {"M", Value::Int(0)}}),
+      Value::Tuple({{"E", Value::Str("Cal")}, {"M", Value::Int(1)}}),
+      Value::Tuple({{"E", Value::Str("Dee")}, {"M", Value::Int(0)}}),
+  });
+  EXPECT_EQ(r, expected);
+}
+
+TEST_F(UnnestTest, QueryE_Figure1E) {
+  Database uni = testing::TinyUniversity();
+  ExprPtr q = ParseOQL(
+      "select distinct s.name from s in Students "
+      "where for all c in select c from c in Courses where c.title = 'DB': "
+      "exists t in Transcripts: t.sid = s.sid and t.cno = c.cno");
+  AlgPtr plan = UnnestComp(Normalize(q), uni.schema());
+  EXPECT_TRUE(IsFullyUnnested(plan));
+  // Figure 1.E / Figure 2: two outer-joins then two nests.
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(Nest(OuterJoin(OuterJoin(Scan(Students),"
+            "Scan(Courses)),Scan(Transcripts)))))");
+  // "Which nulls to convert when" (Section 1.2): the inner nest converts
+  // null t's (to false), the outer nest converts null c's (to true).
+  const AlgOp& outer_nest = *plan->left;
+  const AlgOp& inner_nest = *outer_nest.left;
+  EXPECT_EQ(outer_nest.monoid, MonoidKind::kAll);
+  ASSERT_EQ(outer_nest.null_vars.size(), 1u);
+  // Normalization alpha-renames spliced binders, so compare the stem.
+  EXPECT_EQ(outer_nest.null_vars[0].substr(0, 1), "c");
+  EXPECT_EQ(inner_nest.monoid, MonoidKind::kSome);
+  ASSERT_EQ(inner_nest.null_vars.size(), 1u);
+  EXPECT_EQ(inner_nest.null_vars[0].substr(0, 1), "t");
+
+  Value via_plan = ExecutePlan(plan, uni);
+  Value via_loops = EvalCalculus(q, uni);
+  EXPECT_EQ(via_plan, via_loops);
+  EXPECT_EQ(via_plan, Value::Set({Value::Str("s0"), Value::Str("s3")}));
+}
+
+TEST_F(UnnestTest, SectionTwoNestedAggregateInPredicate) {
+  // e.salary > max{ m.salary | m <- Managers, e.age > m.age } — a type-JA
+  // nesting in the predicate, spliced by C8.
+  ExprPtr q = ParseOQL(
+      "select distinct e.name from e in Employees "
+      "where e.salary > max(select m.salary from m in Managers "
+      "                     where e.age > m.age)");
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Scan(Employees),Scan(Managers))))");
+  // Oracle: Meg(50, 200k), Mo(40, 150k).
+  //   Ann(30,100k): no younger manager -> max over {} = NULL -> comparison
+  //                 with NULL false -> out
+  //   Bob(40,80k): {} -> out       Cal(25,60k): {} -> out
+  //   Dee(55,120k): max(200k,150k)=200k; 120k > 200k false -> out
+  EXPECT_EQ(CheckBothWays(q), Value::Set({}));
+
+  // Flip the comparison so someone qualifies: Dee's salary 120k < 200k.
+  ExprPtr q2 = ParseOQL(
+      "select distinct e.name from e in Employees "
+      "where e.salary < max(select m.salary from m in Managers "
+      "                     where e.age > m.age)");
+  EXPECT_EQ(CheckBothWays(q2), Value::Set({Value::Str("Dee")}));
+}
+
+TEST_F(UnnestTest, NestedQueryInHeadRecordField) {
+  // Aggregates in the head are spliced by C9.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(n: d.name, total: sum(select e.salary "
+      "from e in Employees where e.dno = d.dno)) from d in Departments");
+  AlgPtr plan = Plan(q);
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Scan(Departments),Scan(Employees))))");
+  Value r = CheckBothWays(q);
+  // Empty department: sum over empty group = 0 (monoid zero), not dropped.
+  bool found = false;
+  for (const Value& row : r.AsElems()) {
+    if (row.Field("n") == Value::Str("Empty")) {
+      found = true;
+      EXPECT_EQ(row.Field("total"), Value::Int(0));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(UnnestTest, TwoIndependentNestedQueries) {
+  // Two subqueries in one head: both spliced, two nests.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(n: d.name,"
+      " cnt: count(select e from e in Employees where e.dno = d.dno),"
+      " top: max(select e.salary from e in Employees where e.dno = d.dno)) "
+      "from d in Departments");
+  AlgPtr plan = Plan(q);
+  EXPECT_TRUE(IsFullyUnnested(plan));
+  EXPECT_EQ(PlanShape(plan),
+            "Reduce(Nest(OuterJoin(Nest(OuterJoin(Scan(Departments),"
+            "Scan(Employees))),Scan(Employees))))");
+  Value r = CheckBothWays(q);
+  for (const Value& row : r.AsElems()) {
+    if (row.Field("n") == Value::Str("Empty")) {
+      EXPECT_EQ(row.Field("cnt"), Value::Int(0));
+      EXPECT_TRUE(row.Field("top").is_null());  // max of empty = NULL
+    }
+    if (row.Field("n") == Value::Str("Sales")) {
+      EXPECT_EQ(row.Field("cnt"), Value::Int(2));
+      EXPECT_EQ(row.Field("top"), Value::Real(100000));
+    }
+  }
+}
+
+TEST_F(UnnestTest, CorrelationOnNonFirstGenerator) {
+  // The nested query correlates with the SECOND outer generator; C8 must
+  // wait until c is available before splicing.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(k: c.name, n: count(select p from p in Persons "
+      "where p.age < c.age)) "
+      "from e in Employees, c in e.children");
+  AlgPtr plan = Plan(q);
+  EXPECT_TRUE(IsFullyUnnested(plan));
+  CheckBothWays(q);
+}
+
+TEST_F(UnnestTest, GeneratorlessComprehension) {
+  ExprPtr q = Expr::Comp(MonoidKind::kSum, Expr::Int(5), {});
+  // Normalizes to the bare literal; wrap so it stays a comprehension.
+  ExprPtr q2 = Expr::Comp(MonoidKind::kSet, Expr::Int(5), {});
+  AlgPtr plan = UnnestComp(q2, schema_);
+  EXPECT_EQ(PlanShape(plan), "Reduce(Unit)");
+  EXPECT_EQ(ExecutePlan(plan, db_), Value::Set({Value::Int(5)}));
+  (void)q;
+}
+
+TEST_F(UnnestTest, ListComprehensionRejected) {
+  ExprPtr q = Expr::Comp(MonoidKind::kList, V("e"),
+                         {Qualifier::Generator("e", V("Employees"))});
+  EXPECT_THROW(UnnestComp(q, schema_), UnsupportedError);
+}
+
+TEST_F(UnnestTest, NonCanonicalDomainRejected) {
+  // Generator over a literal collection is not a path.
+  ExprPtr q = Expr::Comp(
+      MonoidKind::kSet, V("x"),
+      {Qualifier::Generator(
+          "x", Expr::Lit(Value::Set({Value::Int(1), Value::Int(2)})))});
+  EXPECT_THROW(UnnestComp(q, schema_), UnsupportedError);
+}
+
+TEST_F(UnnestTest, UnknownExtentRejected) {
+  ExprPtr q = Expr::Comp(MonoidKind::kSet, V("x"),
+                         {Qualifier::Generator("x", V("Nowhere"))});
+  EXPECT_THROW(UnnestComp(q, schema_), TypeError);
+}
+
+TEST_F(UnnestTest, NotAComprehensionRejected) {
+  EXPECT_THROW(UnnestComp(Expr::Int(1), schema_), UnsupportedError);
+}
+
+TEST_F(UnnestTest, TripleNesting) {
+  // Three levels: for each department, for each employee count children
+  // older than every child of the employee's manager... synthesized as
+  // nested aggregates; completeness must hold.
+  ExprPtr q = ParseOQL(
+      "select distinct struct(d: d.name, "
+      "  m: max(select count(select c from c in e.children) "
+      "         from e in Employees where e.dno = d.dno)) "
+      "from d in Departments");
+  AlgPtr plan = Plan(q);
+  EXPECT_TRUE(IsFullyUnnested(plan));
+  Value r = CheckBothWays(q);
+  for (const Value& row : r.AsElems()) {
+    if (row.Field("d") == Value::Str("Sales")) {
+      EXPECT_EQ(row.Field("m"), Value::Int(2));  // Ann has 2 kids, Bob 0
+    }
+  }
+}
+
+TEST_F(UnnestTest, UncorrelatedSubqueryOverEmptySelectionYieldsZeroRow) {
+  // Regression (found by random_query_test): an UNCORRELATED subquery is
+  // spliced before any outer generator, so its nest has no group-by keys.
+  // When its input filters down to nothing, the nest must still emit one
+  // row carrying the monoid zero — all{ ... | m <- Managers, false-ish } is
+  // vacuously true, so every department qualifies.
+  ExprPtr vacuous_all = Expr::Comp(
+      MonoidKind::kAll,
+      Expr::Bin(BinOpKind::kGt, Expr::Proj(V("m"), "age"), Expr::Int(0)),
+      {Qualifier::Generator("m", V("Managers")),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kLt, Expr::Proj(V("m"), "age"),
+                                   Expr::Proj(V("m"), "age")))});
+  ExprPtr q = Expr::Comp(MonoidKind::kSet, Expr::Proj(V("d"), "name"),
+                         {Qualifier::Generator("d", V("Departments")),
+                          Qualifier::Filter(vacuous_all)});
+  Value r = CheckBothWays(q);
+  EXPECT_EQ(r.AsElems().size(), 3u);  // every department
+
+  // And the dual: an uncorrelated some over nothing is false.
+  ExprPtr vacuous_some = Expr::Comp(
+      MonoidKind::kSome, Expr::True(),
+      {Qualifier::Generator("m", V("Managers")),
+       Qualifier::Filter(Expr::Bin(BinOpKind::kLt, Expr::Proj(V("m"), "age"),
+                                   Expr::Proj(V("m"), "age")))});
+  ExprPtr q2 = Expr::Comp(MonoidKind::kSet, Expr::Proj(V("d"), "name"),
+                          {Qualifier::Generator("d", V("Departments")),
+                           Qualifier::Filter(vacuous_some)});
+  EXPECT_EQ(CheckBothWays(q2), Value::Set({}));
+}
+
+TEST_F(UnnestTest, QuantifierOverEmptyDomainIsZero) {
+  // all over an empty domain is true; some is false (zero elements).
+  ExprPtr q = ParseOQL(
+      "select distinct e.name from e in Employees "
+      "where for all c in e.children: c.age > 100");
+  // Bob has no children -> vacuously true.
+  Value r = CheckBothWays(q);
+  EXPECT_EQ(r, Value::Set({Value::Str("Bob")}));
+
+  ExprPtr q2 = ParseOQL(
+      "select distinct e.name from e in Employees "
+      "where exists c in e.children: c.age > 100");
+  EXPECT_EQ(CheckBothWays(q2), Value::Set({}));
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,85 @@
+// Tests for the unnesting derivation trace: the rule sequence for QUERY D
+// must match the paper's Section 4 worked example.
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/unnest.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<UnnestStep>& steps) {
+  std::vector<std::string> out;
+  for (const UnnestStep& s : steps) out.push_back(s.rule);
+  return out;
+}
+
+class UnnestTraceTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+
+  std::vector<UnnestStep> TraceOf(const std::string& oql) {
+    std::vector<UnnestStep> steps;
+    UnnestCompTraced(Normalize(ParseOQL(oql)), db_.schema(), &steps);
+    return steps;
+  }
+};
+
+TEST_F(UnnestTraceTest, QueryDFollowsThePaperDerivation) {
+  // Section 4 compiles QUERY D as: (C1) scan Employees; then the head count
+  // splices via (C9), whose compilation outer-unnests e.children (C7), then
+  // splices the universal quantifier via (C8), whose compilation
+  // outer-unnests e.manager.children (C7) and nests with ∧ (C5); the count
+  // nests with + (C5); finally the outermost reduce (C2).
+  std::vector<UnnestStep> steps = TraceOf(
+      "select distinct struct(E: e.name, M: count(select distinct c "
+      "from c in e.children "
+      "where for all d in e.manager.children: c.age > d.age)) "
+      "from e in Employees");
+  EXPECT_EQ(Rules(steps),
+            (std::vector<std::string>{"C1", "C7", "C7", "C5", "C8", "C5", "C9",
+                                      "C2"}));
+  // The C8 step names the spliced quantifier; the C9 step the count.
+  EXPECT_NE(steps[4].description.find("all-comprehension"), std::string::npos);
+  EXPECT_NE(steps[6].description.find("sum-comprehension"), std::string::npos);
+}
+
+TEST_F(UnnestTraceTest, QueryBDerivation) {
+  std::vector<UnnestStep> steps = TraceOf(
+      "select distinct struct(D: d.name, E: (select distinct e.name "
+      "from e in Employees where e.dno = d.dno)) from d in Departments");
+  // C1 scan Departments; the head set-comp splices (C9) after compiling to
+  // an outer-join (C6) + nest (C5); the root reduces (C2).
+  EXPECT_EQ(Rules(steps),
+            (std::vector<std::string>{"C1", "C6", "C5", "C9", "C2"}));
+}
+
+TEST_F(UnnestTraceTest, FlatQueryUsesOnlyC1C4C2) {
+  std::vector<UnnestStep> steps = TraceOf(
+      "select distinct struct(E: e.name, C: c.name) "
+      "from e in Employees, c in e.children");
+  EXPECT_EQ(Rules(steps), (std::vector<std::string>{"C1", "C4", "C2"}));
+}
+
+TEST_F(UnnestTraceTest, PredicateSubquerySplicesViaC8) {
+  std::vector<UnnestStep> steps = TraceOf(
+      "select distinct e.name from e in Employees "
+      "where e.salary < max(select m.salary from m in Managers "
+      "where e.age > m.age)");
+  EXPECT_EQ(Rules(steps),
+            (std::vector<std::string>{"C1", "C6", "C5", "C8", "C2"}));
+}
+
+TEST_F(UnnestTraceTest, UntracedEntryPointIsEquivalent) {
+  ExprPtr q = Normalize(ParseOQL(
+      "select distinct e.name from e in Employees where e.age > 35"));
+  std::vector<UnnestStep> steps;
+  EXPECT_TRUE(AlgEqual(UnnestComp(q, db_.schema()),
+                       UnnestCompTraced(q, db_.schema(), &steps)));
+  EXPECT_FALSE(steps.empty());
+}
+
+}  // namespace
+}  // namespace ldb

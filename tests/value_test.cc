@@ -1,0 +1,132 @@
+// Unit tests for the runtime value model (src/runtime/value.*).
+
+#include "src/runtime/value.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+namespace {
+
+TEST(ValueTest, PrimitivesRoundTrip) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsStr(), "hi");
+}
+
+TEST(ValueTest, WrongAccessorThrows) {
+  EXPECT_THROW(Value::Int(1).AsBool(), EvalError);
+  EXPECT_THROW(Value::Str("x").AsInt(), EvalError);
+  EXPECT_THROW(Value::Null().AsElems(), EvalError);
+  EXPECT_THROW(Value::Bool(true).AsTuple(), EvalError);
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsNumeric(), 3.5);
+  EXPECT_THROW(Value::Str("3").AsNumeric(), EvalError);
+}
+
+TEST(ValueTest, IntAndRealCompareNumerically) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_LT(Value::Int(2), Value::Real(2.5));
+  // Equal values must hash equal.
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+}
+
+TEST(ValueTest, TupleFieldAccess) {
+  Value t = Value::Tuple({{"a", Value::Int(1)}, {"b", Value::Str("x")}});
+  EXPECT_EQ(t.Field("a"), Value::Int(1));
+  EXPECT_EQ(t.Field("b"), Value::Str("x"));
+  EXPECT_TRUE(t.HasField("a"));
+  EXPECT_FALSE(t.HasField("c"));
+  EXPECT_THROW(t.Field("c"), EvalError);
+}
+
+TEST(ValueTest, SetIsSortedAndDeduplicated) {
+  Value s = Value::Set({Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2)});
+  ASSERT_EQ(s.AsElems().size(), 3u);
+  EXPECT_EQ(s.AsElems()[0], Value::Int(1));
+  EXPECT_EQ(s.AsElems()[1], Value::Int(2));
+  EXPECT_EQ(s.AsElems()[2], Value::Int(3));
+}
+
+TEST(ValueTest, SetEqualityIsOrderInsensitive) {
+  Value a = Value::Set({Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, BagKeepsDuplicates) {
+  Value b = Value::Bag({Value::Int(2), Value::Int(1), Value::Int(2)});
+  ASSERT_EQ(b.AsElems().size(), 3u);
+  EXPECT_EQ(b.AsElems()[0], Value::Int(1));
+  EXPECT_EQ(b.AsElems()[2], Value::Int(2));
+}
+
+TEST(ValueTest, BagAndSetWithSameElementsDiffer) {
+  Value s = Value::Set({Value::Int(1)});
+  Value b = Value::Bag({Value::Int(1)});
+  EXPECT_NE(s, b);
+}
+
+TEST(ValueTest, ListPreservesOrder) {
+  Value l = Value::List({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(l.AsElems()[0], Value::Int(2));
+  EXPECT_NE(l, Value::List({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, NestedStructuralEquality) {
+  Value a = Value::Set({Value::Tuple({{"x", Value::Int(1)}}),
+                        Value::Tuple({{"x", Value::Int(2)}})});
+  Value b = Value::Set({Value::Tuple({{"x", Value::Int(2)}}),
+                        Value::Tuple({{"x", Value::Int(1)}})});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, RefEqualityByClassAndOid) {
+  EXPECT_EQ(Value::MakeRef("Employee", 3), Value::MakeRef("Employee", 3));
+  EXPECT_NE(Value::MakeRef("Employee", 3), Value::MakeRef("Employee", 4));
+  EXPECT_NE(Value::MakeRef("Employee", 3), Value::MakeRef("Manager", 3));
+}
+
+TEST(ValueTest, CompareTotalOrderAcrossKinds) {
+  // Null < bool < numerics < string (by Kind rank).
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Str(""));
+}
+
+TEST(ValueTest, ToStringRendersReadably) {
+  Value v = Value::Set({Value::Tuple({{"n", Value::Str("a")}})});
+  EXPECT_EQ(v.ToString(), "{<n=\"a\">}");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::MakeRef("C", 7).ToString(), "C#7");
+  EXPECT_EQ(Value::Bag({Value::Int(1)}).ToString(), "{|1|}");
+  EXPECT_EQ(Value::List({Value::Int(1)}).ToString(), "[1]");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Value a = Value::Set({Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, EmptyCollections) {
+  EXPECT_TRUE(Value::Set({}).AsElems().empty());
+  EXPECT_NE(Value::Set({}), Value::Bag({}));
+  EXPECT_EQ(Value::Set({}), Value::Set({}));
+}
+
+TEST(ValueTest, TupleFieldOrderMattersForEquality) {
+  Value a = Value::Tuple({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value b = Value::Tuple({{"y", Value::Int(2)}, {"x", Value::Int(1)}});
+  EXPECT_NE(a, b);  // records are positional-with-names, like the calculus
+}
+
+}  // namespace
+}  // namespace ldb
