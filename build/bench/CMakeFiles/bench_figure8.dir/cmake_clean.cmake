@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8.dir/bench_figure8.cc.o"
+  "CMakeFiles/bench_figure8.dir/bench_figure8.cc.o.d"
+  "bench_figure8"
+  "bench_figure8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

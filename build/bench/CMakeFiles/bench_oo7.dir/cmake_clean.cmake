@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oo7.dir/bench_oo7.cc.o"
+  "CMakeFiles/bench_oo7.dir/bench_oo7.cc.o.d"
+  "bench_oo7"
+  "bench_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

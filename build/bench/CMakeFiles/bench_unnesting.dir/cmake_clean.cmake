@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unnesting.dir/bench_unnesting.cc.o"
+  "CMakeFiles/bench_unnesting.dir/bench_unnesting.cc.o.d"
+  "bench_unnesting"
+  "bench_unnesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unnesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_reports.dir/company_reports.cpp.o"
+  "CMakeFiles/company_reports.dir/company_reports.cpp.o.d"
+  "company_reports"
+  "company_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqlsh.dir/oqlsh.cpp.o"
+  "CMakeFiles/oqlsh.dir/oqlsh.cpp.o.d"
+  "oqlsh"
+  "oqlsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqlsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_search.dir/travel_search.cpp.o"
+  "CMakeFiles/travel_search.dir/travel_search.cpp.o.d"
+  "travel_search"
+  "travel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_audit.dir/university_audit.cpp.o"
+  "CMakeFiles/university_audit.dir/university_audit.cpp.o.d"
+  "university_audit"
+  "university_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algebra.cc" "src/CMakeFiles/lambdadb.dir/core/algebra.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/algebra.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/CMakeFiles/lambdadb.dir/core/cost.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/cost.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/CMakeFiles/lambdadb.dir/core/expr.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/expr.cc.o.d"
+  "/root/repo/src/core/materialize.cc" "src/CMakeFiles/lambdadb.dir/core/materialize.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/materialize.cc.o.d"
+  "/root/repo/src/core/monoid.cc" "src/CMakeFiles/lambdadb.dir/core/monoid.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/monoid.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/lambdadb.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/lambdadb.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/pretty.cc" "src/CMakeFiles/lambdadb.dir/core/pretty.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/pretty.cc.o.d"
+  "/root/repo/src/core/simplify.cc" "src/CMakeFiles/lambdadb.dir/core/simplify.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/simplify.cc.o.d"
+  "/root/repo/src/core/type.cc" "src/CMakeFiles/lambdadb.dir/core/type.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/type.cc.o.d"
+  "/root/repo/src/core/typecheck.cc" "src/CMakeFiles/lambdadb.dir/core/typecheck.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/typecheck.cc.o.d"
+  "/root/repo/src/core/unnest.cc" "src/CMakeFiles/lambdadb.dir/core/unnest.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/core/unnest.cc.o.d"
+  "/root/repo/src/oql/lexer.cc" "src/CMakeFiles/lambdadb.dir/oql/lexer.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/oql/lexer.cc.o.d"
+  "/root/repo/src/oql/odl.cc" "src/CMakeFiles/lambdadb.dir/oql/odl.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/oql/odl.cc.o.d"
+  "/root/repo/src/oql/parser.cc" "src/CMakeFiles/lambdadb.dir/oql/parser.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/oql/parser.cc.o.d"
+  "/root/repo/src/oql/translate.cc" "src/CMakeFiles/lambdadb.dir/oql/translate.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/oql/translate.cc.o.d"
+  "/root/repo/src/runtime/database.cc" "src/CMakeFiles/lambdadb.dir/runtime/database.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/database.cc.o.d"
+  "/root/repo/src/runtime/eval_algebra.cc" "src/CMakeFiles/lambdadb.dir/runtime/eval_algebra.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/eval_algebra.cc.o.d"
+  "/root/repo/src/runtime/eval_calculus.cc" "src/CMakeFiles/lambdadb.dir/runtime/eval_calculus.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/eval_calculus.cc.o.d"
+  "/root/repo/src/runtime/exec_pipeline.cc" "src/CMakeFiles/lambdadb.dir/runtime/exec_pipeline.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/exec_pipeline.cc.o.d"
+  "/root/repo/src/runtime/expr_eval.cc" "src/CMakeFiles/lambdadb.dir/runtime/expr_eval.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/expr_eval.cc.o.d"
+  "/root/repo/src/runtime/physical.cc" "src/CMakeFiles/lambdadb.dir/runtime/physical.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/physical.cc.o.d"
+  "/root/repo/src/runtime/physical_plan.cc" "src/CMakeFiles/lambdadb.dir/runtime/physical_plan.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/physical_plan.cc.o.d"
+  "/root/repo/src/runtime/schema.cc" "src/CMakeFiles/lambdadb.dir/runtime/schema.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/schema.cc.o.d"
+  "/root/repo/src/runtime/serialize.cc" "src/CMakeFiles/lambdadb.dir/runtime/serialize.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/serialize.cc.o.d"
+  "/root/repo/src/runtime/value.cc" "src/CMakeFiles/lambdadb.dir/runtime/value.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/runtime/value.cc.o.d"
+  "/root/repo/src/workload/company.cc" "src/CMakeFiles/lambdadb.dir/workload/company.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/workload/company.cc.o.d"
+  "/root/repo/src/workload/oo7.cc" "src/CMakeFiles/lambdadb.dir/workload/oo7.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/workload/oo7.cc.o.d"
+  "/root/repo/src/workload/travel.cc" "src/CMakeFiles/lambdadb.dir/workload/travel.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/workload/travel.cc.o.d"
+  "/root/repo/src/workload/university.cc" "src/CMakeFiles/lambdadb.dir/workload/university.cc.o" "gcc" "src/CMakeFiles/lambdadb.dir/workload/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

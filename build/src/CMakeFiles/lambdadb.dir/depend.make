@@ -1,0 +1,2 @@
+# Empty dependencies file for lambdadb.
+# This may be replaced when dependencies are built.

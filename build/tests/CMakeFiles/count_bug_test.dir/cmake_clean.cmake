@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_bug_test.dir/count_bug_test.cc.o"
+  "CMakeFiles/count_bug_test.dir/count_bug_test.cc.o.d"
+  "count_bug_test"
+  "count_bug_test.pdb"
+  "count_bug_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_bug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_algebra_test.dir/eval_algebra_test.cc.o"
+  "CMakeFiles/eval_algebra_test.dir/eval_algebra_test.cc.o.d"
+  "eval_algebra_test"
+  "eval_algebra_test.pdb"
+  "eval_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monoid_test.dir/monoid_test.cc.o"
+  "CMakeFiles/monoid_test.dir/monoid_test.cc.o.d"
+  "monoid_test"
+  "monoid_test.pdb"
+  "monoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

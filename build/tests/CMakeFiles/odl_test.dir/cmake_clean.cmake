@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odl_test.dir/odl_test.cc.o"
+  "CMakeFiles/odl_test.dir/odl_test.cc.o.d"
+  "odl_test"
+  "odl_test.pdb"
+  "odl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

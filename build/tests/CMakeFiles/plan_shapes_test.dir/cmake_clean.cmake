@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_shapes_test.dir/plan_shapes_test.cc.o"
+  "CMakeFiles/plan_shapes_test.dir/plan_shapes_test.cc.o.d"
+  "plan_shapes_test"
+  "plan_shapes_test.pdb"
+  "plan_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretty_plan_test.dir/pretty_plan_test.cc.o"
+  "CMakeFiles/pretty_plan_test.dir/pretty_plan_test.cc.o.d"
+  "pretty_plan_test"
+  "pretty_plan_test.pdb"
+  "pretty_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretty_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unnest_trace_test.dir/unnest_trace_test.cc.o"
+  "CMakeFiles/unnest_trace_test.dir/unnest_trace_test.cc.o.d"
+  "unnest_trace_test"
+  "unnest_trace_test.pdb"
+  "unnest_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unnest_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
