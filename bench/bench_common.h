@@ -8,7 +8,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "src/lambdadb.h"
 
@@ -28,8 +36,11 @@ struct StrategyTimes {
   double baseline_ms = 0;    ///< nested-loop interpretation of the calculus
   double unnested_nl_ms = 0; ///< unnested plan, nested-loop operators
   double unnested_hash_ms = 0;  ///< unnested plan, hash operators
+  long rows = 0;                ///< result cardinality
   bool results_agree = false;
 };
+
+inline long ResultRows(const Value& v);  // defined below
 
 /// Runs `oql` under all three strategies and checks result agreement.
 inline StrategyTimes RunStrategies(const Database& db, const std::string& oql) {
@@ -40,8 +51,209 @@ inline StrategyTimes RunStrategies(const Database& db, const std::string& oql) {
   nl_opts.physical.use_hash_joins = false;
   t.unnested_nl_ms = TimeMs([&] { nl = RunOQL(db, oql, nl_opts); });
   t.unnested_hash_ms = TimeMs([&] { hash = RunOQL(db, oql, {}); });
+  t.rows = ResultRows(hash);
   t.results_agree = (baseline == nl) && (nl == hash);
   return t;
+}
+
+/// CPUs this process may actually run on (affinity-aware on Linux) — CI and
+/// containers often pin benchmarks to fewer cores than the machine has, and
+/// thread-scaling numbers are meaningless without recording this.
+inline int UsableCpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+/// One measurement destined for the machine-readable report.
+struct JsonRecord {
+  std::string experiment;  ///< e.g. "P-A" or "Figure 1.B"
+  std::string query;       ///< the OQL text
+  std::string engine;      ///< baseline | env-pipeline | slot | slot-parallel...
+  int scale = 0;
+  int threads = 1;
+  long rows = 0;           ///< result cardinality (1 for scalar results)
+  double ms = 0;           ///< wall time of one execution
+  bool agree = true;       ///< result matched the reference for this query
+};
+
+/// Collects JsonRecords and writes them as a single JSON document when the
+/// benchmark was invoked with `--json <path>`. Records are ignored when no
+/// path was given, so call sites never need to check.
+class JsonReporter {
+ public:
+  static JsonReporter& Get() {
+    static JsonReporter r;
+    return r;
+  }
+
+  /// Parses `--json <path>` out of argv; returns false on a malformed flag.
+  bool ParseArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--json requires a path argument\n");
+          return false;
+        }
+        path_ = argv[++i];
+      } else {
+        std::fprintf(stderr, "unknown argument '%s' (supported: --json <path>)\n",
+                     argv[i]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(JsonRecord r) {
+    if (enabled()) records_.push_back(std::move(r));
+  }
+
+  /// Writes the report; returns false (with a message) on I/O failure.
+  bool Write(const std::string& bench_name) {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"" << Escape(bench_name) << "\",\n";
+    out << "  \"host_cpus\": " << UsableCpus() << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"results\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      out << "    {\"experiment\": \"" << Escape(r.experiment) << "\", "
+          << "\"query\": \"" << Escape(r.query) << "\", "
+          << "\"engine\": \"" << Escape(r.engine) << "\", "
+          << "\"scale\": " << r.scale << ", "
+          << "\"threads\": " << r.threads << ", "
+          << "\"rows\": " << r.rows << ", "
+          << "\"ms\": " << r.ms << ", "
+          << "\"ns_per_op\": " << r.ms * 1e6 << ", "
+          << "\"agree\": " << (r.agree ? "true" : "false") << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %zu records to %s\n", records_.size(), path_.c_str());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
+
+/// Result cardinality for reporting: collection size, or 1 for scalars.
+inline long ResultRows(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kSet:
+    case Value::Kind::kBag:
+    case Value::Kind::kList:
+      return static_cast<long>(v.AsElems().size());
+    default:
+      return 1;
+  }
+}
+
+/// Executor-engine comparison on one already-unnested query: the legacy
+/// string-Env pipeline vs the slot-frame engine (same physical plan), plus
+/// the slot engine at several thread counts. The plan is compiled once;
+/// timings cover execution only, which is what the engines differ in.
+struct EngineTimes {
+  double env_ms = 0;      ///< Env pipeline (use_slot_frames = false)
+  double slot_ms = 0;     ///< slot frames, serial
+  std::vector<std::pair<int, double>> parallel_ms;  ///< (threads, ms)
+  long rows = 0;
+  bool agree = false;     ///< every engine produced the identical Value
+};
+
+inline EngineTimes RunEngines(const Database& db, const std::string& oql,
+                              std::initializer_list<int> thread_counts = {2, 4,
+                                                                          8}) {
+  EngineTimes t;
+  Optimizer opt(db.schema());
+  CompiledQuery cq = opt.Compile(ParseOQL(oql));
+  PhysPtr phys = PlanPhysical(cq.simplified, db);
+
+  // Best-of-3: the first execution of either engine pays first-touch page
+  // faults on the freshly generated extents, which on a shared host can
+  // double the reading. The minimum of three runs is the least-noise
+  // estimate of each engine's true cost, and both engines get the same
+  // treatment.
+  auto best_of = [](int reps, auto&& body) {
+    double best = 0;
+    for (int i = 0; i < reps; ++i) {
+      double ms = TimeMs(body);
+      if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+
+  ExecOptions env_opts;
+  env_opts.use_slot_frames = false;
+  Value env_v;
+  t.env_ms = best_of(3, [&] { env_v = ExecutePipelined(phys, db, env_opts); });
+
+  SlotPlan slots = CompileSlotPlan(phys, db);
+  Value slot_v;
+  t.slot_ms = best_of(3, [&] { slot_v = ExecuteSlotPlan(slots, db); });
+  t.rows = ResultRows(slot_v);
+  t.agree = (env_v == slot_v);
+
+  for (int n : thread_counts) {
+    ExecOptions par;
+    par.n_threads = n;
+    Value par_v;
+    double ms = best_of(3, [&] { par_v = ExecuteSlotPlan(slots, db, par); });
+    t.agree = t.agree && (par_v == slot_v);
+    t.parallel_ms.emplace_back(n, ms);
+  }
+  return t;
+}
+
+inline void PrintEngineRowHeader() {
+  std::printf("%-28s %12s %12s %9s", "workload/scale", "env(ms)", "slot(ms)",
+              "speedup");
+  for (const char* h : {"par x2", "par x4", "par x8"}) {
+    std::printf(" %9s", h);
+  }
+  std::printf(" %6s\n", "agree");
+}
+
+inline void PrintEngineRow(const std::string& label, const EngineTimes& t) {
+  std::printf("%-28s %12.2f %12.2f %8.1fx", label.c_str(), t.env_ms, t.slot_ms,
+              t.slot_ms > 0 ? t.env_ms / t.slot_ms : 0.0);
+  for (const auto& [n, ms] : t.parallel_ms) {
+    (void)n;
+    std::printf(" %9.2f", ms);
+  }
+  std::printf(" %6s\n", t.agree ? "yes" : "NO!");
+  std::fflush(stdout);
 }
 
 inline void PrintHeader(const char* title) {

@@ -36,11 +36,20 @@ void ShowQuery(const Database& db, const FigureQuery& fq) {
   bench::StrategyTimes t = bench::RunStrategies(db, fq.oql);
   bench::PrintRowHeader();
   bench::PrintRow(fq.id, t);
+  auto record = [&](const char* engine, double ms) {
+    bench::JsonReporter::Get().Add({fq.id, fq.oql, engine, /*scale=*/0,
+                                    /*threads=*/1, t.rows, ms,
+                                    t.results_agree});
+  };
+  record("baseline", t.baseline_ms);
+  record("unnested-nl", t.unnested_nl_ms);
+  record("unnested-hash", t.unnested_hash_ms);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!ldb::bench::JsonReporter::Get().ParseArgs(argc, argv)) return 1;
   ldb::Gensym::Reset();
 
   ldb::workload::CompanyParams cp;
@@ -127,5 +136,6 @@ int main() {
   }
 
   ShowQuery(university, kQueryE);
+  if (!ldb::bench::JsonReporter::Get().Write("bench_figure1")) return 1;
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "src/core/monoid.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
 
 #include "src/runtime/error.h"
 
@@ -150,6 +153,131 @@ TypePtr MonoidResultType(MonoidKind k, const TypePtr& head) {
   throw InternalError("bad monoid");
 }
 
+// -- ExactSum ----------------------------------------------------------------
+
+void ExactSum::Add(double v) {
+  if (v == 0.0) return;  // ±0 contributes nothing
+  if (!std::isfinite(v)) {
+    nonfinite_ = has_nonfinite_ ? nonfinite_ + v : v;
+    has_nonfinite_ = true;
+    return;
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  const bool neg = (bits >> 63) != 0;
+  int exp = static_cast<int>((bits >> 52) & 0x7FF);
+  uint64_t mant = bits & ((uint64_t{1} << 52) - 1);
+  if (exp == 0) {
+    exp = 1;  // subnormal: same scale, no implicit bit
+  } else {
+    mant |= uint64_t{1} << 52;
+  }
+  // v = ±mant * 2^(exp - 1075); the mantissa's lowest bit lands at array
+  // bit index (exp - 1075) - kBias.
+  const int pos = exp - 1075 - kBias;
+  const int limb = pos >> 5;
+  const int shift = pos & 31;
+  const unsigned __int128 m = static_cast<unsigned __int128>(mant) << shift;
+  const int64_t d0 = static_cast<uint32_t>(m);
+  const int64_t d1 = static_cast<uint32_t>(m >> 32);
+  const int64_t d2 = static_cast<uint32_t>(m >> 64);
+  if (neg) {
+    limbs_[limb] -= d0;
+    limbs_[limb + 1] -= d1;
+    limbs_[limb + 2] -= d2;
+  } else {
+    limbs_[limb] += d0;
+    limbs_[limb + 1] += d1;
+    limbs_[limb + 2] += d2;
+  }
+  if (++pending_ >= (1 << 29)) Normalize();
+}
+
+void ExactSum::AddInt(int64_t v) {
+  // Split into halves that are each exactly representable as doubles.
+  const int64_t hi = v >> 32;
+  const int64_t lo = v & 0xFFFFFFFF;
+  Add(std::ldexp(static_cast<double>(hi), 32));
+  Add(static_cast<double>(lo));
+}
+
+void ExactSum::Normalize() {
+  int64_t carry = 0;
+  for (int i = 0; i < kLimbs - 1; ++i) {
+    const int64_t t = limbs_[i] + carry;
+    carry = t >> 32;  // arithmetic shift: floor(t / 2^32)
+    limbs_[i] = t - (carry << 32);
+  }
+  limbs_[kLimbs - 1] += carry;  // top limb stays 64-bit signed
+  pending_ = 0;
+}
+
+void ExactSum::Absorb(const ExactSum& other) {
+  ExactSum tmp = other;
+  tmp.Normalize();
+  Normalize();
+  for (int i = 0; i < kLimbs; ++i) limbs_[i] += tmp.limbs_[i];
+  pending_ = 1;
+  if (tmp.has_nonfinite_) {
+    nonfinite_ = has_nonfinite_ ? nonfinite_ + tmp.nonfinite_ : tmp.nonfinite_;
+    has_nonfinite_ = true;
+  }
+}
+
+double ExactSum::Round() const {
+  if (has_nonfinite_) return nonfinite_;
+  // Full carry propagation into unsigned 32-bit digits.
+  uint64_t dig[kLimbs];
+  int64_t carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    const int64_t t = limbs_[i] + carry;
+    carry = t >> 32;
+    dig[i] = static_cast<uint64_t>(t - (carry << 32));
+  }
+  int sign = 1;
+  if (carry < 0) {  // negative total: two's-complement negate
+    sign = -1;
+    uint64_t c = 1;
+    for (int i = 0; i < kLimbs; ++i) {
+      const uint64_t d = (~dig[i] & 0xFFFFFFFFu) + c;
+      dig[i] = d & 0xFFFFFFFFu;
+      c = d >> 32;
+    }
+  } else if (carry > 0) {
+    return HUGE_VAL;  // beyond double range (unreachable for in-range data)
+  }
+  int top = kLimbs - 1;
+  while (top >= 0 && dig[top] == 0) --top;
+  if (top < 0) return 0.0;
+  const int msb_in = 31 - std::countl_zero(static_cast<uint32_t>(dig[top]));
+  const long msb = 32L * top + msb_in + kBias;  // weight exponent of the MSB
+  // Keep 53 bits for normal results, fewer when the result is subnormal.
+  const int prec =
+      msb >= -1022 ? 53 : static_cast<int>(msb + 1074 + 1);
+  auto bit_at = [&](long w) -> uint64_t {  // bit of weight 2^w
+    const long idx = w - kBias;
+    if (idx < 0) return 0;
+    return (dig[idx >> 5] >> (idx & 31)) & 1;
+  };
+  uint64_t mant = 0;
+  for (int i = 0; i < prec; ++i) mant = (mant << 1) | bit_at(msb - i);
+  const uint64_t round_bit = bit_at(msb - prec);
+  bool sticky = false;
+  const long low_idx = (msb - prec) - kBias;  // array index of the round bit
+  for (long i = 0; i < low_idx >> 5 && !sticky; ++i) sticky = dig[i] != 0;
+  if (!sticky && low_idx > 0) {
+    const uint64_t below =
+        dig[low_idx >> 5] & ((uint64_t{1} << (low_idx & 31)) - 1);
+    sticky = below != 0;
+  }
+  if (round_bit && (sticky || (mant & 1))) ++mant;  // round half to even
+  const double result =
+      std::ldexp(static_cast<double>(mant), static_cast<int>(msb - prec + 1));
+  return sign < 0 ? -result : result;
+}
+
+// -- Accumulator -------------------------------------------------------------
+
 Accumulator::Accumulator(MonoidKind kind)
     : kind_(kind), current_(MonoidZero(kind)) {}
 
@@ -162,8 +290,17 @@ void Accumulator::Add(const Value& v) {
       elems_.push_back(v);
       return;
     case MonoidKind::kAvg:
-      avg_sum_ += v.AsNumeric();
+      sum_.Add(v.AsNumeric());
       avg_count_ += 1;
+      return;
+    case MonoidKind::kSum:
+      if (v.kind() == Value::Kind::kInt) {
+        int_sum_ += v.AsInt();
+      } else {
+        sum_.Add(v.AsNumeric());
+        sum_has_real_ = true;
+      }
+      has_value_ = true;
       return;
     default:
       if (!has_value_ && (kind_ == MonoidKind::kMax || kind_ == MonoidKind::kMin)) {
@@ -194,6 +331,30 @@ void Accumulator::Merge(const Value& v) {
   }
 }
 
+void Accumulator::Absorb(const Accumulator& other) {
+  LDB_INTERNAL_CHECK(other.kind_ == kind_, "absorbing mismatched monoids");
+  switch (kind_) {
+    case MonoidKind::kSet:
+    case MonoidKind::kBag:
+    case MonoidKind::kList:
+      elems_.insert(elems_.end(), other.elems_.begin(), other.elems_.end());
+      return;
+    case MonoidKind::kAvg:
+      sum_.Absorb(other.sum_);
+      avg_count_ += other.avg_count_;
+      return;
+    case MonoidKind::kSum:
+      int_sum_ += other.int_sum_;
+      sum_.Absorb(other.sum_);
+      sum_has_real_ = sum_has_real_ || other.sum_has_real_;
+      has_value_ = has_value_ || other.has_value_;
+      return;
+    default:
+      if (other.has_value_) Add(other.current_);
+      return;
+  }
+}
+
 bool Accumulator::Saturated() const {
   if (kind_ == MonoidKind::kSome) {
     return has_value_ && current_.kind() == Value::Kind::kBool && current_.AsBool();
@@ -211,7 +372,15 @@ Value Accumulator::Finish() {
     case MonoidKind::kList: return Value::List(std::move(elems_));
     case MonoidKind::kAvg:
       if (avg_count_ == 0) return Value::Null();
-      return Value::Real(avg_sum_ / static_cast<double>(avg_count_));
+      return Value::Real(sum_.Round() / static_cast<double>(avg_count_));
+    case MonoidKind::kSum:
+      // Result is an int iff every input was an int (the zero is Int(0)).
+      if (!sum_has_real_) return Value::Int(int_sum_);
+      {
+        ExactSum total = sum_;
+        total.AddInt(int_sum_);
+        return Value::Real(total.Round());
+      }
     default:
       return current_;
   }

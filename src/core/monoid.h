@@ -76,11 +76,49 @@ TypePtr MonoidHeadConstraint(MonoidKind k);
 /// `head`. set(head) for kSet, bool for kAll, real for kAvg, etc.
 TypePtr MonoidResultType(MonoidKind k, const TypePtr& head);
 
+/// Exact, order-independent accumulation of doubles. The running sum is held
+/// as a wide fixed-point integer (a superaccumulator spanning the full double
+/// exponent range), so adding a value is exact and the single rounding step
+/// happens in Round(). Consequently the result is independent of the order
+/// (and grouping) in which values were added — which is what lets the
+/// parallel executor merge per-morsel partial sums and still produce results
+/// bit-identical to the serial fold.
+class ExactSum {
+ public:
+  /// Adds a double exactly. Non-finite inputs degrade to IEEE semantics.
+  void Add(double v);
+  /// Adds an int64 exactly (no 2^53 mantissa truncation).
+  void AddInt(int64_t v);
+  /// Folds another partial sum in; exact, so order does not matter.
+  void Absorb(const ExactSum& other);
+  /// The correctly-rounded double value of the exact sum.
+  double Round() const;
+
+ private:
+  void Normalize();
+
+  // 32-bit digits in signed 64-bit limbs. Limb i carries weight 2^(32*i+kBias)
+  // with kBias placing the smallest subnormal bit in limb 0. Signed limbs
+  // absorb ~2^31 additions before a carry pass is needed.
+  static constexpr int kLimbs = 67;
+  static constexpr int kBias = -1080;  // limb 0 covers bits 2^-1080..2^-1049
+  int64_t limbs_[kLimbs] = {};
+  int32_t pending_ = 0;   // adds since the last carry normalization
+  double nonfinite_ = 0;  // inf/nan inputs fold here with IEEE rules
+  bool has_nonfinite_ = false;
+};
+
 /// Incremental accumulation of head values into a monoid, used by both
 /// evaluators (baseline D-rules interpreter and the algebra executor).
 ///
-/// Accumulates e1 ⊕ e2 ⊕ ... ⊕ en left to right; Finish() returns the zero
-/// element if nothing was added. Handles kAvg via a (sum, count) pair.
+/// Accumulates e1 ⊕ e2 ⊕ ... ⊕ en; Finish() returns the zero element if
+/// nothing was added. Handles kAvg via a (sum, count) pair. Real-valued
+/// sums and averages accumulate through ExactSum, so the result does not
+/// depend on accumulation order (see ExactSum); this makes Absorb an exact
+/// commutative merge for every monoid except kList (order-sensitive by
+/// definition — callers must absorb partials in stream order) and kProd
+/// (floating-point products are merged left-to-right, so partials must also
+/// arrive in stream order for bit-reproducibility).
 class Accumulator {
  public:
   explicit Accumulator(MonoidKind kind);
@@ -92,6 +130,13 @@ class Accumulator {
   /// Merges an already-reduced value of this monoid (e.g. a subgroup result).
   void Merge(const Value& v);
 
+  /// Folds another accumulator's partial state into this one, including
+  /// kAvg (which has no mergeable Value form). Used by the parallel executor
+  /// to combine per-morsel partials; bit-identical to having Add-ed the
+  /// other's inputs here directly (for kList/kProd: when absorbed in stream
+  /// order).
+  void Absorb(const Accumulator& other);
+
   /// True if the result can no longer change (false seen under kAll, true
   /// under kSome); lets evaluators short-circuit quantifiers.
   bool Saturated() const;
@@ -99,13 +144,17 @@ class Accumulator {
   /// The reduced value. May be called once.
   Value Finish();
 
+  MonoidKind kind() const { return kind_; }
+
  private:
   MonoidKind kind_;
   Elems elems_;         // collection monoids
   bool has_value_ = false;
-  Value current_;       // primitive monoids
-  double avg_sum_ = 0;  // kAvg
-  int64_t avg_count_ = 0;
+  Value current_;       // kProd/kMax/kMin/kSome/kAll
+  ExactSum sum_;        // kSum (real part) and kAvg
+  int64_t int_sum_ = 0;  // kSum over ints stays exact 64-bit integer
+  bool sum_has_real_ = false;
+  int64_t avg_count_ = 0;  // kAvg
 };
 
 }  // namespace ldb

@@ -116,7 +116,7 @@ CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
 Value Optimizer::Execute(const CompiledQuery& q, const Database& db) const {
   if (options_.pipelined_execution) {
     PhysPtr physical = PlanPhysical(q.simplified, db, options_.physical);
-    return ExecutePipelined(physical, db);
+    return ExecutePipelined(physical, db, options_.exec);
   }
   return ExecutePlan(q.simplified, db, options_.physical);
 }

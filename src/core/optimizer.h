@@ -37,6 +37,8 @@ struct OptimizerOptions {
   PhysicalOptions physical;     ///< hash vs nested-loop operators
   bool pipelined_execution = true;  ///< Volcano iterators (exec_pipeline)
                                     ///< vs the materializing executor
+  ExecOptions exec;             ///< slot frames / parallelism knobs for the
+                                ///< pipelined executor
 
   /// Verify that unnesting a bag comprehension cannot merge duplicate
   /// groups (every generator domain must be an extent or set-typed path);

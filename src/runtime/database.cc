@@ -28,6 +28,15 @@ void Database::Update(const Value& ref, Value object) {
   it->second[static_cast<size_t>(r.oid)] = std::move(object);
 }
 
+const std::vector<Value>& Database::ObjectsOf(
+    const std::string& class_name) const {
+  auto it = objects_.find(class_name);
+  if (it == objects_.end()) {
+    throw EvalError("no objects of class " + class_name);
+  }
+  return it->second;
+}
+
 const Value& Database::Deref(const Ref& ref) const {
   auto it = objects_.find(ref.class_name);
   if (it == objects_.end() || ref.oid < 0 ||

@@ -37,6 +37,12 @@ class Database {
   /// Returns the object a Ref points to. Throws EvalError on dangling refs.
   const Value& Deref(const Ref& ref) const;
 
+  /// The whole object store of one class, indexed by oid. Lets evaluators
+  /// that dereference many Refs of the same class resolve the class-name
+  /// hash lookup once instead of per Deref. Throws EvalError if the class
+  /// has no store.
+  const std::vector<Value>& ObjectsOf(const std::string& class_name) const;
+
   /// Returns the extent of a class as a vector of Refs, in insertion order.
   /// Throws TypeError if `extent_name` is not a declared extent.
   const std::vector<Value>& Extent(const std::string& extent_name) const;

@@ -1,6 +1,13 @@
 #include "src/runtime/exec_pipeline.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/runtime/error.h"
@@ -8,6 +15,10 @@
 namespace ldb {
 
 namespace {
+
+// ===========================================================================
+// Legacy Env engine (reference implementation; see header).
+// ===========================================================================
 
 // -- leaf iterators ----------------------------------------------------------
 
@@ -29,12 +40,14 @@ class TableScanIter : public RowIterator {
  public:
   TableScanIter(const PhysOp& op, ExprEvaluator* ev) : op_(op), ev_(ev) {}
 
-  void Open() override { pos_ = 0; }
+  void Open() override {
+    extent_ = &ev_->db().Extent(op_.extent);
+    pos_ = 0;
+  }
   bool Next(Env* out) override {
-    const std::vector<Value>& extent = ev_->db().Extent(op_.extent);
-    while (pos_ < extent.size()) {
+    while (pos_ < extent_->size()) {
       Env env;
-      env.Bind(op_.var, extent[pos_++]);
+      env.Bind(op_.var, (*extent_)[pos_++]);
       if (ev_->EvalPred(op_.pred, env)) {
         *out = std::move(env);
         return true;
@@ -46,6 +59,7 @@ class TableScanIter : public RowIterator {
  private:
   const PhysOp& op_;
   ExprEvaluator* ev_;
+  const std::vector<Value>* extent_ = nullptr;
   size_t pos_ = 0;
 };
 
@@ -123,9 +137,10 @@ class UnnestIter : public RowIterator {
     while (true) {
       if (!have_row_) {
         if (!child_->Next(&current_)) return false;
-        Value coll = ev_->Eval(op_.path, current_);
-        elems_ = coll.is_null() ? nullptr
-                                : std::make_shared<const Elems>(coll.AsElems());
+        // Keep the collection Value alive and walk its elements in place
+        // (a shared_ptr hop) instead of deep-copying them per outer row.
+        coll_ = ev_->Eval(op_.path, current_);
+        elems_ = coll_.is_null() ? nullptr : &coll_.AsElems();
         pos_ = 0;
         emitted_ = false;
         have_row_ = true;
@@ -155,7 +170,8 @@ class UnnestIter : public RowIterator {
   std::unique_ptr<RowIterator> child_;
   ExprEvaluator* ev_;
   Env current_;
-  std::shared_ptr<const Elems> elems_;
+  Value coll_;
+  const Elems* elems_ = nullptr;
   size_t pos_ = 0;
   bool have_row_ = false;
   bool emitted_ = false;
@@ -396,6 +412,887 @@ class HashNestIter : public RowIterator {
   size_t pos_ = 0;
 };
 
+Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db) {
+  ExprEvaluator ev(db);
+  std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
+  input->Open();
+  Accumulator acc(plan->monoid);
+  Env env;
+  while (input->Next(&env)) {
+    if (!ev.EvalPred(plan->pred, env)) continue;
+    acc.Add(ev.Eval(plan->head, env));
+    if (acc.Saturated()) break;  // the pipeline stops pulling here
+  }
+  input->Close();
+  return acc.Finish();
+}
+
+// ===========================================================================
+// Slot-frame engine.
+// ===========================================================================
+
+// A buffered row: a copy of a subtree's covering slot span [out_lo, out_hi).
+using BufRow = std::vector<Value>;
+// Hash-join build table over span copies.
+using JoinTable = std::unordered_map<Value, std::vector<BufRow>, ValueHash>;
+
+// Build-side tables prebuilt once and shared read-only by all workers,
+// keyed by the owning operator's SlotOp::id.
+struct SharedTables {
+  std::unordered_map<int, JoinTable> join_tables;
+  std::unordered_map<int, std::vector<BufRow>> buffers;
+};
+
+struct NestGroup {
+  Elems key;
+  Accumulator acc;
+};
+
+// Per-morsel (and serial) grouping state for HashNest.
+struct PartialGroups {
+  std::vector<NestGroup> groups;  // first-encounter order
+  std::unordered_map<Value, size_t, ValueHash> index;
+};
+
+void LoadSpan(Frame& frame, int lo, const BufRow& row) {
+  std::copy(row.begin(), row.end(), frame.begin() + lo);
+}
+
+void FillNullSpan(Frame& frame, int lo, int hi) {
+  for (int i = lo; i < hi; ++i) frame[i] = Value::Null();
+}
+
+BufRow CopySpan(const Frame& frame, int lo, int hi) {
+  return BufRow(frame.begin() + lo, frame.begin() + hi);
+}
+
+// Composite hash key; a single-key join uses the key value directly instead
+// of allocating a one-element list per row. NULL keys never match.
+Value EvalKeyTuple(FrameEvaluator* fev, Frame& frame,
+                   const std::vector<CExprPtr>& keys) {
+  if (keys.size() == 1) return fev->Eval(*keys[0], frame);
+  Elems parts;
+  parts.reserve(keys.size());
+  for (const CExprPtr& k : keys) {
+    Value v = fev->Eval(*k, frame);
+    if (v.is_null()) return Value::Null();
+    parts.push_back(std::move(v));
+  }
+  return Value::List(std::move(parts));
+}
+
+// Probe-side variant of EvalKeyTuple: the key is only looked up, never
+// stored, so a single-key probe can use the pointer path and skip the
+// 128-byte Value copy per probe row.
+const Value* EvalKeyPtr(FrameEvaluator* fev, Frame& frame,
+                        const std::vector<CExprPtr>& keys, Value* scratch) {
+  if (keys.size() == 1) return fev->EvalPtr(*keys[0], frame, scratch);
+  *scratch = EvalKeyTuple(fev, frame, keys);
+  return scratch;
+}
+
+// Folds the current frame into the group table exactly the way the serial
+// HashNest does; shared by the serial iterator and the parallel workers so
+// grouping logic cannot drift between them.
+void AccumulateNestRow(const SlotOp& nest, FrameEvaluator* fev, Frame& frame,
+                       PartialGroups* pg) {
+  Elems key;
+  key.reserve(nest.group_slots.size());
+  for (const auto& [slot, expr] : nest.group_slots) {
+    key.push_back(fev->Eval(*expr, frame));
+  }
+  auto [it, inserted] = pg->index.emplace(Value::List(key), pg->groups.size());
+  if (inserted) pg->groups.push_back(NestGroup{std::move(key), Accumulator(nest.monoid)});
+  NestGroup& g = pg->groups[it->second];
+  bool padded = false;
+  for (int s : nest.null_slots) {
+    if (frame[s].is_null()) {
+      padded = true;
+      break;
+    }
+  }
+  if (!padded && fev->EvalPred(*nest.pred, frame)) {
+    Value scratch;
+    g.acc.Add(*fev->EvalPtr(*nest.head, frame, &scratch));
+  }
+}
+
+// Iterators communicate through the shared per-thread frame: Next() writes
+// the operator's output slots and returns whether a row was produced.
+class FrameIter {
+ public:
+  virtual ~FrameIter() = default;
+  virtual void Open() = 0;
+  virtual bool Next() = 0;
+  virtual void Close() {}
+};
+
+class FUnitRowIter : public FrameIter {
+ public:
+  void Open() override { done_ = false; }
+  bool Next() override {
+    if (done_) return false;
+    done_ = true;
+    return true;
+  }
+
+ private:
+  bool done_ = true;
+};
+
+class FTableScanIter : public FrameIter {
+ public:
+  FTableScanIter(const SlotOp& op, FrameEvaluator* fev, Frame* frame)
+      : op_(op), fev_(fev), frame_(frame) {}
+
+  /// Restricts the scan to extent rows [lo, hi) — the morsel handed to a
+  /// worker. Takes effect at the next Open().
+  void SetRange(size_t lo, size_t hi) {
+    ranged_ = true;
+    lo_ = lo;
+    hi_ = hi;
+  }
+
+  void Open() override {
+    extent_ = &fev_->db().Extent(op_.extent);
+    pos_ = ranged_ ? lo_ : 0;
+    end_ = ranged_ ? hi_ : extent_->size();
+  }
+  bool Next() override {
+    while (pos_ < end_) {
+      (*frame_)[op_.var_slot] = (*extent_)[pos_++];
+      if (fev_->EvalPred(*op_.pred, *frame_)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const SlotOp& op_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  const std::vector<Value>* extent_ = nullptr;
+  size_t pos_ = 0, end_ = 0;
+  bool ranged_ = false;
+  size_t lo_ = 0, hi_ = 0;
+};
+
+class FIndexScanIter : public FrameIter {
+ public:
+  FIndexScanIter(const SlotOp& op, FrameEvaluator* fev, Frame* frame)
+      : op_(op), fev_(fev), frame_(frame) {}
+
+  void Open() override {
+    pos_ = 0;
+    Value key = fev_->Eval(*op_.index_key, *frame_);
+    bucket_ = key.is_null()
+                  ? nullptr  // = NULL never matches
+                  : &fev_->db().IndexLookup(op_.extent, op_.index_attr, key);
+  }
+  bool Next() override {
+    if (bucket_ == nullptr) return false;
+    while (pos_ < bucket_->size()) {
+      (*frame_)[op_.var_slot] = (*bucket_)[pos_++];
+      if (fev_->EvalPred(*op_.pred, *frame_)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const SlotOp& op_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  const std::vector<Value>* bucket_ = nullptr;
+  size_t pos_ = 0;
+};
+
+class FFilterIter : public FrameIter {
+ public:
+  FFilterIter(const SlotOp& op, std::unique_ptr<FrameIter> child,
+              FrameEvaluator* fev, Frame* frame)
+      : op_(op), child_(std::move(child)), fev_(fev), frame_(frame) {}
+
+  void Open() override { child_->Open(); }
+  bool Next() override {
+    while (child_->Next()) {
+      if (fev_->EvalPred(*op_.pred, *frame_)) return true;
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const SlotOp& op_;
+  std::unique_ptr<FrameIter> child_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+};
+
+class FUnnestIter : public FrameIter {
+ public:
+  FUnnestIter(const SlotOp& op, std::unique_ptr<FrameIter> child,
+              FrameEvaluator* fev, Frame* frame)
+      : op_(op), outer_(op.kind == PhysKind::kOuterUnnest),
+        child_(std::move(child)), fev_(fev), frame_(frame) {}
+
+  void Open() override {
+    child_->Open();
+    have_row_ = false;
+  }
+
+  bool Next() override {
+    while (true) {
+      if (!have_row_) {
+        if (!child_->Next()) return false;
+        coll_ = fev_->Eval(*op_.path, *frame_);
+        elems_ = coll_.is_null() ? nullptr : &coll_.AsElems();
+        pos_ = 0;
+        emitted_ = false;
+        have_row_ = true;
+      }
+      if (elems_ != nullptr) {
+        while (pos_ < elems_->size()) {
+          (*frame_)[op_.var_slot] = (*elems_)[pos_++];
+          if (fev_->EvalPred(*op_.pred, *frame_)) {
+            emitted_ = true;
+            return true;
+          }
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !emitted_) {
+        (*frame_)[op_.var_slot] = Value::Null();
+        return true;
+      }
+    }
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const SlotOp& op_;
+  bool outer_;
+  std::unique_ptr<FrameIter> child_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  Value coll_;
+  const Elems* elems_ = nullptr;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool emitted_ = false;
+};
+
+// Streams the left child; the right child is buffered as span copies (or
+// injected prebuilt by the parallel executor, in which case right_ is null).
+class FNLJoinIter : public FrameIter {
+ public:
+  FNLJoinIter(const SlotOp& op, std::unique_ptr<FrameIter> left,
+              std::unique_ptr<FrameIter> right, FrameEvaluator* fev,
+              Frame* frame, const std::vector<BufRow>* shared_buffer)
+      : op_(op), outer_(op.kind == PhysKind::kNLOuterJoin),
+        left_(std::move(left)), right_(std::move(right)), fev_(fev),
+        frame_(frame), shared_buffer_(shared_buffer) {}
+
+  void Open() override {
+    if (shared_buffer_ != nullptr) {
+      buffer_ = shared_buffer_;
+    } else {
+      own_buffer_.clear();
+      right_->Open();
+      while (right_->Next()) {
+        own_buffer_.push_back(
+            CopySpan(*frame_, op_.right->out_lo, op_.right->out_hi));
+      }
+      right_->Close();
+      buffer_ = &own_buffer_;
+    }
+    left_->Open();
+    have_row_ = false;
+  }
+
+  bool Next() override {
+    while (true) {
+      if (!have_row_) {
+        if (!left_->Next()) return false;
+        pos_ = 0;
+        matched_ = false;
+        have_row_ = true;
+      }
+      while (pos_ < buffer_->size()) {
+        LoadSpan(*frame_, op_.right->out_lo, (*buffer_)[pos_++]);
+        if (fev_->EvalPred(*op_.pred, *frame_)) {
+          matched_ = true;
+          return true;
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !matched_) {
+        FillNullSpan(*frame_, op_.right->out_lo, op_.right->out_hi);
+        return true;
+      }
+    }
+  }
+  void Close() override {
+    left_->Close();
+    own_buffer_.clear();
+  }
+
+ private:
+  const SlotOp& op_;
+  bool outer_;
+  std::unique_ptr<FrameIter> left_, right_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  const std::vector<BufRow>* shared_buffer_;
+  std::vector<BufRow> own_buffer_;
+  const std::vector<BufRow>* buffer_ = nullptr;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool matched_ = false;
+};
+
+class FHashJoinIter : public FrameIter {
+ public:
+  FHashJoinIter(const SlotOp& op, std::unique_ptr<FrameIter> left,
+                std::unique_ptr<FrameIter> right, FrameEvaluator* fev,
+                Frame* frame, const JoinTable* shared_table)
+      : op_(op), outer_(op.kind == PhysKind::kHashOuterJoin),
+        left_(std::move(left)), right_(std::move(right)), fev_(fev),
+        frame_(frame), shared_table_(shared_table) {
+    build_op_ = (op_.build_is_left ? op_.left : op_.right).get();
+  }
+
+  void Open() override {
+    FrameIter* build = op_.build_is_left ? left_.get() : right_.get();
+    probe_ = op_.build_is_left ? right_.get() : left_.get();
+    if (shared_table_ != nullptr) {
+      table_ = shared_table_;
+    } else {
+      own_table_.clear();
+      build->Open();
+      while (build->Next()) {
+        Value key = EvalKeyTuple(fev_, *frame_, op_.build_keys);
+        if (!key.is_null()) {
+          own_table_[std::move(key)].push_back(
+              CopySpan(*frame_, build_op_->out_lo, build_op_->out_hi));
+        }
+      }
+      build->Close();
+      table_ = &own_table_;
+    }
+    probe_->Open();
+    have_row_ = false;
+  }
+
+  bool Next() override {
+    while (true) {
+      if (!have_row_) {
+        if (!probe_->Next()) return false;
+        Value key_scratch;
+        const Value* key = EvalKeyPtr(fev_, *frame_, op_.probe_keys,
+                                      &key_scratch);
+        bucket_ = nullptr;
+        if (!key->is_null()) {
+          auto it = table_->find(*key);
+          if (it != table_->end()) bucket_ = &it->second;
+        }
+        pos_ = 0;
+        matched_ = false;
+        have_row_ = true;
+      }
+      if (bucket_ != nullptr) {
+        while (pos_ < bucket_->size()) {
+          LoadSpan(*frame_, build_op_->out_lo, (*bucket_)[pos_++]);
+          if (fev_->EvalPred(*op_.pred, *frame_)) {
+            matched_ = true;
+            return true;
+          }
+        }
+      }
+      have_row_ = false;
+      if (outer_ && !matched_) {
+        // Outer joins always probe left, so the padded side is the right.
+        FillNullSpan(*frame_, op_.right->out_lo, op_.right->out_hi);
+        return true;
+      }
+    }
+  }
+  void Close() override {
+    if (left_) left_->Close();
+    if (right_) right_->Close();
+    own_table_.clear();
+  }
+
+ private:
+  const SlotOp& op_;
+  bool outer_;
+  std::unique_ptr<FrameIter> left_, right_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  const SlotOp* build_op_;
+  const JoinTable* shared_table_;
+  JoinTable own_table_;
+  FrameIter* probe_ = nullptr;
+  const JoinTable* table_ = nullptr;
+  const std::vector<BufRow>* bucket_ = nullptr;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  bool matched_ = false;
+};
+
+// Blocking grouping. Either drains its child on Open, or replays groups
+// merged from parallel workers (prebuilt constructor; no child).
+class FHashNestIter : public FrameIter {
+ public:
+  FHashNestIter(const SlotOp& op, std::unique_ptr<FrameIter> child,
+                FrameEvaluator* fev, Frame* frame)
+      : op_(op), child_(std::move(child)), fev_(fev), frame_(frame) {}
+
+  FHashNestIter(const SlotOp& op, std::vector<NestGroup> prebuilt,
+                FrameEvaluator* fev, Frame* frame)
+      : op_(op), fev_(fev), frame_(frame),
+        prebuilt_(std::move(prebuilt)), has_prebuilt_(true) {}
+
+  void Open() override {
+    if (has_prebuilt_) {
+      groups_ = std::move(prebuilt_);
+      has_prebuilt_ = false;
+    } else {
+      PartialGroups pg;
+      child_->Open();
+      while (child_->Next()) AccumulateNestRow(op_, fev_, *frame_, &pg);
+      child_->Close();
+      groups_ = std::move(pg.groups);
+    }
+    // Scalar aggregation (no keys) always yields one row (see eval_algebra).
+    if (op_.group_slots.empty() && groups_.empty()) {
+      groups_.push_back(NestGroup{{}, Accumulator(op_.monoid)});
+    }
+    pos_ = 0;
+  }
+
+  bool Next() override {
+    if (pos_ >= groups_.size()) return false;
+    NestGroup& g = groups_[pos_++];
+    for (size_t i = 0; i < op_.group_slots.size(); ++i) {
+      (*frame_)[op_.group_slots[i].first] = g.key[i];
+    }
+    (*frame_)[op_.var_slot] = g.acc.Finish();
+    return true;
+  }
+  void Close() override { groups_.clear(); }
+
+ private:
+  const SlotOp& op_;
+  std::unique_ptr<FrameIter> child_;
+  FrameEvaluator* fev_;
+  Frame* frame_;
+  std::vector<NestGroup> prebuilt_;
+  bool has_prebuilt_ = false;
+  std::vector<NestGroup> groups_;
+  size_t pos_ = 0;
+};
+
+// Construction context: the per-thread frame/evaluator, plus the parallel
+// executor's injections (shared build tables, the morsel-ranged driver scan,
+// pre-merged nest groups for the serial tail).
+struct FrameExecCtx {
+  FrameEvaluator* fev = nullptr;
+  Frame* frame = nullptr;
+  const SharedTables* shared = nullptr;
+  int driver_id = -1;
+  FTableScanIter* driver = nullptr;  // out: the driver scan, if driver_id hit
+  int prebuilt_nest_id = -1;
+  std::vector<NestGroup>* prebuilt_groups = nullptr;  // moved from when hit
+};
+
+std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
+                                             FrameExecCtx& ctx) {
+  LDB_INTERNAL_CHECK(op != nullptr, "null slot operator");
+  switch (op->kind) {
+    case PhysKind::kUnitRow:
+      return std::make_unique<FUnitRowIter>();
+    case PhysKind::kTableScan: {
+      auto it = std::make_unique<FTableScanIter>(*op, ctx.fev, ctx.frame);
+      if (op->id == ctx.driver_id) ctx.driver = it.get();
+      return it;
+    }
+    case PhysKind::kIndexScan:
+      return std::make_unique<FIndexScanIter>(*op, ctx.fev, ctx.frame);
+    case PhysKind::kFilter:
+      return std::make_unique<FFilterIter>(*op, MakeFrameIterator(op->left, ctx),
+                                           ctx.fev, ctx.frame);
+    case PhysKind::kUnnest:
+    case PhysKind::kOuterUnnest:
+      return std::make_unique<FUnnestIter>(*op, MakeFrameIterator(op->left, ctx),
+                                           ctx.fev, ctx.frame);
+    case PhysKind::kNLJoin:
+    case PhysKind::kNLOuterJoin: {
+      const std::vector<BufRow>* shared_buffer = nullptr;
+      if (ctx.shared != nullptr) {
+        auto it = ctx.shared->buffers.find(op->id);
+        if (it != ctx.shared->buffers.end()) shared_buffer = &it->second;
+      }
+      // With a shared buffer the buffered subtree is never instantiated.
+      auto right = shared_buffer ? nullptr : MakeFrameIterator(op->right, ctx);
+      return std::make_unique<FNLJoinIter>(*op, MakeFrameIterator(op->left, ctx),
+                                           std::move(right), ctx.fev, ctx.frame,
+                                           shared_buffer);
+    }
+    case PhysKind::kHashJoin:
+    case PhysKind::kHashOuterJoin: {
+      const JoinTable* shared_table = nullptr;
+      if (ctx.shared != nullptr) {
+        auto it = ctx.shared->join_tables.find(op->id);
+        if (it != ctx.shared->join_tables.end()) shared_table = &it->second;
+      }
+      const SlotOpPtr& build = op->build_is_left ? op->left : op->right;
+      const SlotOpPtr& probe = op->build_is_left ? op->right : op->left;
+      std::unique_ptr<FrameIter> build_it =
+          shared_table ? nullptr : MakeFrameIterator(build, ctx);
+      std::unique_ptr<FrameIter> probe_it = MakeFrameIterator(probe, ctx);
+      auto left = op->build_is_left ? std::move(build_it) : std::move(probe_it);
+      auto right = op->build_is_left ? std::move(probe_it) : std::move(build_it);
+      return std::make_unique<FHashJoinIter>(*op, std::move(left),
+                                             std::move(right), ctx.fev,
+                                             ctx.frame, shared_table);
+    }
+    case PhysKind::kHashNest: {
+      if (op->id == ctx.prebuilt_nest_id) {
+        return std::make_unique<FHashNestIter>(
+            *op, std::move(*ctx.prebuilt_groups), ctx.fev, ctx.frame);
+      }
+      return std::make_unique<FHashNestIter>(
+          *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
+    }
+    case PhysKind::kReduce:
+      throw InternalError("reduce is driven by ExecuteSlotPlan, not pulled");
+  }
+  throw InternalError("unhandled slot operator");
+}
+
+Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db) {
+  FrameEvaluator fev(db);
+  Frame frame(static_cast<size_t>(sp.n_slots));
+  FrameExecCtx ctx;
+  ctx.fev = &fev;
+  ctx.frame = &frame;
+  std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
+  input->Open();
+  Accumulator acc(sp.root->monoid);
+  Value scratch;
+  while (input->Next()) {
+    if (!fev.EvalPred(*sp.root->pred, frame)) continue;
+    acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
+    if (acc.Saturated()) break;  // the pipeline stops pulling here
+  }
+  input->Close();
+  return acc.Finish();
+}
+
+// ===========================================================================
+// Morsel-driven parallel execution.
+// ===========================================================================
+
+// The streaming spine: the chain of operators a driver-scan row flows
+// through without being buffered. Joins continue along their probe/streamed
+// side; HashNest is a barrier but is still spine (mode B parallelizes below
+// the lowest one).
+struct SpineInfo {
+  SlotOpPtr driver;       // the driving kTableScan (null = not parallelizable)
+  SlotOpPtr lowest_nest;  // deepest kHashNest on the spine, if any
+};
+
+SpineInfo AnalyzeSpine(const SlotOpPtr& root) {
+  SpineInfo info;
+  SlotOpPtr cur = root->left;
+  while (cur) {
+    switch (cur->kind) {
+      case PhysKind::kFilter:
+      case PhysKind::kUnnest:
+      case PhysKind::kOuterUnnest:
+      case PhysKind::kNLJoin:
+      case PhysKind::kNLOuterJoin:
+        cur = cur->left;
+        break;
+      case PhysKind::kHashJoin:
+      case PhysKind::kHashOuterJoin:
+        cur = cur->build_is_left ? cur->right : cur->left;
+        break;
+      case PhysKind::kHashNest:
+        info.lowest_nest = cur;
+        cur = cur->left;
+        break;
+      case PhysKind::kTableScan:
+        info.driver = cur;
+        return info;
+      default:  // kUnitRow / kIndexScan drivers: stay serial
+        return SpineInfo{};
+    }
+  }
+  return SpineInfo{};
+}
+
+// Builds every spine join's build/buffer side once, serially, so workers
+// share the tables read-only.
+void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
+                         int n_slots, SharedTables* shared) {
+  FrameEvaluator fev(db);
+  Frame frame(static_cast<size_t>(n_slots));
+  for (SlotOpPtr cur = sub_root; cur;) {
+    switch (cur->kind) {
+      case PhysKind::kFilter:
+      case PhysKind::kUnnest:
+      case PhysKind::kOuterUnnest:
+        cur = cur->left;
+        break;
+      case PhysKind::kNLJoin:
+      case PhysKind::kNLOuterJoin: {
+        FrameExecCtx ctx;
+        ctx.fev = &fev;
+        ctx.frame = &frame;
+        auto it = MakeFrameIterator(cur->right, ctx);
+        it->Open();
+        std::vector<BufRow> buf;
+        while (it->Next()) {
+          buf.push_back(CopySpan(frame, cur->right->out_lo, cur->right->out_hi));
+        }
+        it->Close();
+        shared->buffers.emplace(cur->id, std::move(buf));
+        cur = cur->left;
+        break;
+      }
+      case PhysKind::kHashJoin:
+      case PhysKind::kHashOuterJoin: {
+        const SlotOpPtr& build = cur->build_is_left ? cur->left : cur->right;
+        FrameExecCtx ctx;
+        ctx.fev = &fev;
+        ctx.frame = &frame;
+        auto it = MakeFrameIterator(build, ctx);
+        it->Open();
+        JoinTable table;
+        while (it->Next()) {
+          Value key = EvalKeyTuple(&fev, frame, cur->build_keys);
+          if (!key.is_null()) {
+            table[std::move(key)].push_back(
+                CopySpan(frame, build->out_lo, build->out_hi));
+          }
+        }
+        it->Close();
+        shared->join_tables.emplace(cur->id, std::move(table));
+        cur = cur->build_is_left ? cur->right : cur->left;
+        break;
+      }
+      default:  // the driver scan
+        return;
+    }
+  }
+}
+
+// Hands out extent ranges [i*morsel, (i+1)*morsel) by atomic counter.
+struct MorselQueue {
+  size_t total;
+  size_t morsel;
+  std::atomic<size_t> next{0};
+
+  size_t count() const { return (total + morsel - 1) / morsel; }
+  bool Grab(size_t* idx, size_t* lo, size_t* hi) {
+    size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    size_t l = i * morsel;
+    if (l >= total) return false;
+    *idx = i;
+    *lo = l;
+    *hi = std::min(total, l + morsel);
+    return true;
+  }
+};
+
+// Runs `body(idx, lo, hi, worker_state)` over all morsels on `n_workers`
+// threads; per-morsel exceptions are captured and the lowest-indexed one
+// recorded rethrown (the closest parallel analogue of where the serial
+// execution would have failed first).
+template <typename MakeState, typename Body>
+void RunMorsels(MorselQueue& mq, int n_workers, std::atomic<bool>& stop,
+                MakeState make_state, Body body) {
+  std::vector<std::exception_ptr> errors(mq.count());
+  std::mutex setup_mu;
+  std::exception_ptr setup_error;
+  auto work = [&]() {
+    // The state is heap-allocated: iterators keep pointers into it, so its
+    // address must be stable.
+    auto state = make_state();
+    size_t idx, lo, hi;
+    while (!stop.load(std::memory_order_relaxed) && mq.Grab(&idx, &lo, &hi)) {
+      try {
+        body(idx, lo, hi, *state);
+      } catch (...) {
+        errors[idx] = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n_workers));
+  for (int t = 0; t < n_workers; ++t) {
+    threads.emplace_back([&]() {
+      try {
+        work();
+      } catch (...) {
+        // Worker setup failures surface after join.
+        std::lock_guard<std::mutex> lock(setup_mu);
+        if (!setup_error) setup_error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (setup_error) std::rethrow_exception(setup_error);
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+// Per-worker pipeline over the parallel sub-spine.
+struct WorkerPipeline {
+  FrameEvaluator fev;
+  Frame frame;
+  std::unique_ptr<FrameIter> pipe;
+  FTableScanIter* driver = nullptr;
+
+  WorkerPipeline(const Database& db, int n_slots, const SlotOpPtr& sub_root,
+                 const SharedTables& shared, int driver_id)
+      : fev(db), frame(static_cast<size_t>(n_slots)) {
+    FrameExecCtx ctx;
+    ctx.fev = &fev;
+    ctx.frame = &frame;
+    ctx.shared = &shared;
+    ctx.driver_id = driver_id;
+    pipe = MakeFrameIterator(sub_root, ctx);
+    driver = ctx.driver;
+    LDB_INTERNAL_CHECK(driver != nullptr, "parallel driver scan not found");
+  }
+};
+
+// True if a parallel run of this plan is guaranteed bit-identical to the
+// serial run when per-morsel partials merge in morsel order. The only
+// exclusion is a floating-point product at the root: Accumulator folds
+// kProd pairwise in arrival order and FP multiplication is not associative.
+// (kSum/kAvg are exact via ExactSum; max/min/some/all are order-independent;
+// collections either canonicalize (set/bag) or concatenate in morsel order
+// (list); a spine HashNest merges whole groups in morsel order, which
+// restores the serial stream order within every group.)
+bool ParallelRootEligible(MonoidKind root_monoid) {
+  return root_monoid != MonoidKind::kProd;
+}
+
+bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
+                        const ExecOptions& opt, Value* out) {
+  const SlotOpPtr& root = sp.root;
+  SpineInfo spine = AnalyzeSpine(root);
+  if (!spine.driver) return false;
+  if (!spine.lowest_nest && !ParallelRootEligible(root->monoid)) return false;
+  const std::vector<Value>& extent = db.Extent(spine.driver->extent);
+  const size_t morsel = std::max<size_t>(1, opt.morsel_size);
+  if (extent.size() <= morsel) return false;  // one morsel: serial is exact
+
+  const SlotOpPtr sub_root = spine.lowest_nest ? spine.lowest_nest->left
+                                               : root->left;
+  SharedTables shared;
+  PrebuildSpineTables(sub_root, db, sp.n_slots, &shared);
+
+  MorselQueue mq{extent.size(), morsel};
+  const size_t n_morsels = mq.count();
+  const int n_workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(opt.n_threads), n_morsels));
+  std::atomic<bool> stop{false};
+
+  auto make_state = [&]() {
+    return std::make_unique<WorkerPipeline>(db, sp.n_slots, sub_root, shared,
+                                            spine.driver->id);
+  };
+
+  if (!spine.lowest_nest) {
+    // Mode A: workers run the whole spine including the root reduce; one
+    // partial accumulator per morsel, merged in morsel order.
+    std::vector<std::optional<Accumulator>> parts(n_morsels);
+    RunMorsels(mq, n_workers, stop, make_state,
+               [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
+                 w.driver->SetRange(lo, hi);
+                 w.pipe->Open();
+                 Accumulator acc(root->monoid);
+                 Value scratch;
+                 while (w.pipe->Next()) {
+                   if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
+                   acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                   if (acc.Saturated()) {
+                     // The saturated value is the final result whichever
+                     // morsel produces it first; stop dispatching.
+                     stop.store(true, std::memory_order_relaxed);
+                     break;
+                   }
+                 }
+                 w.pipe->Close();
+                 parts[idx].emplace(std::move(acc));
+               });
+    Accumulator final_acc(root->monoid);
+    for (std::optional<Accumulator>& p : parts) {
+      if (p) final_acc.Absorb(*p);
+    }
+    *out = final_acc.Finish();
+    return true;
+  }
+
+  // Mode B: workers run the sub-spine below the lowest HashNest and group
+  // into per-morsel tables; groups merge in morsel order (first-encounter
+  // group order and within-group stream order both match the serial run),
+  // then the plan above the nest executes serially over the merged groups.
+  const SlotOp& nest = *spine.lowest_nest;
+  std::vector<std::optional<PartialGroups>> parts(n_morsels);
+  RunMorsels(mq, n_workers, stop, make_state,
+             [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
+               w.driver->SetRange(lo, hi);
+               w.pipe->Open();
+               PartialGroups pg;
+               while (w.pipe->Next()) {
+                 AccumulateNestRow(nest, &w.fev, w.frame, &pg);
+               }
+               w.pipe->Close();
+               parts[idx].emplace(std::move(pg));
+             });
+
+  PartialGroups merged;
+  for (std::optional<PartialGroups>& p : parts) {
+    if (!p) continue;
+    for (NestGroup& g : p->groups) {
+      auto [it, inserted] =
+          merged.index.emplace(Value::List(g.key), merged.groups.size());
+      if (inserted) {
+        merged.groups.push_back(
+            NestGroup{std::move(g.key), Accumulator(nest.monoid)});
+      }
+      merged.groups[it->second].acc.Absorb(g.acc);
+    }
+  }
+
+  FrameEvaluator fev(db);
+  Frame frame(static_cast<size_t>(sp.n_slots));
+  FrameExecCtx ctx;
+  ctx.fev = &fev;
+  ctx.frame = &frame;
+  ctx.prebuilt_nest_id = nest.id;
+  ctx.prebuilt_groups = &merged.groups;
+  std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
+  input->Open();
+  Accumulator acc(root->monoid);
+  Value scratch;
+  while (input->Next()) {
+    if (!fev.EvalPred(*root->pred, frame)) continue;
+    acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
+    if (acc.Saturated()) break;
+  }
+  input->Close();
+  *out = acc.Finish();
+  return true;
+}
+
 }  // namespace
 
 std::unique_ptr<RowIterator> MakeIterator(const PhysPtr& op, ExprEvaluator* ev) {
@@ -428,21 +1325,23 @@ std::unique_ptr<RowIterator> MakeIterator(const PhysPtr& op, ExprEvaluator* ev) 
   throw InternalError("unhandled physical operator");
 }
 
-Value ExecutePipelined(const PhysPtr& plan, const Database& db) {
+Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
+                      const ExecOptions& options) {
+  LDB_INTERNAL_CHECK(plan.root && plan.root->kind == PhysKind::kReduce,
+                     "slot execution expects a Reduce root");
+  if (options.n_threads > 1) {
+    Value out;
+    if (TryExecuteParallel(plan, db, options, &out)) return out;
+  }
+  return ExecuteSlotSerial(plan, db);
+}
+
+Value ExecutePipelined(const PhysPtr& plan, const Database& db,
+                       const ExecOptions& options) {
   LDB_INTERNAL_CHECK(plan && plan->kind == PhysKind::kReduce,
                      "pipelined execution expects a Reduce root");
-  ExprEvaluator ev(db);
-  std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
-  input->Open();
-  Accumulator acc(plan->monoid);
-  Env env;
-  while (input->Next(&env)) {
-    if (!ev.EvalPred(plan->pred, env)) continue;
-    acc.Add(ev.Eval(plan->head, env));
-    if (acc.Saturated()) break;  // the pipeline stops pulling here
-  }
-  input->Close();
-  return acc.Finish();
+  if (!options.use_slot_frames) return ExecuteEnvPipeline(plan, db);
+  return ExecuteSlotPlan(CompileSlotPlan(plan, db), db, options);
 }
 
 }  // namespace ldb

@@ -1,10 +1,26 @@
-// Volcano-style pipelined execution of physical plans: every operator is an
-// open/next/close iterator, rows flow one at a time, and the root reduce
-// stops pulling the moment a quantifier saturates (an `exists` stops at the
-// first witness instead of materializing the whole join).
+// Pipelined execution of physical plans.
+//
+// Two engines live here:
+//
+//  * The SLOT-FRAME engine (the default): the plan is first slot-compiled
+//    (slot_plan.h) so rows are flat Value frames and variable references are
+//    integer slots; iterators implement the same Volcano open/next/close
+//    protocol but communicate through a shared per-thread frame instead of
+//    passing Env objects. With ExecOptions::n_threads > 1 the engine runs
+//    morsel-driven parallel: the driving table scan is split into morsels,
+//    workers execute the streaming spine against shared read-only hash/join
+//    build tables, and per-morsel partial accumulators (or partial group
+//    tables for a spine HashNest) are merged in morsel order — results are
+//    identical to the serial path (see docs/EXECUTOR.md for why).
+//
+//  * The legacy ENV engine (RowIterator/MakeIterator): string-keyed
+//    environments, kept as a reference implementation and for tests that
+//    inspect bindings by name. ExecOptions::use_slot_frames = false routes
+//    through it.
 //
 // Blocking points are exactly the hash builds (join build sides, grouping
-// tables) — everything else streams.
+// tables) — everything else streams, and the root reduce stops pulling the
+// moment a quantifier saturates.
 
 #ifndef LAMBDADB_RUNTIME_EXEC_PIPELINE_H_
 #define LAMBDADB_RUNTIME_EXEC_PIPELINE_H_
@@ -13,10 +29,11 @@
 
 #include "src/runtime/expr_eval.h"
 #include "src/runtime/physical_plan.h"
+#include "src/runtime/slot_plan.h"
 
 namespace ldb {
 
-/// A pull-based row iterator over environments.
+/// A pull-based row iterator over environments (legacy Env engine).
 class RowIterator {
  public:
   virtual ~RowIterator() = default;
@@ -28,13 +45,21 @@ class RowIterator {
   virtual void Close() {}
 };
 
-/// Builds the iterator tree for a (non-Reduce) physical subtree. Exposed for
-/// tests; `ev` must outlive the returned iterator.
+/// Builds the legacy Env iterator tree for a (non-Reduce) physical subtree.
+/// Exposed for tests; `ev` must outlive the returned iterator.
 std::unique_ptr<RowIterator> MakeIterator(const PhysPtr& op, ExprEvaluator* ev);
 
 /// Executes a Reduce-rooted physical plan by pulling rows through the
-/// pipeline; short-circuits saturated quantifier roots.
-Value ExecutePipelined(const PhysPtr& plan, const Database& db);
+/// pipeline; short-circuits saturated quantifier roots. `options` selects
+/// the engine (slot frames vs legacy Env) and the degree of parallelism.
+Value ExecutePipelined(const PhysPtr& plan, const Database& db,
+                       const ExecOptions& options = {});
+
+/// Executes an already slot-compiled plan (serial or parallel per
+/// `options`). Exposed so benchmarks can separate compile time from run
+/// time; `plan` must come from CompileSlotPlan against the same `db`.
+Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
+                      const ExecOptions& options = {});
 
 }  // namespace ldb
 

@@ -26,6 +26,63 @@ bool ExprEvaluator::EvalPred(const ExprPtr& pred, const Env& env) {
   return v.AsBool();
 }
 
+Value ApplyCompareOp(BinOpKind op, const Value& l, const Value& r) {
+  // Comparisons involving NULL are false (paper: the only operation on
+  // NULL is the null test).
+  if (l.is_null() || r.is_null()) return Value::Bool(false);
+  int c = Value::Compare(l, r);
+  switch (op) {
+    case BinOpKind::kEq: return Value::Bool(c == 0);
+    case BinOpKind::kNe: return Value::Bool(c != 0);
+    case BinOpKind::kLt: return Value::Bool(c < 0);
+    case BinOpKind::kLe: return Value::Bool(c <= 0);
+    case BinOpKind::kGt: return Value::Bool(c > 0);
+    case BinOpKind::kGe: return Value::Bool(c >= 0);
+    default:
+      throw InternalError("not a comparison operator");
+  }
+}
+
+Value ApplyArithOp(BinOpKind op, const Value& l, const Value& r) {
+  // Arithmetic: NULL propagates.
+  if (l.is_null() || r.is_null()) return Value::Null();
+  bool both_int =
+      l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt;
+  double x = l.AsNumeric(), y = r.AsNumeric();
+  switch (op) {
+    case BinOpKind::kAdd:
+      return both_int ? Value::Int(l.AsInt() + r.AsInt()) : Value::Real(x + y);
+    case BinOpKind::kSub:
+      return both_int ? Value::Int(l.AsInt() - r.AsInt()) : Value::Real(x - y);
+    case BinOpKind::kMul:
+      return both_int ? Value::Int(l.AsInt() * r.AsInt()) : Value::Real(x * y);
+    case BinOpKind::kDiv:
+      if (y == 0) throw EvalError("division by zero");
+      return both_int ? Value::Int(l.AsInt() / r.AsInt()) : Value::Real(x / y);
+    case BinOpKind::kMod:
+      if (!both_int) throw EvalError("mod on non-integers");
+      if (r.AsInt() == 0) throw EvalError("mod by zero");
+      return Value::Int(l.AsInt() % r.AsInt());
+    default:
+      throw InternalError("unhandled binop");
+  }
+}
+
+Value ApplyUnaryOp(UnOpKind op, const Value& v) {
+  switch (op) {
+    case UnOpKind::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnOpKind::kNot:
+      if (v.is_null()) return Value::Bool(true);  // not(false-y NULL)
+      return Value::Bool(!v.AsBool());
+    case UnOpKind::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt());
+      return Value::Real(-v.AsNumeric());
+  }
+  throw InternalError("unhandled unop");
+}
+
 Value ExprEvaluator::EvalBinOp(const ExprPtr& e, const Env& env) {
   const BinOpKind op = e->bin_op;
   // Short-circuit connectives.
@@ -46,44 +103,10 @@ Value ExprEvaluator::EvalBinOp(const ExprPtr& e, const Env& env) {
     case BinOpKind::kLt:
     case BinOpKind::kLe:
     case BinOpKind::kGt:
-    case BinOpKind::kGe: {
-      // Comparisons involving NULL are false (paper: the only operation on
-      // NULL is the null test).
-      if (l.is_null() || r.is_null()) return Value::Bool(false);
-      int c = Value::Compare(l, r);
-      switch (op) {
-        case BinOpKind::kEq: return Value::Bool(c == 0);
-        case BinOpKind::kNe: return Value::Bool(c != 0);
-        case BinOpKind::kLt: return Value::Bool(c < 0);
-        case BinOpKind::kLe: return Value::Bool(c <= 0);
-        case BinOpKind::kGt: return Value::Bool(c > 0);
-        default:             return Value::Bool(c >= 0);
-      }
-    }
-    default: {
-      // Arithmetic: NULL propagates.
-      if (l.is_null() || r.is_null()) return Value::Null();
-      bool both_int =
-          l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt;
-      double x = l.AsNumeric(), y = r.AsNumeric();
-      switch (op) {
-        case BinOpKind::kAdd:
-          return both_int ? Value::Int(l.AsInt() + r.AsInt()) : Value::Real(x + y);
-        case BinOpKind::kSub:
-          return both_int ? Value::Int(l.AsInt() - r.AsInt()) : Value::Real(x - y);
-        case BinOpKind::kMul:
-          return both_int ? Value::Int(l.AsInt() * r.AsInt()) : Value::Real(x * y);
-        case BinOpKind::kDiv:
-          if (y == 0) throw EvalError("division by zero");
-          return both_int ? Value::Int(l.AsInt() / r.AsInt()) : Value::Real(x / y);
-        case BinOpKind::kMod:
-          if (!both_int) throw EvalError("mod on non-integers");
-          if (r.AsInt() == 0) throw EvalError("mod by zero");
-          return Value::Int(l.AsInt() % r.AsInt());
-        default:
-          throw InternalError("unhandled binop");
-      }
-    }
+    case BinOpKind::kGe:
+      return ApplyCompareOp(op, l, r);
+    default:
+      return ApplyArithOp(op, l, r);
   }
 }
 
@@ -131,21 +154,8 @@ Value ExprEvaluator::Eval(const ExprPtr& e, const Env& env) {
       return EvalPred(e->a, env) ? Eval(e->b, env) : Eval(e->c, env);
     case ExprKind::kBinOp:
       return EvalBinOp(e, env);
-    case ExprKind::kUnOp: {
-      Value v = Eval(e->a, env);
-      switch (e->un_op) {
-        case UnOpKind::kIsNull:
-          return Value::Bool(v.is_null());
-        case UnOpKind::kNot:
-          if (v.is_null()) return Value::Bool(true);  // not(false-y NULL)
-          return Value::Bool(!v.AsBool());
-        case UnOpKind::kNeg:
-          if (v.is_null()) return Value::Null();
-          if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt());
-          return Value::Real(-v.AsNumeric());
-      }
-      throw InternalError("unhandled unop");
-    }
+    case ExprKind::kUnOp:
+      return ApplyUnaryOp(e->un_op, Eval(e->a, env));
     case ExprKind::kLambda:
       throw EvalError("cannot evaluate a bare lambda: " + PrintExpr(e));
     case ExprKind::kApply: {

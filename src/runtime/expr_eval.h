@@ -61,6 +61,18 @@ class Env {
   std::vector<std::pair<std::string, Value>> vars_;
 };
 
+/// Comparison operator on already-evaluated operands. Comparisons involving
+/// NULL are false (the paper's NULL discipline). `op` must be one of
+/// kEq/kNe/kLt/kLe/kGt/kGe.
+Value ApplyCompareOp(BinOpKind op, const Value& l, const Value& r);
+
+/// Arithmetic operator on already-evaluated operands; NULL propagates.
+/// `op` must be one of kAdd/kSub/kMul/kDiv/kMod.
+Value ApplyArithOp(BinOpKind op, const Value& l, const Value& r);
+
+/// Unary operator on an already-evaluated operand (NULL discipline included).
+Value ApplyUnaryOp(UnOpKind op, const Value& v);
+
 /// Evaluates calculus terms against a database. Caches extent values so that
 /// repeated evaluation of the same extent name does not rebuild the set.
 class ExprEvaluator {

@@ -1,0 +1,119 @@
+// Slot-compiled expressions and flat execution frames.
+//
+// The physical executor used to evaluate operator predicates/heads through
+// the calculus interpreter, resolving every variable reference by a linear
+// string comparison against an Env rebuilt (copied) for every row. Slot
+// compilation moves all name resolution to plan time: a pass over the
+// physical plan (slot_plan.h) assigns each range variable a dense integer
+// slot and rewrites every expression into a CExpr tree whose variable
+// references carry the resolved slot index. At run time a row is a flat
+// `std::vector<Value>` frame indexed by slot — binding a variable is one
+// vector store, reading it one vector load, and concatenating join sides is
+// a contiguous range copy.
+//
+// Constructs the calculus interpreter handles by environment manipulation
+// (nested comprehensions, bare lambdas) compile to a kFallback node that
+// reconstructs a minimal Env (free variables only) and delegates to
+// ExprEvaluator; everything on the hot path compiles away from strings.
+
+#ifndef LAMBDADB_RUNTIME_FRAME_H_
+#define LAMBDADB_RUNTIME_FRAME_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/expr.h"
+#include "src/runtime/database.h"
+#include "src/runtime/expr_eval.h"
+
+namespace ldb {
+
+/// A runtime row: one Value per slot. Sized once per executing thread
+/// (SlotPlan::n_slots) and reused for every row that flows through the
+/// pipeline.
+using Frame = std::vector<Value>;
+
+struct CExpr;
+using CExprPtr = std::shared_ptr<const CExpr>;
+
+enum class CExprKind {
+  kSlot,      ///< frame[slot] — a resolved range-variable reference
+  kLit,       ///< constant (literals, monoid zeros, resolved extents)
+  kRecord,
+  kProj,
+  kIf,
+  kBinOp,
+  kUnOp,
+  kLet,       ///< evaluate `a` into a scratch slot, then evaluate `b`
+  kMerge,
+  kFallback,  ///< rebuild an Env from `scope` and run ExprEvaluator
+};
+
+/// A compiled expression. Fields not applicable to a node's kind are
+/// default-initialized (mirrors Expr).
+struct CExpr {
+  CExprKind kind;
+  int slot = -1;       // kSlot: source; kLet: scratch target
+  int proj_id = -1;    // kProj: plan-unique id for the evaluator's cache
+  Value literal;       // kLit
+  std::string name;    // kProj attribute
+  BinOpKind bin_op{};  // kBinOp
+  UnOpKind un_op{};    // kUnOp
+  MonoidKind monoid{}; // kMerge
+  std::vector<std::pair<std::string, CExprPtr>> fields;  // kRecord
+  CExprPtr a, b, c;
+
+  // kFallback: the original term plus the (free-variable-restricted) mapping
+  // from visible names to slots, used to reconstruct an Env per evaluation.
+  ExprPtr original;
+  std::vector<std::pair<std::string, int>> scope;
+};
+
+/// Evaluates compiled expressions against a frame. One instance per
+/// executing thread (the embedded fallback interpreter caches extents).
+/// The frame is non-const because kLet writes scratch slots.
+class FrameEvaluator {
+ public:
+  explicit FrameEvaluator(const Database& db) : db_(db), fallback_(db) {}
+
+  Value Eval(const CExpr& e, Frame& frame);
+
+  /// NULL counts as false; non-bool throws (same contract as ExprEvaluator).
+  bool EvalPred(const CExpr& e, Frame& frame);
+
+  /// Copy-free evaluation for operand positions: slot reads, literals, and
+  /// projections return a pointer to existing storage (the frame, the plan,
+  /// the object store, or `*scratch` when the result had to be computed).
+  /// Value is 128 bytes with two strings and two shared_ptrs inside, so
+  /// skipping the copy is the difference on comparison-heavy inner loops.
+  /// The pointer is valid until `frame`, `*scratch`, or the database is
+  /// next mutated.
+  const Value* EvalPtr(const CExpr& e, Frame& frame, Value* scratch);
+
+  const Database& db() const { return db_; }
+
+ private:
+  // Per-kProj-site memo: schema-homogeneous inputs make the object-store
+  // lookup and the tuple field position stable across rows, so each is
+  // resolved once and then validated with one cheap comparison per row
+  // (falling back to the full lookup on mismatch — semantics are identical
+  // to Database::Navigate). Per-evaluator state, so thread-safe: workers
+  // each own a FrameEvaluator.
+  struct ProjCache {
+    const std::vector<Value>* class_vec = nullptr;  ///< resolved object store
+    std::string cls;                                ///< class it belongs to
+    int field_idx = -1;                             ///< last tuple hit
+  };
+
+  const Value* EvalProjPtr(const CExpr& e, const Value& base, Value* scratch);
+
+  const Database& db_;
+  ExprEvaluator fallback_;
+  std::vector<ProjCache> proj_cache_;  // indexed by CExpr::proj_id
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_FRAME_H_

@@ -31,6 +31,20 @@ struct PhysicalOptions {
   bool use_indexes = true;
 };
 
+/// Options for the pipelined executor (ExecutePipelined).
+struct ExecOptions {
+  /// Worker threads for morsel-driven parallelism. 1 = serial. Parallelism
+  /// only engages when the plan's streaming spine is driven by a table scan
+  /// large enough to split into more than one morsel; results are always
+  /// identical to the serial path (see docs/EXECUTOR.md).
+  int n_threads = 1;
+  /// Rows per morsel handed to a worker at a time.
+  size_t morsel_size = 2048;
+  /// Execute through slot-compiled frames (plan-time variable resolution,
+  /// flat row representation). Off = legacy string-keyed Env iterators.
+  bool use_slot_frames = true;
+};
+
 /// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`
 /// are the hashable equalities (left_keys evaluate over the left input's
 /// variables, right_keys over the right's); `residual` is the conjunction of

@@ -229,6 +229,23 @@ TEST_P(RandomQueryTest, PlanMatchesBaseline) {
   Database db = workload::MakeCompanyDatabase(params);
   Optimizer opt(db.schema());
 
+  // Differential executor harness: the same compiled plan must agree across
+  // every execution engine. `opt` above is the default (serial slot-frame
+  // pipeline); these cover the materializing algebra executor, the legacy
+  // string-Env pipeline, and the parallel slot engine. A tiny morsel size
+  // forces many morsels even on this 30-employee extent, so the parallel
+  // merge paths (per-morsel accumulators, partial group tables) really run.
+  OptimizerOptions algebra_opts;
+  algebra_opts.pipelined_execution = false;
+  Optimizer opt_algebra(db.schema(), algebra_opts);
+  OptimizerOptions env_opts;
+  env_opts.exec.use_slot_frames = false;
+  Optimizer opt_env(db.schema(), env_opts);
+  OptimizerOptions par_opts;
+  par_opts.exec.n_threads = 4;
+  par_opts.exec.morsel_size = 4;
+  Optimizer opt_par(db.schema(), par_opts);
+
   QueryGen gen(GetParam());
   int checked = 0;
   for (int i = 0; i < 40; ++i) {
@@ -239,14 +256,24 @@ TEST_P(RandomQueryTest, PlanMatchesBaseline) {
     ASSERT_NO_THROW(TypeCheck(q, db.schema()));
     Value baseline = EvalCalculus(q, db);
     Value via_plan;
+    CompiledQuery compiled;
     try {
-      CompiledQuery compiled = opt.Compile(q);
+      compiled = opt.Compile(q);
       EXPECT_TRUE(IsFullyUnnested(compiled.plan));
       via_plan = opt.Execute(compiled, db);
     } catch (const UnsupportedError&) {
       continue;  // e.g. a non-canonical residue; baseline-only territory
     }
     EXPECT_EQ(via_plan, baseline);
+    // serial slot pipeline == materializing executor == Env pipeline ==
+    // parallel slot pipeline, on every plan the optimizer accepts. The
+    // parallel result must be byte-identical (ExactSum makes kSum/kAvg
+    // order-independent; group merges preserve morsel order).
+    EXPECT_EQ(opt_algebra.Execute(compiled, db), baseline)
+        << "materializing algebra executor";
+    EXPECT_EQ(opt_env.Execute(compiled, db), baseline) << "Env pipeline";
+    EXPECT_EQ(opt_par.Execute(compiled, db), baseline)
+        << "parallel slot pipeline";
     // Path materialization must also be meaning-preserving on every fuzzed
     // query (the generator emits plenty of e.manager.x navigation).
     if (i % 4 == 0) {

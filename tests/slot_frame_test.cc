@@ -1,0 +1,256 @@
+// Fixed-seed regression corpus for the slot-frame executor (slot_plan.* and
+// the frame engine in exec_pipeline.cc): the scoping corners that slot
+// assignment must get right (variable shadowing, outer-join NULL padding,
+// nested unnest variables, grouping), serial/parallel parity with tiny
+// morsels, and the ExactSum order-independence the parallel merge relies on.
+
+#include "src/runtime/slot_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/monoid.h"
+#include "src/core/normalize.h"
+#include "src/core/unnest.h"
+#include "src/runtime/exec_pipeline.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+class SlotFrameTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::TinyCompany();
+
+  // Runs `oql` through the serial slot engine, the legacy Env engine, and
+  // the parallel slot engine (tiny morsels so several really form), and
+  // expects all three to equal the nested-loop baseline. Returns the serial
+  // slot result for exact-value assertions.
+  Value CheckEngines(const Database& db, const std::string& oql) {
+    Value baseline = RunOQLBaseline(db, oql);
+    Value slot_serial = RunOQL(db, oql);  // default: slot frames, 1 thread
+    EXPECT_EQ(slot_serial, baseline) << oql;
+    OptimizerOptions env;
+    env.exec.use_slot_frames = false;
+    EXPECT_EQ(RunOQL(db, oql, env), baseline) << "Env engine: " << oql;
+    OptimizerOptions par;
+    par.exec.n_threads = 4;
+    par.exec.morsel_size = 2;
+    EXPECT_EQ(RunOQL(db, oql, par), baseline) << "parallel: " << oql;
+    return slot_serial;
+  }
+};
+
+TEST_F(SlotFrameTest, ShadowedVariableInSubquery) {
+  // The inner generator rebinds `e`; its domain `e.children` refers to the
+  // OUTER e. The plan typechecker rejects rebinding along a scope chain, so
+  // this is only reachable with typecheck off — and then slot compilation
+  // must give the two e's distinct slots with the later binding shadowing
+  // the earlier (reverse scope lookup), matching the Env engines.
+  const std::string oql =
+      "select distinct e.name from e in Employees "
+      "where e.age > sum(select e.age from e in e.children)";
+  EXPECT_THROW(RunOQL(db_, oql), TypeError);
+
+  // The baseline's Env scoping handles the shadowing directly.
+  // Ann 30 !> 5+25, Bob 40 > 0, Cal 25 !> 30, Dee 55 > 10.
+  EXPECT_EQ(RunOQLBaseline(db_, oql),
+            Value::Set({Value::Str("Bob"), Value::Str("Dee")}));
+
+  // With the check off, the unnester name-captures during splicing (that is
+  // WHY rebinding is rejected), so the plan's meaning drifts from the
+  // calculus — but the plan itself still contains a rebound `e`, and all
+  // three plan engines must interpret it identically: slot compilation's
+  // reverse scope lookup must shadow exactly like the Env engines do.
+  OptimizerOptions unchecked;
+  unchecked.typecheck = false;
+  Value slot_serial = RunOQL(db_, oql, unchecked);
+  unchecked.exec.use_slot_frames = false;
+  EXPECT_EQ(RunOQL(db_, oql, unchecked), slot_serial) << "Env pipeline";
+  unchecked.exec.use_slot_frames = true;
+  unchecked.exec.n_threads = 4;
+  unchecked.exec.morsel_size = 2;
+  EXPECT_EQ(RunOQL(db_, oql, unchecked), slot_serial) << "parallel";
+  unchecked.exec = {};
+  unchecked.pipelined_execution = false;
+  EXPECT_EQ(RunOQL(db_, oql, unchecked), slot_serial)
+      << "materializing executor";
+}
+
+TEST_F(SlotFrameTest, OuterJoinNullPadding) {
+  // "Empty" has no employees: the outer join pads the whole employee span
+  // with NULLs and the count must come out 0, not vanish.
+  Value r = CheckEngines(
+      db_,
+      "select distinct struct(D: d.name, n: count(select e from e in "
+      "Employees where e.dno = d.dno)) from d in Departments");
+  auto row = [](const char* d, int n) {
+    return Value::Tuple(
+        {{"D", Value::Str(d)}, {"n", Value::Int(n)}});
+  };
+  EXPECT_EQ(r, Value::Set({row("Sales", 2), row("R&D", 2), row("Empty", 0)}));
+}
+
+TEST_F(SlotFrameTest, NullManagerNavigation) {
+  // Cal's manager is NULL: the compiled projection must yield NULL and the
+  // compiled comparison must treat it as false (not crash, not match).
+  Value r = CheckEngines(
+      db_, "select distinct e.name from e in Employees where e.manager.age > 45");
+  EXPECT_EQ(r, Value::Set({Value::Str("Ann"), Value::Str("Dee")}));
+}
+
+TEST_F(SlotFrameTest, NestedUnnestVariables) {
+  // Two dependent unnests: c ranges over e.children, m over
+  // e.manager.children. Each unnest's path is compiled under the scope of
+  // everything to its left; Cal's NULL manager makes the second unnest empty.
+  CheckEngines(db_,
+               "select distinct struct(E: e.name, C: c.name, M: m.name) "
+               "from e in Employees, c in e.children, m in e.manager.children");
+}
+
+TEST_F(SlotFrameTest, GroupByAggregates) {
+  // HashNest below the root: in parallel this exercises the per-morsel
+  // partial group tables and their morsel-order merge (Mode B).
+  CheckEngines(db_,
+               "select distinct e.dno, sum(e.salary), avg(e.age) "
+               "from Employees e group by e.dno");
+  CheckEngines(db_,
+               "select distinct e.dno, count(select c from c in e.children) "
+               "from Employees e where e.age > 20 group by e.dno");
+}
+
+TEST_F(SlotFrameTest, QuantifierSaturationParity) {
+  // Quantifier roots short-circuit; the parallel path uses a shared stop
+  // flag instead — both must land on the same answer.
+  Value some = CheckEngines(
+      db_, "exists e in Employees: e.salary > 110000");
+  EXPECT_EQ(some, Value::Bool(true));
+  Value all = CheckEngines(db_, "for all e in Employees: e.age > 26");
+  EXPECT_EQ(all, Value::Bool(false));
+}
+
+TEST_F(SlotFrameTest, ParallelParityOnGeneratedWorkload) {
+  // A larger synthetic company so morsels are plentiful and group tables
+  // have real fan-in; serial and parallel slot execution must agree exactly
+  // (kSum/kAvg via ExactSum, group order via morsel-order merge).
+  workload::CompanyParams params;
+  params.n_departments = 7;
+  params.n_employees = 500;
+  params.n_managers = 10;
+  params.seed = 20260805;
+  Database db = workload::MakeCompanyDatabase(params);
+  const char* queries[] = {
+      "sum(select e.salary from e in Employees where e.age > 30)",
+      "avg(select e.salary from e in Employees)",
+      "select distinct e.dno, sum(e.salary), count(select x from x in "
+      "e.children) from Employees e group by e.dno",
+      "select distinct struct(D: d.name, n: count(select e from e in "
+      "Employees where e.dno = d.dno)) from d in Departments",
+      "select distinct e.name from e in Employees "
+      "where e.salary < max(select m.salary from m in Managers "
+      "where e.age > m.age)",
+  };
+  OptimizerOptions par;
+  par.exec.n_threads = 8;
+  par.exec.morsel_size = 16;
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    EXPECT_EQ(RunOQL(db, q, par), RunOQL(db, q));
+  }
+}
+
+TEST_F(SlotFrameTest, ExactSumIsOrderAndPartitionIndependent) {
+  // The parallel engine splits a sum across morsels and absorbs the
+  // partials; ExactSum promises the result is bit-identical to one serial
+  // pass regardless of order or partitioning — including catastrophic
+  // cancellation cases naive compensated sums get wrong.
+  std::vector<double> xs = {1e100,  3.14,   -1e100, 1e-300, 2.5e17,
+                            -0.125, 1e-300, 7.0,    -2.5e17, 0.625};
+  auto bits = [](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  Accumulator serial(MonoidKind::kSum);
+  for (double x : xs) serial.Add(Value::Real(x));
+  double want = serial.Finish().AsReal();
+
+  // Partition into three uneven morsels, absorb out of order.
+  Accumulator a(MonoidKind::kSum), b(MonoidKind::kSum), c(MonoidKind::kSum);
+  for (size_t i = 0; i < 3; ++i) a.Add(Value::Real(xs[i]));
+  for (size_t i = 3; i < 4; ++i) b.Add(Value::Real(xs[i]));
+  for (size_t i = 4; i < xs.size(); ++i) c.Add(Value::Real(xs[i]));
+  Accumulator merged(MonoidKind::kSum);
+  merged.Absorb(c);
+  merged.Absorb(a);
+  merged.Absorb(b);
+  EXPECT_EQ(bits(merged.Finish().AsReal()), bits(want));
+
+  // Reversed input order, one accumulator.
+  Accumulator rev(MonoidKind::kSum);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    rev.Add(Value::Real(*it));
+  }
+  EXPECT_EQ(bits(rev.Finish().AsReal()), bits(want));
+}
+
+TEST_F(SlotFrameTest, MixedIntRealSumTyping) {
+  // A sum stays Int while only ints are seen, even when merged from
+  // partials; one real anywhere makes the whole result Real.
+  Accumulator ints(MonoidKind::kSum);
+  ints.Add(Value::Int(2));
+  ints.Add(Value::Int(40));
+  Accumulator more(MonoidKind::kSum);
+  more.Add(Value::Int(-1));
+  ints.Absorb(more);
+  Value v = ints.Finish();
+  EXPECT_EQ(v, Value::Int(41));
+
+  Accumulator mixed(MonoidKind::kSum);
+  mixed.Add(Value::Int(2));
+  mixed.Add(Value::Real(0.5));
+  EXPECT_EQ(mixed.Finish(), Value::Real(2.5));
+}
+
+TEST_F(SlotFrameTest, PrintSlotPlanShowsSpans) {
+  AlgPtr logical = UnnestComp(
+      Normalize(ParseOQL(
+          "select distinct struct(E: e.name, C: c.name) "
+          "from e in Employees, c in e.children where e.age > 26")),
+      db_.schema());
+  PhysPtr phys = PlanPhysical(logical, db_);
+  SlotPlan plan = CompileSlotPlan(phys, db_);
+  EXPECT_GE(plan.n_slots, 2);  // e and c at minimum
+  std::string printed = PrintSlotPlan(plan);
+  EXPECT_NE(printed.find("frame["), std::string::npos) << printed;
+  EXPECT_NE(printed.find("TableScan Employees var@"), std::string::npos)
+      << printed;
+  EXPECT_NE(printed.find("span["), std::string::npos) << printed;
+
+  // The compiled plan is runnable as-is (without going through RunOQL).
+  Value direct = ExecuteSlotPlan(plan, db_);
+  EXPECT_EQ(direct, RunOQLBaseline(db_,
+                                   "select distinct struct(E: e.name, C: "
+                                   "c.name) from e in Employees, c in "
+                                   "e.children where e.age > 26"));
+}
+
+TEST_F(SlotFrameTest, MorselSizeExtremes) {
+  // morsel_size 1 (one row per morsel) and a size far larger than the
+  // extent (single morsel) must both match the serial result.
+  const char* q =
+      "select distinct e.dno, sum(e.salary) from Employees e group by e.dno";
+  Value serial = RunOQL(db_, q);
+  for (size_t morsel : {size_t{1}, size_t{100000}}) {
+    OptimizerOptions par;
+    par.exec.n_threads = 3;
+    par.exec.morsel_size = morsel;
+    EXPECT_EQ(RunOQL(db_, q, par), serial) << "morsel_size=" << morsel;
+  }
+}
+
+}  // namespace
+}  // namespace ldb
