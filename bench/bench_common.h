@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -56,6 +57,41 @@ inline StrategyTimes RunStrategies(const Database& db, const std::string& oql) {
   return t;
 }
 
+/// The current git commit id, or "unknown" outside a work tree — recorded in
+/// the JSON header so archived reports are attributable to a revision.
+inline std::string GitCommitId() {
+#if defined(__unix__) || defined(__APPLE__)
+  FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (!p) return "unknown";
+  char buf[64] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, p);
+  ::pclose(p);
+  std::string s(buf, n);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  if (s.size() != 40 ||
+      s.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return "unknown";
+  }
+  return s;
+#else
+  return "unknown";
+#endif
+}
+
+/// Current UTC time as ISO 8601 (e.g. "2026-08-05T12:34:56Z").
+inline std::string IsoTimestampUtc() {
+  std::time_t t = std::time(nullptr);
+  std::tm tm{};
+#if defined(__unix__) || defined(__APPLE__)
+  gmtime_r(&t, &tm);
+#else
+  tm = *std::gmtime(&t);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 /// CPUs this process may actually run on (affinity-aware on Linux) — CI and
 /// containers often pin benchmarks to fewer cores than the machine has, and
 /// thread-scaling numbers are meaningless without recording this.
@@ -81,6 +117,8 @@ struct JsonRecord {
   long rows = 0;           ///< result cardinality (1 for scalar results)
   double ms = 0;           ///< wall time of one execution
   bool agree = true;       ///< result matched the reference for this query
+  std::string profile;     ///< raw JSON: ProfileToJson of one profiled run
+  std::string compile_trace;  ///< raw JSON: CompileTraceToJson (stage times)
 };
 
 /// Collects JsonRecords and writes them as a single JSON document when the
@@ -93,7 +131,8 @@ class JsonReporter {
     return r;
   }
 
-  /// Parses `--json <path>` out of argv; returns false on a malformed flag.
+  /// Parses `--json <path>` and `--quick` out of argv; returns false on a
+  /// malformed flag.
   bool ParseArgs(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--json") {
@@ -102,8 +141,12 @@ class JsonReporter {
           return false;
         }
         path_ = argv[++i];
+      } else if (std::string(argv[i]) == "--quick") {
+        quick_ = true;
       } else {
-        std::fprintf(stderr, "unknown argument '%s' (supported: --json <path>)\n",
+        std::fprintf(stderr,
+                     "unknown argument '%s' (supported: --json <path>, "
+                     "--quick)\n",
                      argv[i]);
         return false;
       }
@@ -112,6 +155,10 @@ class JsonReporter {
   }
 
   bool enabled() const { return !path_.empty(); }
+
+  /// `--quick`: benchmarks should use their smallest scales (CI schema
+  /// checks, not performance numbers).
+  bool quick() const { return quick_; }
 
   void Add(JsonRecord r) {
     if (enabled()) records_.push_back(std::move(r));
@@ -127,6 +174,8 @@ class JsonReporter {
     }
     out << "{\n";
     out << "  \"bench\": \"" << Escape(bench_name) << "\",\n";
+    out << "  \"commit\": \"" << Escape(GitCommitId()) << "\",\n";
+    out << "  \"timestamp\": \"" << Escape(IsoTimestampUtc()) << "\",\n";
     out << "  \"host_cpus\": " << UsableCpus() << ",\n";
     out << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n";
@@ -141,8 +190,14 @@ class JsonReporter {
           << "\"rows\": " << r.rows << ", "
           << "\"ms\": " << r.ms << ", "
           << "\"ns_per_op\": " << r.ms * 1e6 << ", "
-          << "\"agree\": " << (r.agree ? "true" : "false") << "}"
-          << (i + 1 < records_.size() ? "," : "") << "\n";
+          << "\"agree\": " << (r.agree ? "true" : "false");
+      // Profile/trace fields hold already-serialized JSON objects
+      // (ProfileToJson / CompileTraceToJson) and nest verbatim.
+      if (!r.profile.empty()) out << ", \"profile\": " << r.profile;
+      if (!r.compile_trace.empty()) {
+        out << ", \"compile_trace\": " << r.compile_trace;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("\nwrote %zu records to %s\n", records_.size(), path_.c_str());
@@ -165,6 +220,7 @@ class JsonReporter {
   }
 
   std::string path_;
+  bool quick_ = false;
   std::vector<JsonRecord> records_;
 };
 
@@ -190,6 +246,10 @@ struct EngineTimes {
   std::vector<std::pair<int, double>> parallel_ms;  ///< (threads, ms)
   long rows = 0;
   bool agree = false;     ///< every engine produced the identical Value
+  std::string profile_json;        ///< per-operator stats of one profiled
+                                   ///< serial slot run (ProfileToJson)
+  std::string compile_trace_json;  ///< per-stage compile times
+                                   ///< (CompileTraceToJson)
 };
 
 inline EngineTimes RunEngines(const Database& db, const std::string& oql,
@@ -233,6 +293,20 @@ inline EngineTimes RunEngines(const Database& db, const std::string& oql,
     t.agree = t.agree && (par_v == slot_v);
     t.parallel_ms.emplace_back(n, ms);
   }
+
+  // One extra traced compile + profiled serial slot execution, outside the
+  // timed runs, so the JSON report carries per-operator stats and per-stage
+  // compile times without perturbing the measurements above.
+  OptimizerOptions prof_opts;
+  prof_opts.trace = true;
+  QueryProfiler prof;
+  prof_opts.exec.profiler = &prof;
+  Optimizer prof_opt(db.schema(), prof_opts);
+  CompiledQuery prof_cq = prof_opt.Compile(ParseOQL(oql));
+  Value prof_v = prof_opt.Execute(prof_cq, db);
+  t.agree = t.agree && (prof_v == slot_v);
+  t.profile_json = ProfileToJson(prof);
+  t.compile_trace_json = CompileTraceToJson(*prof_cq.trace);
   return t;
 }
 

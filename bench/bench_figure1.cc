@@ -37,9 +37,14 @@ void ShowQuery(const Database& db, const FigureQuery& fq) {
   bench::PrintRowHeader();
   bench::PrintRow(fq.id, t);
   auto record = [&](const char* engine, double ms) {
-    bench::JsonReporter::Get().Add({fq.id, fq.oql, engine, /*scale=*/0,
-                                    /*threads=*/1, t.rows, ms,
-                                    t.results_agree});
+    bench::JsonRecord r;
+    r.experiment = fq.id;
+    r.query = fq.oql;
+    r.engine = engine;
+    r.rows = t.rows;
+    r.ms = ms;
+    r.agree = t.results_agree;
+    bench::JsonReporter::Get().Add(std::move(r));
   };
   record("baseline", t.baseline_ms);
   record("unnested-nl", t.unnested_nl_ms);

@@ -121,9 +121,15 @@ void RunExperiment(const Experiment& exp, MakeDb make_db,
     bench::StrategyTimes t = bench::RunStrategies(db, exp.oql);
     bench::PrintRow("scale " + std::to_string(scale), t);
     auto record = [&](const char* engine, double ms) {
-      bench::JsonReporter::Get().Add({exp.id, exp.oql, engine, scale,
-                                      /*threads=*/1, t.rows, ms,
-                                      t.results_agree});
+      bench::JsonRecord r;
+      r.experiment = exp.id;
+      r.query = exp.oql;
+      r.engine = engine;
+      r.scale = scale;
+      r.rows = t.rows;
+      r.ms = ms;
+      r.agree = t.results_agree;
+      bench::JsonReporter::Get().Add(std::move(r));
     };
     record("baseline", t.baseline_ms);
     record("unnested-nl", t.unnested_nl_ms);
@@ -146,12 +152,25 @@ void RunEngineExperiment(const Experiment& exp, MakeDb make_db,
     Database db = make_db(scale);
     bench::EngineTimes t = bench::RunEngines(db, exp.oql);
     bench::PrintEngineRow("scale " + std::to_string(scale), t);
-    auto record = [&](const char* engine, int threads, double ms) {
-      bench::JsonReporter::Get().Add(
-          {exp.id, exp.oql, engine, scale, threads, t.rows, ms, t.agree});
+    auto record = [&](const char* engine, int threads, double ms,
+                      bool with_profile = false) {
+      bench::JsonRecord r;
+      r.experiment = exp.id;
+      r.query = exp.oql;
+      r.engine = engine;
+      r.scale = scale;
+      r.threads = threads;
+      r.rows = t.rows;
+      r.ms = ms;
+      r.agree = t.agree;
+      if (with_profile) {
+        r.profile = t.profile_json;
+        r.compile_trace = t.compile_trace_json;
+      }
+      bench::JsonReporter::Get().Add(std::move(r));
     };
     record("env-pipeline", 1, t.env_ms);
-    record("slot", 1, t.slot_ms);
+    record("slot", 1, t.slot_ms, /*with_profile=*/true);
     for (const auto& [n, ms] : t.parallel_ms) record("slot-parallel", n, ms);
   }
 }
@@ -160,21 +179,42 @@ void RunEngineExperiment(const Experiment& exp, MakeDb make_db,
 
 int main(int argc, char** argv) {
   if (!bench::JsonReporter::Get().ParseArgs(argc, argv)) return 1;
+  // --quick: smallest scales only — CI uses this to validate the report
+  // schema (incl. the embedded profile blocks), not to measure.
+  const bool quick = bench::JsonReporter::Get().quick();
 
-  RunExperiment(kTypeN, MakeTravel, {100, 400, 1600});
-  RunExperiment(kTypeJ, MakeUniversity, {200, 800, 2400});
-  RunExperiment(kTypeA, MakeCompany, {500, 2000, 8000});
-  RunExperiment(kTypeJA, MakeCompany, {500, 2000, 8000});
-  RunExperiment(kForAll, MakeUniversity, {50, 150, 450});
-  RunExperiment(kCountBug, MakeCompany, {500, 2000, 8000});
+  if (quick) {
+    RunExperiment(kTypeN, MakeTravel, {100});
+    RunExperiment(kTypeJ, MakeUniversity, {200});
+    RunExperiment(kTypeA, MakeCompany, {500});
+    RunExperiment(kTypeJA, MakeCompany, {500});
+    RunExperiment(kForAll, MakeUniversity, {50});
+    RunExperiment(kCountBug, MakeCompany, {500});
+  } else {
+    RunExperiment(kTypeN, MakeTravel, {100, 400, 1600});
+    RunExperiment(kTypeJ, MakeUniversity, {200, 800, 2400});
+    RunExperiment(kTypeA, MakeCompany, {500, 2000, 8000});
+    RunExperiment(kTypeJA, MakeCompany, {500, 2000, 8000});
+    RunExperiment(kForAll, MakeUniversity, {50, 150, 450});
+    RunExperiment(kCountBug, MakeCompany, {500, 2000, 8000});
+  }
 
   std::printf("\nusable CPUs: %d\n", bench::UsableCpus());
-  RunEngineExperiment(kTypeA, MakeCompany, {2000, 8000, 32000});
-  RunEngineExperiment(kTypeJA, MakeCompany, {2000, 8000, 32000});
-  RunEngineExperiment(kCountBug, MakeCompany, {2000, 8000, 32000});
-  RunEngineExperiment(kTypeJ, MakeUniversity, {2400, 9600});
-  RunEngineExperiment(kDeep, MakeCompany, {8000, 32000, 128000});
-  RunEngineExperiment(kScan, MakeCompany, {32000, 128000, 512000});
+  if (quick) {
+    RunEngineExperiment(kTypeA, MakeCompany, {2000});
+    RunEngineExperiment(kTypeJA, MakeCompany, {2000});
+    RunEngineExperiment(kCountBug, MakeCompany, {2000});
+    RunEngineExperiment(kTypeJ, MakeUniversity, {2400});
+    RunEngineExperiment(kDeep, MakeCompany, {8000});
+    RunEngineExperiment(kScan, MakeCompany, {32000});
+  } else {
+    RunEngineExperiment(kTypeA, MakeCompany, {2000, 8000, 32000});
+    RunEngineExperiment(kTypeJA, MakeCompany, {2000, 8000, 32000});
+    RunEngineExperiment(kCountBug, MakeCompany, {2000, 8000, 32000});
+    RunEngineExperiment(kTypeJ, MakeUniversity, {2400, 9600});
+    RunEngineExperiment(kDeep, MakeCompany, {8000, 32000, 128000});
+    RunEngineExperiment(kScan, MakeCompany, {32000, 128000, 512000});
+  }
 
   std::printf(
       "\nReading the table: 'baseline' is the naive nested-loop evaluation an\n"

@@ -6,6 +6,10 @@
 //   .help                this text
 //   .schema              list classes, extents, attributes
 //   .plan <oql>          show calculus, normalized form, and algebra plans
+//   .explain <oql>       EXPLAIN ANALYZE: execute with profiling and print
+//                        the annotated plan (est vs measured rows, times)
+//                        plus the compile trace
+//   .profile <oql>       same, but emit the profile and trace as JSON
 //   .baseline <oql>      evaluate with the nested-loop baseline
 //   .time <oql>          compare baseline vs unnested timings
 //   .quit                exit
@@ -86,6 +90,32 @@ void ShowPlan(const Database& db, const std::string& oql) {
   std::printf("result type: %s\n", q.result_type->ToString().c_str());
 }
 
+void PrintResult(const Value& v);
+
+// Compiles with tracing, executes with a profiler attached, and prints
+// either the human-readable EXPLAIN ANALYZE (with catalog estimates) or the
+// JSON profile + compile trace.
+void ExplainQuery(const Database& db, const std::string& oql, bool as_json) {
+  OptimizerOptions options;
+  options.trace = true;
+  Optimizer opt(db.schema(), options);
+  CompiledQuery q = opt.Compile(ParseOQL(oql));
+  PhysPtr phys = PlanPhysical(q.simplified, db, options.physical);
+  QueryProfiler prof;
+  ExecOptions exec;
+  exec.profiler = &prof;
+  Value result = ExecutePipelined(phys, db, exec);
+  if (as_json) {
+    std::printf("%s\n%s\n", ProfileToJson(prof).c_str(),
+                CompileTraceToJson(*q.trace).c_str());
+    return;
+  }
+  std::printf("%s", PrintCompileTrace(*q.trace).c_str());
+  Catalog cat = Catalog::FromDatabase(db);
+  std::printf("%s", ExplainAnalyze(phys, prof, &cat).c_str());
+  PrintResult(result);
+}
+
 double MsOf(const std::function<void()>& fn) {
   auto t0 = std::chrono::steady_clock::now();
   fn();
@@ -123,12 +153,16 @@ int main(int argc, char** argv) {
     try {
       if (line == ".quit" || line == ".exit") break;
       if (line == ".help") {
-        std::printf(".schema | .plan <oql> | .baseline <oql> | .time <oql> | "
-                    ".quit | <oql>\n");
+        std::printf(".schema | .plan <oql> | .explain <oql> | .profile <oql> "
+                    "| .baseline <oql> | .time <oql> | .quit | <oql>\n");
       } else if (line == ".schema") {
         ShowSchema(db.schema());
       } else if (line.rfind(".plan ", 0) == 0) {
         ShowPlan(db, line.substr(6));
+      } else if (line.rfind(".explain ", 0) == 0) {
+        ExplainQuery(db, line.substr(9), /*as_json=*/false);
+      } else if (line.rfind(".profile ", 0) == 0) {
+        ExplainQuery(db, line.substr(9), /*as_json=*/true);
       } else if (line.rfind(".baseline ", 0) == 0) {
         PrintResult(RunOQLBaseline(db, line.substr(10)));
       } else if (line.rfind(".time ", 0) == 0) {

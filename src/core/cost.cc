@@ -74,6 +74,66 @@ double EstimateCardinality(const AlgPtr& op, const Catalog& catalog) {
   return 1;
 }
 
+double EstimatePhysicalCardinality(const PhysPtr& op, const Catalog& catalog) {
+  if (!op) return 0;
+  switch (op->kind) {
+    case PhysKind::kUnitRow:
+      return 1;
+    case PhysKind::kTableScan:
+      return catalog.ExtentCardinality(op->extent) * PredSelectivity(op->pred);
+    case PhysKind::kIndexScan:
+      // The index lookup is an equality the planner stripped from the
+      // residual predicate; account for it explicitly.
+      return catalog.ExtentCardinality(op->extent) * Catalog::kEqSelectivity *
+             PredSelectivity(op->pred);
+    case PhysKind::kFilter:
+      return EstimatePhysicalCardinality(op->left, catalog) *
+             PredSelectivity(op->pred);
+    case PhysKind::kNLJoin:
+    case PhysKind::kHashJoin: {
+      double sel = PredSelectivity(op->pred);
+      for (size_t i = 0; i < op->build_keys.size(); ++i) {
+        sel *= Catalog::kEqSelectivity;  // each extracted key pair is an "="
+      }
+      return EstimatePhysicalCardinality(op->left, catalog) *
+             EstimatePhysicalCardinality(op->right, catalog) * sel;
+    }
+    case PhysKind::kNLOuterJoin:
+    case PhysKind::kHashOuterJoin: {
+      double sel = PredSelectivity(op->pred);
+      for (size_t i = 0; i < op->build_keys.size(); ++i) {
+        sel *= Catalog::kEqSelectivity;
+      }
+      double left = EstimatePhysicalCardinality(op->left, catalog);
+      // At least one output row per left row (NULL padding).
+      return std::max(left,
+                      left * EstimatePhysicalCardinality(op->right, catalog) *
+                          sel);
+    }
+    case PhysKind::kUnnest:
+      return EstimatePhysicalCardinality(op->left, catalog) *
+             Catalog::kUnnestFanout * PredSelectivity(op->pred);
+    case PhysKind::kOuterUnnest: {
+      double left = EstimatePhysicalCardinality(op->left, catalog);
+      return std::max(left, left * Catalog::kUnnestFanout *
+                                PredSelectivity(op->pred));
+    }
+    case PhysKind::kHashNest: {
+      // One row per distinct group key; assume grouping halves per key level
+      // (mirrors the logical kNest estimate).
+      double in = EstimatePhysicalCardinality(op->left, catalog);
+      double groups = in;
+      for (size_t i = 0; i < op->group_by.size() && groups > 1; ++i) {
+        groups /= 2;
+      }
+      return std::max(1.0, op->group_by.empty() ? 1.0 : groups);
+    }
+    case PhysKind::kReduce:
+      return 1;
+  }
+  return 1;
+}
+
 namespace {
 
 // Collects the inputs and predicate conjuncts of a maximal inner-join chain

@@ -20,11 +20,18 @@
 
 #include "src/core/algebra.h"
 #include "src/core/catalog.h"
+#include "src/runtime/physical_plan.h"
 
 namespace ldb {
 
 /// Estimated output cardinality of a (stream-producing) plan node.
 double EstimateCardinality(const AlgPtr& op, const Catalog& catalog);
+
+/// Same model applied to a physical operator — the "est=" column of
+/// ExplainAnalyze. Physical choices refine the logical estimates where they
+/// carry information: an index scan implies an equality lookup, and a hash
+/// join's extracted key pairs are each an equality conjunct.
+double EstimatePhysicalCardinality(const PhysPtr& op, const Catalog& catalog);
 
 /// Greedily reorders maximal inner-join chains; returns the rewritten plan.
 /// Never changes results (tested); only changes join shapes/orders.

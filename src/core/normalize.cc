@@ -8,6 +8,22 @@ namespace {
 
 constexpr int kMaxNormalizeRounds = 10000;
 
+// Rule-firing recorder for NormalizeTraced. thread_local (not a parameter
+// threaded through every rewrite helper) because concurrent Normalize calls
+// from different threads must not share it; null when tracing is off.
+thread_local std::vector<RuleFiring>* t_fired = nullptr;
+
+void Fire(const char* rule) {
+  if (!t_fired) return;
+  for (RuleFiring& rf : *t_fired) {
+    if (rf.rule == rule) {
+      ++rf.count;
+      return;
+    }
+  }
+  t_fired->push_back({rule, 1});
+}
+
 // Alpha-renames every generator variable of a comprehension to a fresh name.
 // Used before splicing a comprehension's qualifiers into another qualifier
 // list (N7, N8) so inner binders can never shadow or capture outer variables.
@@ -60,6 +76,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
   // D2: a primitive-monoid comprehension with no qualifiers is its head
   // (unit is the identity for primitive monoids).
   if (quals.empty() && IsPrimitiveMonoid(m) && m != MonoidKind::kAvg) {
+    Fire("D2");
     return e->a;
   }
 
@@ -68,14 +85,19 @@ ExprPtr RewriteComp(const ExprPtr& e) {
     if (!q.is_generator) {
       // D3/D4: constant filters.
       if (q.expr->IsTrueLiteral()) {
+        Fire("D3");
         std::vector<Qualifier> rest = quals;
         rest.erase(rest.begin() + static_cast<long>(i));
         return Expr::Comp(m, e->a, std::move(rest));
       }
-      if (q.expr->IsFalseLiteral()) return Expr::Zero(m);
+      if (q.expr->IsFalseLiteral()) {
+        Fire("D4");
+        return Expr::Zero(m);
+      }
       // Split conjunctive filters so each conjunct can be handled (e.g. by
       // N8) and pushed independently.
       if (q.expr->kind == ExprKind::kBinOp && q.expr->bin_op == BinOpKind::kAnd) {
+        Fire("and-split");
         std::vector<Qualifier> out = quals;
         out[i] = Qualifier::Filter(q.expr->a);
         out.insert(out.begin() + static_cast<long>(i) + 1,
@@ -85,6 +107,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
       // N8: existential quantifier in filter position (idempotent ⊕ only).
       if (q.expr->kind == ExprKind::kComp &&
           q.expr->monoid == MonoidKind::kSome && IsIdempotentMonoid(m)) {
+        Fire("N8");
         ExprPtr inner = AlphaRenameGenerators(q.expr);
         std::vector<Qualifier> out(quals.begin(),
                                    quals.begin() + static_cast<long>(i));
@@ -101,11 +124,13 @@ ExprPtr RewriteComp(const ExprPtr& e) {
 
     // N4: generator over a zero / empty collection literal.
     if (dom->kind == ExprKind::kZero || IsEmptyCollectionLiteral(dom)) {
+      Fire("N4");
       return Expr::Zero(m);
     }
 
     // N3: generator over a conditional.
     if (dom->kind == ExprKind::kIf) {
+      Fire("N3");
       std::vector<Qualifier> then_quals = quals;
       then_quals[i].expr = dom->b;
       then_quals.insert(then_quals.begin() + static_cast<long>(i),
@@ -120,6 +145,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
 
     // N6/D7: generator over a merge e1 ⊕' e2.
     if (dom->kind == ExprKind::kMerge) {
+      Fire("N6");
       std::vector<Qualifier> left_quals = quals;
       left_quals[i].expr = dom->a;
       std::vector<Qualifier> right_quals = quals;
@@ -127,6 +153,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
       // The D7 side condition: under a non-idempotent accumulator, iterating
       // a *set* union must not see elements of e1 ∩ e2 twice.
       if (!IsIdempotentMonoid(m) && dom->monoid == MonoidKind::kSet) {
+        Fire("D7");
         right_quals.insert(right_quals.begin() + static_cast<long>(i) + 1,
                            Qualifier::Filter(NotMemberGuard(q.var, dom->a)));
       }
@@ -137,6 +164,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
     if (dom->kind == ExprKind::kComp) {
       // N5: generator over a singleton {e'}.
       if (dom->quals.empty()) {
+        Fire("N5");
         std::vector<Qualifier> out = quals;
         ExprPtr head = e->a;
         out.erase(out.begin() + static_cast<long>(i));
@@ -148,6 +176,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
       // outer accumulator.
       bool inner_set_like = IsIdempotentMonoid(dom->monoid);
       if (!inner_set_like || IsIdempotentMonoid(m)) {
+        Fire("N7");
         ExprPtr inner = AlphaRenameGenerators(dom);
         std::vector<Qualifier> out(quals.begin(),
                                    quals.begin() + static_cast<long>(i));
@@ -168,6 +197,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
   // accumulated with ∨ contributes exactly when it is true, like a filter.
   // (Not valid for `all`, whose false heads are significant.)
   if (m == MonoidKind::kSome && !e->a->IsTrueLiteral()) {
+    Fire("some-head");
     std::vector<Qualifier> out = quals;
     out.push_back(Qualifier::Filter(e->a));
     return Expr::Comp(m, Expr::True(), std::move(out));
@@ -176,6 +206,7 @@ ExprPtr RewriteComp(const ExprPtr& e) {
   // N9: ⊕{ ⊕{e | r} | s } → ⊕{ e | s, r } for a primitive monoid ⊕.
   if (IsPrimitiveMonoid(m) && m != MonoidKind::kAvg &&
       e->a->kind == ExprKind::kComp && e->a->monoid == m) {
+    Fire("N9");
     ExprPtr inner = AlphaRenameGenerators(e->a);
     std::vector<Qualifier> out = quals;
     out.insert(out.end(), inner->quals.begin(), inner->quals.end());
@@ -291,6 +322,7 @@ ExprPtr Pass(const ExprPtr& e, bool* changed, bool pred_only) {
   if (!pred_only && cur->kind == ExprKind::kApply &&
       cur->a->kind == ExprKind::kLambda) {
     *changed = true;
+    Fire("N1");
     return Subst(cur->a->a, cur->a->name, cur->b);
   }
   // N2: projection on a record constructor.
@@ -299,6 +331,7 @@ ExprPtr Pass(const ExprPtr& e, bool* changed, bool pred_only) {
     for (const auto& [n, f] : cur->a->fields) {
       if (n == cur->name) {
         *changed = true;
+        Fire("N2");
         return f;
       }
     }
@@ -306,11 +339,13 @@ ExprPtr Pass(const ExprPtr& e, bool* changed, bool pred_only) {
   if (cur->kind == ExprKind::kUnOp && cur->un_op == UnOpKind::kNot) {
     if (ExprPtr r = RewriteNot(cur)) {
       *changed = true;
+      Fire("not-push");
       return r;
     }
   }
   if (ExprPtr r = RewriteConstants(cur)) {
     *changed = true;
+    Fire("const-fold");
     return r;
   }
   if (!pred_only && cur->kind == ExprKind::kComp) {
@@ -323,10 +358,12 @@ ExprPtr Pass(const ExprPtr& e, bool* changed, bool pred_only) {
   if (!pred_only && cur->kind == ExprKind::kMerge) {
     if (cur->a->kind == ExprKind::kZero) {
       *changed = true;
+      Fire("merge-zero");
       return cur->b;
     }
     if (cur->b->kind == ExprKind::kZero) {
       *changed = true;
+      Fire("merge-zero");
       return cur->a;
     }
   }
@@ -346,6 +383,19 @@ ExprPtr RunToFixpoint(const ExprPtr& e, bool pred_only) {
 }  // namespace
 
 ExprPtr Normalize(const ExprPtr& e) { return RunToFixpoint(e, /*pred_only=*/false); }
+
+ExprPtr NormalizeTraced(const ExprPtr& e, std::vector<RuleFiring>* fired) {
+  std::vector<RuleFiring>* saved = t_fired;
+  t_fired = fired;
+  try {
+    ExprPtr out = RunToFixpoint(e, /*pred_only=*/false);
+    t_fired = saved;
+    return out;
+  } catch (...) {
+    t_fired = saved;
+    throw;
+  }
+}
 
 ExprPtr NormalizePredicate(const ExprPtr& e) {
   return RunToFixpoint(e, /*pred_only=*/true);

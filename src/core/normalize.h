@@ -25,12 +25,27 @@
 #ifndef LAMBDADB_CORE_NORMALIZE_H_
 #define LAMBDADB_CORE_NORMALIZE_H_
 
+#include <string>
+#include <vector>
+
 #include "src/core/expr.h"
 
 namespace ldb {
 
+/// How many times one rewrite rule fired during a pass.
+struct RuleFiring {
+  std::string rule;  ///< "N1" ... "N9" plus the helper rules ("D2", "and-
+                     ///< split", "not-push", "const-fold", ...)
+  int count = 0;
+};
+
 /// Exhaustively applies the normalization rules (bottom-up, to fixpoint).
 ExprPtr Normalize(const ExprPtr& e);
+
+/// Like Normalize, additionally counting every rule application into *fired
+/// (one entry per rule name, ordered by first firing). Produces the same
+/// term as Normalize.
+ExprPtr NormalizeTraced(const ExprPtr& e, std::vector<RuleFiring>* fired);
 
 /// Applies only predicate normalization: pushes `not` inward through
 /// and/or/comparisons and through quantifier comprehensions

@@ -1,5 +1,6 @@
 #include "src/core/optimizer.h"
 
+#include <chrono>
 #include <set>
 
 #include "src/core/cost.h"
@@ -80,42 +81,90 @@ std::set<std::string> DupVars(const AlgPtr& op, const Schema& schema) {
   return {};
 }
 
+// Wall time of `fn()` in ms, appended to the trace when one is being kept.
+template <typename Fn>
+auto TimeStage(CompileTrace* trace, const char* stage, Fn&& fn)
+    -> decltype(fn()) {
+  if (!trace) return fn();
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  auto t1 = std::chrono::steady_clock::now();
+  double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  trace->stages.push_back({stage, ms});
+  trace->total_ms += ms;
+  return result;
+}
+
 }  // namespace
 
 CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
   CompiledQuery out;
   out.calculus = calculus;
-  if (options_.typecheck) {
-    TypeCheck(calculus, schema_);
+  CompileTrace* trace = nullptr;
+  if (options_.trace) {
+    out.trace = std::make_shared<CompileTrace>();
+    trace = out.trace.get();
   }
-  out.normalized = options_.normalize ? Normalize(calculus) : calculus;
+  if (options_.typecheck) {
+    TimeStage(trace, "typecheck-calculus",
+              [&] { return TypeCheck(calculus, schema_); });
+  }
+  out.normalized =
+      options_.normalize
+          ? TimeStage(trace, "normalize",
+                      [&] {
+                        return trace ? NormalizeTraced(calculus,
+                                                       &trace->normalize_rules)
+                                     : Normalize(calculus);
+                      })
+          : calculus;
   if (out.normalized->kind != ExprKind::kComp) {
     throw UnsupportedError(
         "Compile expects a comprehension-rooted query; use Run for general "
         "terms");
   }
-  out.plan = UnnestComp(out.normalized, schema_);
+  out.plan = TimeStage(trace, "unnest", [&] {
+    return trace ? UnnestCompTraced(out.normalized, schema_,
+                                    &trace->unnest_steps)
+                 : UnnestComp(out.normalized, schema_);
+  });
   LDB_INTERNAL_CHECK(IsFullyUnnested(out.plan),
                      "unnesting left a nested comprehension (Theorem 1)");
   if (options_.check_duplicate_safety) {
     DupVars(out.plan, schema_);  // throws on unsafe group keys
   }
-  out.simplified = options_.simplify ? Simplify(out.plan, schema_) : out.plan;
+  out.simplified =
+      options_.simplify
+          ? TimeStage(trace, "simplify",
+                      [&] {
+                        return trace ? SimplifyTraced(out.plan, schema_,
+                                                      &trace->simplify_rewrites)
+                                     : Simplify(out.plan, schema_);
+                      })
+          : out.plan;
   if (options_.materialize_paths) {
-    out.simplified = MaterializePaths(out.simplified, schema_);
+    out.simplified = TimeStage(trace, "materialize-paths", [&] {
+      return MaterializePaths(out.simplified, schema_);
+    });
   }
   if (options_.reorder_joins) {
-    out.simplified = ReorderJoins(out.simplified, options_.catalog);
+    out.simplified = TimeStage(trace, "reorder-joins", [&] {
+      return ReorderJoins(out.simplified, options_.catalog);
+    });
   }
   if (options_.typecheck) {
-    out.result_type = TypeCheckPlan(out.simplified, schema_);
+    out.result_type = TimeStage(trace, "typecheck-plan", [&] {
+      return TypeCheckPlan(out.simplified, schema_);
+    });
   }
   return out;
 }
 
 Value Optimizer::Execute(const CompiledQuery& q, const Database& db) const {
   if (options_.pipelined_execution) {
-    PhysPtr physical = PlanPhysical(q.simplified, db, options_.physical);
+    PhysPtr physical = TimeStage(q.trace.get(), "physical", [&] {
+      return PlanPhysical(q.simplified, db, options_.physical);
+    });
     return ExecutePipelined(physical, db, options_.exec);
   }
   return ExecutePlan(q.simplified, db, options_.physical);

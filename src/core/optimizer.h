@@ -16,15 +16,38 @@
 #ifndef LAMBDADB_CORE_OPTIMIZER_H_
 #define LAMBDADB_CORE_OPTIMIZER_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/algebra.h"
 #include "src/core/catalog.h"
 #include "src/core/expr.h"
+#include "src/core/normalize.h"
+#include "src/core/unnest.h"
 #include "src/runtime/database.h"
 #include "src/runtime/physical.h"
 
 namespace ldb {
+
+/// Wall time of one optimizer stage.
+struct StageTiming {
+  std::string stage;  ///< "normalize" | "unnest" | "simplify" | "typecheck"
+                      ///< | "physical"
+  double ms = 0;
+};
+
+/// End-to-end record of one compilation: how long each stage took and which
+/// rewrite rules fired where. The static counterpart of QueryProfiler
+/// (docs/OBSERVABILITY.md); render with PrintCompileTrace (pretty.h) or
+/// CompileTraceToJson (runtime/profile.h).
+struct CompileTrace {
+  std::vector<StageTiming> stages;        ///< in pipeline order
+  std::vector<RuleFiring> normalize_rules;  ///< Figure 4 N1-N9 (+ helpers)
+  std::vector<UnnestStep> unnest_steps;   ///< Figure 7 C1-C9, firing order
+  int simplify_rewrites = 0;              ///< Section 5 rule applications
+  double total_ms = 0;                    ///< sum over stages
+};
 
 struct OptimizerOptions {
   bool normalize = true;        ///< run the Figure 4 rules first
@@ -44,6 +67,12 @@ struct OptimizerOptions {
   /// groups (every generator domain must be an extent or set-typed path);
   /// reject otherwise. See DESIGN.md, "Bags and lists".
   bool check_duplicate_safety = true;
+
+  /// Record a CompileTrace (stage wall times + rule firings) into
+  /// CompiledQuery::trace. Off by default: tracing routes normalization
+  /// through the counting rewriter, which is measurably slower on tiny
+  /// queries.
+  bool trace = false;
 };
 
 /// A compiled query, exposing every intermediate the paper shows so that
@@ -54,6 +83,11 @@ struct CompiledQuery {
   AlgPtr plan;         ///< after unnesting (C1-C9)
   AlgPtr simplified;   ///< after Section 5 (== plan if simplify is off)
   TypePtr result_type; ///< nullptr when typecheck is off
+
+  /// Stage timings + rule firings; null unless OptimizerOptions::trace.
+  /// Shared (not owned) so Execute can append the "physical" stage timing
+  /// to an already-compiled query.
+  std::shared_ptr<CompileTrace> trace;
 };
 
 class Optimizer {

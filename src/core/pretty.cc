@@ -1,8 +1,14 @@
 #include "src/core/pretty.h"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
+#include <vector>
 
+#include "src/core/cost.h"
+#include "src/core/optimizer.h"
 #include "src/runtime/error.h"
+#include "src/runtime/profile.h"
 
 namespace ldb {
 
@@ -231,6 +237,115 @@ std::string PrintPlan(const AlgPtr& op) {
 std::string PlanShape(const AlgPtr& op) {
   std::ostringstream os;
   Shape(op, os);
+  return os.str();
+}
+
+namespace {
+
+std::string FormatMs(double ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << (ns / 1e6) << "ms";
+  return os.str();
+}
+
+std::string FormatEst(double card) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(0) << card;
+  return os.str();
+}
+
+struct ExplainRow {
+  std::string node;   // indented DescribePhysOp text
+  std::string annot;  // est/rows/time column
+};
+
+// Walks the plan in the pre-order used by CompileSlotPlan (id at node entry,
+// left child before right) so `*next_id` reproduces each operator's stats id.
+void ExplainWalk(const PhysPtr& op, int indent, int* next_id,
+                 const QueryProfiler& profiler, const Catalog* catalog,
+                 std::vector<ExplainRow>* rows) {
+  if (!op) return;
+  const int id = (*next_id)++;
+  ExplainRow row;
+  row.node = std::string(static_cast<size_t>(indent) * 2, ' ') +
+             DescribePhysOp(*op);
+  std::ostringstream a;
+  if (catalog) {
+    a << "est=" << FormatEst(EstimatePhysicalCardinality(op, *catalog))
+      << "  ";
+  }
+  if (const OperatorStats* s = profiler.Find(id)) {
+    a << "rows=" << s->rows_out;
+    if (s->build_rows > 0) a << "  build=" << s->build_rows;
+    if (s->groups > 0) a << "  groups=" << s->groups;
+    if (s->short_circuits > 0) a << "  short_circuit=" << s->short_circuits;
+    a << "  time=" << FormatMs(static_cast<double>(s->open_ns + s->next_ns));
+  } else {
+    a << "(no stats)";
+  }
+  row.annot = a.str();
+  rows->push_back(std::move(row));
+  ExplainWalk(op->left, indent + 1, next_id, profiler, catalog, rows);
+  ExplainWalk(op->right, indent + 1, next_id, profiler, catalog, rows);
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const PhysPtr& plan, const QueryProfiler& profiler,
+                           const Catalog* catalog) {
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE (mode="
+     << (profiler.parallel_mode.empty() ? "?" : profiler.parallel_mode)
+     << " threads=" << profiler.threads_used;
+  if (profiler.morsel_size > 0) os << " morsel=" << profiler.morsel_size;
+  os << " wall=" << FormatMs(static_cast<double>(profiler.wall_ns)) << ")\n";
+
+  std::vector<ExplainRow> rows;
+  int next_id = 0;
+  ExplainWalk(plan, 0, &next_id, profiler, catalog, &rows);
+  size_t width = 0;
+  for (const ExplainRow& r : rows) width = std::max(width, r.node.size());
+  for (const ExplainRow& r : rows) {
+    os << r.node << std::string(width - r.node.size() + 2, ' ') << r.annot
+       << "\n";
+  }
+
+  if (!profiler.workers.empty()) {
+    os << "workers:\n";
+    for (const WorkerStats& w : profiler.workers) {
+      os << "  w" << w.worker << ": morsels=" << w.morsels
+         << " rows=" << w.rows
+         << " busy=" << FormatMs(static_cast<double>(w.busy_ns)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string PrintCompileTrace(const CompileTrace& trace) {
+  std::ostringstream os;
+  os << "compile trace (total " << std::fixed << std::setprecision(3)
+     << trace.total_ms << " ms)\n";
+  for (const StageTiming& st : trace.stages) {
+    os << "  " << st.stage;
+    if (st.stage.size() < 20) os << std::string(20 - st.stage.size(), ' ');
+    os << std::fixed << std::setprecision(3) << st.ms << " ms\n";
+  }
+  if (!trace.normalize_rules.empty()) {
+    os << "normalize rules:";
+    bool first = true;
+    for (const RuleFiring& r : trace.normalize_rules) {
+      os << (first ? " " : ", ") << r.rule << " x" << r.count;
+      first = false;
+    }
+    os << "\n";
+  }
+  if (!trace.unnest_steps.empty()) {
+    os << "unnest steps:\n";
+    for (const UnnestStep& s : trace.unnest_steps) {
+      os << "  " << s.rule << ": " << s.description << "\n";
+    }
+  }
+  os << "simplify rewrites: " << trace.simplify_rewrites << "\n";
   return os.str();
 }
 

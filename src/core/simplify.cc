@@ -144,14 +144,14 @@ AlgPtr TrySection5(const AlgPtr& reduce, const Schema& schema) {
   return AlgOp::Reduce(new_nest, reduce->monoid, reduce_head, reduce_pred);
 }
 
-AlgPtr SimplifyOnce(const AlgPtr& op, const Schema& schema, bool* changed) {
+AlgPtr SimplifyOnce(const AlgPtr& op, const Schema& schema, int* fired) {
   if (!op) return op;
   if (AlgPtr r = TrySection5(op, schema)) {
-    *changed = true;
+    ++*fired;
     return r;
   }
-  AlgPtr left = SimplifyOnce(op->left, schema, changed);
-  AlgPtr right = SimplifyOnce(op->right, schema, changed);
+  AlgPtr left = SimplifyOnce(op->left, schema, fired);
+  AlgPtr right = SimplifyOnce(op->right, schema, fired);
   if (left == op->left && right == op->right) return op;
   auto out = std::make_shared<AlgOp>(*op);
   out->left = left;
@@ -162,11 +162,18 @@ AlgPtr SimplifyOnce(const AlgPtr& op, const Schema& schema, bool* changed) {
 }  // namespace
 
 AlgPtr Simplify(const AlgPtr& plan, const Schema& schema) {
+  int ignored = 0;
+  return SimplifyTraced(plan, schema, &ignored);
+}
+
+AlgPtr SimplifyTraced(const AlgPtr& plan, const Schema& schema,
+                      int* rewrites) {
   AlgPtr cur = plan;
   for (int round = 0; round < 100; ++round) {
-    bool changed = false;
-    cur = SimplifyOnce(cur, schema, &changed);
-    if (!changed) return cur;
+    int fired = 0;
+    cur = SimplifyOnce(cur, schema, &fired);
+    *rewrites += fired;
+    if (fired == 0) return cur;
   }
   throw InternalError("simplification did not converge");
 }

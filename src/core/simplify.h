@@ -37,6 +37,10 @@ namespace ldb {
 /// Applies the Section 5 simplification wherever it matches, to fixpoint.
 AlgPtr Simplify(const AlgPtr& plan, const Schema& schema);
 
+/// Like Simplify, additionally counting successful rewrites into *rewrites
+/// (incremented once per rule application, not per fixpoint round).
+AlgPtr SimplifyTraced(const AlgPtr& plan, const Schema& schema, int* rewrites);
+
 /// Replaces every subterm of `e` structurally equal to `target` with
 /// `replacement` (helper shared with tests).
 ExprPtr ReplaceSubterm(const ExprPtr& e, const ExprPtr& target,

@@ -43,6 +43,7 @@
 #include "src/runtime/expr_eval.h"
 #include "src/runtime/physical.h"
 #include "src/runtime/physical_plan.h"
+#include "src/runtime/profile.h"
 #include "src/runtime/schema.h"
 #include "src/runtime/serialize.h"
 #include "src/runtime/value.h"

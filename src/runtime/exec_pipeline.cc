@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -11,14 +12,68 @@
 #include <vector>
 
 #include "src/runtime/error.h"
+#include "src/runtime/profile.h"
 
 namespace ldb {
 
 namespace {
 
+// -- profiling helpers -------------------------------------------------------
+//
+// Profiling is gated on ExecOptions::profiler. When it is null the iterator
+// trees below are built exactly as before (no decorator, no per-row branch);
+// when set, every operator is wrapped in a timing/counting decorator and the
+// operators that buffer state (joins, nests) additionally report build sizes
+// through a nullable OperatorStats* they carry.
+
+using ProfClock = std::chrono::steady_clock;
+
+double NsSince(ProfClock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(ProfClock::now() - t0)
+      .count();
+}
+
+// Short operator label: the kind plus the extent for scans.
+std::string ProfLabel(PhysKind kind, const std::string& extent) {
+  std::string out = PhysKindName(kind);
+  if (!extent.empty()) {
+    out += '(';
+    out += extent;
+    out += ')';
+  }
+  return out;
+}
+
 // ===========================================================================
 // Legacy Env engine (reference implementation; see header).
 // ===========================================================================
+
+// Counting/timing decorator around any Env iterator.
+class ProfiledRowIter : public RowIterator {
+ public:
+  ProfiledRowIter(std::unique_ptr<RowIterator> inner, OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  void Open() override {
+    ++stats_->opens;
+    auto t0 = ProfClock::now();
+    inner_->Open();
+    stats_->open_ns += NsSince(t0);
+  }
+  bool Next(Env* out) override {
+    ++stats_->next_calls;
+    auto t0 = ProfClock::now();
+    bool ok = inner_->Next(out);
+    stats_->next_ns += NsSince(t0);
+    if (ok) ++stats_->rows_out;
+    return ok;
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<RowIterator> inner_;
+  OperatorStats* stats_;
+};
 
 // -- leaf iterators ----------------------------------------------------------
 
@@ -199,6 +254,8 @@ class NLJoinIter : public RowIterator {
       : op_(op), outer_(op.kind == PhysKind::kNLOuterJoin),
         left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
 
+  void set_stats(OperatorStats* s) { stats_ = s; }
+
   void Open() override {
     left_->Open();
     right_->Open();
@@ -206,6 +263,7 @@ class NLJoinIter : public RowIterator {
     Env env;
     while (right_->Next(&env)) buffer_.push_back(env);
     right_->Close();
+    if (stats_) stats_->build_rows += buffer_.size();
     have_row_ = false;
   }
 
@@ -242,6 +300,7 @@ class NLJoinIter : public RowIterator {
   bool outer_;
   std::unique_ptr<RowIterator> left_, right_;
   ExprEvaluator* ev_;
+  OperatorStats* stats_ = nullptr;
   std::vector<Env> buffer_;
   Env current_;
   size_t pos_ = 0;
@@ -257,6 +316,8 @@ class HashJoinIter : public RowIterator {
       : op_(op), outer_(op.kind == PhysKind::kHashOuterJoin),
         left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
 
+  void set_stats(OperatorStats* s) { stats_ = s; }
+
   void Open() override {
     // Probe side streams: for an outer join it is always the left child; for
     // inner joins the planner may have flipped the build side.
@@ -266,11 +327,16 @@ class HashJoinIter : public RowIterator {
     probe_->Open();
     table_.clear();
     Env env;
+    size_t built = 0;
     while (build->Next(&env)) {
       Value key = EvalKey(op_.build_keys, env);
-      if (!key.is_null()) table_[key].push_back(env);
+      if (!key.is_null()) {
+        table_[key].push_back(env);
+        ++built;
+      }
     }
     build->Close();
+    if (stats_) stats_->build_rows += built;
     have_row_ = false;
   }
 
@@ -331,6 +397,7 @@ class HashJoinIter : public RowIterator {
   std::unique_ptr<RowIterator> left_, right_;
   RowIterator* probe_ = nullptr;
   ExprEvaluator* ev_;
+  OperatorStats* stats_ = nullptr;
   std::unordered_map<Value, std::vector<Env>, ValueHash> table_;
   Env current_;
   const std::vector<Env>* bucket_ = nullptr;
@@ -346,6 +413,8 @@ class HashNestIter : public RowIterator {
   HashNestIter(const PhysOp& op, std::unique_ptr<RowIterator> child,
                ExprEvaluator* ev)
       : op_(op), child_(std::move(child)), ev_(ev) {}
+
+  void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
     child_->Open();
@@ -380,6 +449,7 @@ class HashNestIter : public RowIterator {
     if (op_.group_by.empty() && groups_.empty()) {
       groups_.push_back(Group{{}, Accumulator(op_.monoid)});
     }
+    if (stats_) stats_->groups += groups_.size();
     pos_ = 0;
   }
 
@@ -407,24 +477,118 @@ class HashNestIter : public RowIterator {
   const PhysOp& op_;
   std::unique_ptr<RowIterator> child_;
   ExprEvaluator* ev_;
+  OperatorStats* stats_ = nullptr;
   std::vector<Group> groups_;
   std::unordered_map<Value, size_t, ValueHash> index_;
   size_t pos_ = 0;
 };
 
-Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db) {
+// Builds the Env iterator tree with every operator wrapped in a profiling
+// decorator. Ids are assigned in pre-order (left subtree before right), the
+// exact numbering CompileSlotPlan uses, so Env and slot profiles of the same
+// plan line up operator by operator. *next_id enters as this subtree's id.
+std::unique_ptr<RowIterator> MakeProfiledEnvIter(const PhysPtr& op,
+                                                 ExprEvaluator* ev,
+                                                 QueryProfiler* prof,
+                                                 int* next_id) {
+  LDB_INTERNAL_CHECK(op != nullptr, "null physical operator");
+  const int id = (*next_id)++;
+  OperatorStats* stats =
+      prof->Register(id, op->kind, ProfLabel(op->kind, op->extent));
+  std::unique_ptr<RowIterator> inner;
+  switch (op->kind) {
+    case PhysKind::kUnitRow:
+      inner = std::make_unique<UnitRowIter>();
+      break;
+    case PhysKind::kTableScan:
+      inner = std::make_unique<TableScanIter>(*op, ev);
+      break;
+    case PhysKind::kIndexScan:
+      inner = std::make_unique<IndexScanIter>(*op, ev);
+      break;
+    case PhysKind::kFilter:
+      inner = std::make_unique<FilterIter>(
+          *op, MakeProfiledEnvIter(op->left, ev, prof, next_id), ev);
+      break;
+    case PhysKind::kUnnest:
+    case PhysKind::kOuterUnnest:
+      inner = std::make_unique<UnnestIter>(
+          *op, MakeProfiledEnvIter(op->left, ev, prof, next_id), ev);
+      break;
+    case PhysKind::kNLJoin:
+    case PhysKind::kNLOuterJoin: {
+      auto left = MakeProfiledEnvIter(op->left, ev, prof, next_id);
+      auto right = MakeProfiledEnvIter(op->right, ev, prof, next_id);
+      auto join = std::make_unique<NLJoinIter>(*op, std::move(left),
+                                               std::move(right), ev);
+      join->set_stats(stats);
+      inner = std::move(join);
+      break;
+    }
+    case PhysKind::kHashJoin:
+    case PhysKind::kHashOuterJoin: {
+      auto left = MakeProfiledEnvIter(op->left, ev, prof, next_id);
+      auto right = MakeProfiledEnvIter(op->right, ev, prof, next_id);
+      auto join = std::make_unique<HashJoinIter>(*op, std::move(left),
+                                                 std::move(right), ev);
+      join->set_stats(stats);
+      inner = std::move(join);
+      break;
+    }
+    case PhysKind::kHashNest: {
+      auto nest = std::make_unique<HashNestIter>(
+          *op, MakeProfiledEnvIter(op->left, ev, prof, next_id), ev);
+      nest->set_stats(stats);
+      inner = std::move(nest);
+      break;
+    }
+    case PhysKind::kReduce:
+      throw InternalError("reduce is driven by ExecuteEnvPipeline, not pulled");
+  }
+  return std::make_unique<ProfiledRowIter>(std::move(inner), stats);
+}
+
+Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
+                         QueryProfiler* prof) {
   ExprEvaluator ev(db);
-  std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
-  input->Open();
   Accumulator acc(plan->monoid);
   Env env;
+  if (prof == nullptr) {
+    std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
+    input->Open();
+    while (input->Next(&env)) {
+      if (!ev.EvalPred(plan->pred, env)) continue;
+      acc.Add(ev.Eval(plan->head, env));
+      if (acc.Saturated()) break;  // the pipeline stops pulling here
+    }
+    input->Close();
+    return acc.Finish();
+  }
+  auto wall0 = ProfClock::now();
+  prof->parallel_mode = "serial";
+  int next_id = 0;
+  OperatorStats* rstats =
+      prof->Register(next_id++, PhysKind::kReduce, "Reduce");
+  std::unique_ptr<RowIterator> input =
+      MakeProfiledEnvIter(plan->left, &ev, prof, &next_id);
+  input->Open();
+  ++rstats->opens;
+  auto t0 = ProfClock::now();
   while (input->Next(&env)) {
+    ++rstats->next_calls;
     if (!ev.EvalPred(plan->pred, env)) continue;
     acc.Add(ev.Eval(plan->head, env));
-    if (acc.Saturated()) break;  // the pipeline stops pulling here
+    ++rstats->rows_out;
+    if (acc.Saturated()) {
+      ++rstats->short_circuits;
+      break;
+    }
   }
+  rstats->next_ns += NsSince(t0);
   input->Close();
-  return acc.Finish();
+  Value result = acc.Finish();
+  prof->wall_ns += NsSince(wall0);
+  return result;
 }
 
 // ===========================================================================
@@ -525,6 +689,33 @@ class FrameIter {
   virtual void Open() = 0;
   virtual bool Next() = 0;
   virtual void Close() {}
+};
+
+// Counting/timing decorator around any frame iterator.
+class FProfiledIter : public FrameIter {
+ public:
+  FProfiledIter(std::unique_ptr<FrameIter> inner, OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  void Open() override {
+    ++stats_->opens;
+    auto t0 = ProfClock::now();
+    inner_->Open();
+    stats_->open_ns += NsSince(t0);
+  }
+  bool Next() override {
+    ++stats_->next_calls;
+    auto t0 = ProfClock::now();
+    bool ok = inner_->Next();
+    stats_->next_ns += NsSince(t0);
+    if (ok) ++stats_->rows_out;
+    return ok;
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<FrameIter> inner_;
+  OperatorStats* stats_;
 };
 
 class FUnitRowIter : public FrameIter {
@@ -691,6 +882,8 @@ class FNLJoinIter : public FrameIter {
         left_(std::move(left)), right_(std::move(right)), fev_(fev),
         frame_(frame), shared_buffer_(shared_buffer) {}
 
+  void set_stats(OperatorStats* s) { stats_ = s; }
+
   void Open() override {
     if (shared_buffer_ != nullptr) {
       buffer_ = shared_buffer_;
@@ -702,6 +895,7 @@ class FNLJoinIter : public FrameIter {
             CopySpan(*frame_, op_.right->out_lo, op_.right->out_hi));
       }
       right_->Close();
+      if (stats_) stats_->build_rows += own_buffer_.size();
       buffer_ = &own_buffer_;
     }
     left_->Open();
@@ -741,6 +935,7 @@ class FNLJoinIter : public FrameIter {
   std::unique_ptr<FrameIter> left_, right_;
   FrameEvaluator* fev_;
   Frame* frame_;
+  OperatorStats* stats_ = nullptr;
   const std::vector<BufRow>* shared_buffer_;
   std::vector<BufRow> own_buffer_;
   const std::vector<BufRow>* buffer_ = nullptr;
@@ -760,6 +955,8 @@ class FHashJoinIter : public FrameIter {
     build_op_ = (op_.build_is_left ? op_.left : op_.right).get();
   }
 
+  void set_stats(OperatorStats* s) { stats_ = s; }
+
   void Open() override {
     FrameIter* build = op_.build_is_left ? left_.get() : right_.get();
     probe_ = op_.build_is_left ? right_.get() : left_.get();
@@ -767,15 +964,18 @@ class FHashJoinIter : public FrameIter {
       table_ = shared_table_;
     } else {
       own_table_.clear();
+      size_t built = 0;
       build->Open();
       while (build->Next()) {
         Value key = EvalKeyTuple(fev_, *frame_, op_.build_keys);
         if (!key.is_null()) {
           own_table_[std::move(key)].push_back(
               CopySpan(*frame_, build_op_->out_lo, build_op_->out_hi));
+          ++built;
         }
       }
       build->Close();
+      if (stats_) stats_->build_rows += built;
       table_ = &own_table_;
     }
     probe_->Open();
@@ -827,6 +1027,7 @@ class FHashJoinIter : public FrameIter {
   std::unique_ptr<FrameIter> left_, right_;
   FrameEvaluator* fev_;
   Frame* frame_;
+  OperatorStats* stats_ = nullptr;
   const SlotOp* build_op_;
   const JoinTable* shared_table_;
   JoinTable own_table_;
@@ -851,6 +1052,8 @@ class FHashNestIter : public FrameIter {
       : op_(op), fev_(fev), frame_(frame),
         prebuilt_(std::move(prebuilt)), has_prebuilt_(true) {}
 
+  void set_stats(OperatorStats* s) { stats_ = s; }
+
   void Open() override {
     if (has_prebuilt_) {
       groups_ = std::move(prebuilt_);
@@ -866,6 +1069,7 @@ class FHashNestIter : public FrameIter {
     if (op_.group_slots.empty() && groups_.empty()) {
       groups_.push_back(NestGroup{{}, Accumulator(op_.monoid)});
     }
+    if (stats_) stats_->groups += groups_.size();
     pos_ = 0;
   }
 
@@ -885,6 +1089,7 @@ class FHashNestIter : public FrameIter {
   std::unique_ptr<FrameIter> child_;
   FrameEvaluator* fev_;
   Frame* frame_;
+  OperatorStats* stats_ = nullptr;
   std::vector<NestGroup> prebuilt_;
   bool has_prebuilt_ = false;
   std::vector<NestGroup> groups_;
@@ -902,28 +1107,40 @@ struct FrameExecCtx {
   FTableScanIter* driver = nullptr;  // out: the driver scan, if driver_id hit
   int prebuilt_nest_id = -1;
   std::vector<NestGroup>* prebuilt_groups = nullptr;  // moved from when hit
+  QueryProfiler* profiler = nullptr;  // null = build the uninstrumented tree
 };
 
 std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
                                              FrameExecCtx& ctx) {
   LDB_INTERNAL_CHECK(op != nullptr, "null slot operator");
+  OperatorStats* stats =
+      ctx.profiler == nullptr
+          ? nullptr
+          : ctx.profiler->Register(op->id, op->kind,
+                                   ProfLabel(op->kind, op->extent));
+  std::unique_ptr<FrameIter> out;
   switch (op->kind) {
     case PhysKind::kUnitRow:
-      return std::make_unique<FUnitRowIter>();
+      out = std::make_unique<FUnitRowIter>();
+      break;
     case PhysKind::kTableScan: {
       auto it = std::make_unique<FTableScanIter>(*op, ctx.fev, ctx.frame);
       if (op->id == ctx.driver_id) ctx.driver = it.get();
-      return it;
+      out = std::move(it);
+      break;
     }
     case PhysKind::kIndexScan:
-      return std::make_unique<FIndexScanIter>(*op, ctx.fev, ctx.frame);
+      out = std::make_unique<FIndexScanIter>(*op, ctx.fev, ctx.frame);
+      break;
     case PhysKind::kFilter:
-      return std::make_unique<FFilterIter>(*op, MakeFrameIterator(op->left, ctx),
-                                           ctx.fev, ctx.frame);
+      out = std::make_unique<FFilterIter>(
+          *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
+      break;
     case PhysKind::kUnnest:
     case PhysKind::kOuterUnnest:
-      return std::make_unique<FUnnestIter>(*op, MakeFrameIterator(op->left, ctx),
-                                           ctx.fev, ctx.frame);
+      out = std::make_unique<FUnnestIter>(
+          *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
+      break;
     case PhysKind::kNLJoin:
     case PhysKind::kNLOuterJoin: {
       const std::vector<BufRow>* shared_buffer = nullptr;
@@ -933,9 +1150,12 @@ std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
       }
       // With a shared buffer the buffered subtree is never instantiated.
       auto right = shared_buffer ? nullptr : MakeFrameIterator(op->right, ctx);
-      return std::make_unique<FNLJoinIter>(*op, MakeFrameIterator(op->left, ctx),
-                                           std::move(right), ctx.fev, ctx.frame,
-                                           shared_buffer);
+      auto join = std::make_unique<FNLJoinIter>(
+          *op, MakeFrameIterator(op->left, ctx), std::move(right), ctx.fev,
+          ctx.frame, shared_buffer);
+      join->set_stats(stats);
+      out = std::move(join);
+      break;
     }
     case PhysKind::kHashJoin:
     case PhysKind::kHashOuterJoin: {
@@ -951,39 +1171,74 @@ std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
       std::unique_ptr<FrameIter> probe_it = MakeFrameIterator(probe, ctx);
       auto left = op->build_is_left ? std::move(build_it) : std::move(probe_it);
       auto right = op->build_is_left ? std::move(probe_it) : std::move(build_it);
-      return std::make_unique<FHashJoinIter>(*op, std::move(left),
-                                             std::move(right), ctx.fev,
-                                             ctx.frame, shared_table);
+      auto join = std::make_unique<FHashJoinIter>(*op, std::move(left),
+                                                  std::move(right), ctx.fev,
+                                                  ctx.frame, shared_table);
+      join->set_stats(stats);
+      out = std::move(join);
+      break;
     }
     case PhysKind::kHashNest: {
+      std::unique_ptr<FHashNestIter> nest;
       if (op->id == ctx.prebuilt_nest_id) {
-        return std::make_unique<FHashNestIter>(
+        nest = std::make_unique<FHashNestIter>(
             *op, std::move(*ctx.prebuilt_groups), ctx.fev, ctx.frame);
+      } else {
+        nest = std::make_unique<FHashNestIter>(
+            *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
       }
-      return std::make_unique<FHashNestIter>(
-          *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
+      nest->set_stats(stats);
+      out = std::move(nest);
+      break;
     }
     case PhysKind::kReduce:
       throw InternalError("reduce is driven by ExecuteSlotPlan, not pulled");
   }
-  throw InternalError("unhandled slot operator");
+  if (stats != nullptr) {
+    return std::make_unique<FProfiledIter>(std::move(out), stats);
+  }
+  return out;
 }
 
-Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db) {
+Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
+                        QueryProfiler* prof) {
   FrameEvaluator fev(db);
   Frame frame(static_cast<size_t>(sp.n_slots));
   FrameExecCtx ctx;
   ctx.fev = &fev;
   ctx.frame = &frame;
-  std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
-  input->Open();
+  ctx.profiler = prof;
   Accumulator acc(sp.root->monoid);
   Value scratch;
+  if (prof == nullptr) {
+    std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
+    input->Open();
+    while (input->Next()) {
+      if (!fev.EvalPred(*sp.root->pred, frame)) continue;
+      acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
+      if (acc.Saturated()) break;  // the pipeline stops pulling here
+    }
+    input->Close();
+    return acc.Finish();
+  }
+  prof->parallel_mode = "serial";
+  OperatorStats* rstats =
+      prof->Register(sp.root->id, PhysKind::kReduce, "Reduce");
+  std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
+  input->Open();
+  ++rstats->opens;
+  auto t0 = ProfClock::now();
   while (input->Next()) {
+    ++rstats->next_calls;
     if (!fev.EvalPred(*sp.root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
-    if (acc.Saturated()) break;  // the pipeline stops pulling here
+    ++rstats->rows_out;
+    if (acc.Saturated()) {
+      ++rstats->short_circuits;
+      break;
+    }
   }
+  rstats->next_ns += NsSince(t0);
   input->Close();
   return acc.Finish();
 }
@@ -1032,9 +1287,13 @@ SpineInfo AnalyzeSpine(const SlotOpPtr& root) {
 }
 
 // Builds every spine join's build/buffer side once, serially, so workers
-// share the tables read-only.
+// share the tables read-only. With a profiler, the build subtrees' counters
+// and the joins' build_rows land in *prof — once, matching the serial run —
+// while the workers (who only read the shared tables) record nothing for
+// them.
 void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
-                         int n_slots, SharedTables* shared) {
+                         int n_slots, SharedTables* shared,
+                         QueryProfiler* prof) {
   FrameEvaluator fev(db);
   Frame frame(static_cast<size_t>(n_slots));
   for (SlotOpPtr cur = sub_root; cur;) {
@@ -1049,6 +1308,7 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         FrameExecCtx ctx;
         ctx.fev = &fev;
         ctx.frame = &frame;
+        ctx.profiler = prof;
         auto it = MakeFrameIterator(cur->right, ctx);
         it->Open();
         std::vector<BufRow> buf;
@@ -1056,6 +1316,10 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
           buf.push_back(CopySpan(frame, cur->right->out_lo, cur->right->out_hi));
         }
         it->Close();
+        if (prof) {
+          prof->Register(cur->id, cur->kind, ProfLabel(cur->kind, cur->extent))
+              ->build_rows += buf.size();
+        }
         shared->buffers.emplace(cur->id, std::move(buf));
         cur = cur->left;
         break;
@@ -1066,17 +1330,24 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         FrameExecCtx ctx;
         ctx.fev = &fev;
         ctx.frame = &frame;
+        ctx.profiler = prof;
         auto it = MakeFrameIterator(build, ctx);
         it->Open();
         JoinTable table;
+        size_t built = 0;
         while (it->Next()) {
           Value key = EvalKeyTuple(&fev, frame, cur->build_keys);
           if (!key.is_null()) {
             table[std::move(key)].push_back(
                 CopySpan(frame, build->out_lo, build->out_hi));
+            ++built;
           }
         }
         it->Close();
+        if (prof) {
+          prof->Register(cur->id, cur->kind, ProfLabel(cur->kind, cur->extent))
+              ->build_rows += built;
+        }
         shared->join_tables.emplace(cur->id, std::move(table));
         cur = cur->build_is_left ? cur->right : cur->left;
         break;
@@ -1150,21 +1421,31 @@ void RunMorsels(MorselQueue& mq, int n_workers, std::atomic<bool>& stop,
   }
 }
 
-// Per-worker pipeline over the parallel sub-spine.
+// Per-worker pipeline over the parallel sub-spine. Under profiling each
+// worker also owns a private QueryProfiler (its iterators are wrapped
+// against it — no shared counters, no atomics) plus its utilization totals;
+// TryExecuteParallel merges them into the caller's profiler after join.
 struct WorkerPipeline {
   FrameEvaluator fev;
   Frame frame;
   std::unique_ptr<FrameIter> pipe;
   FTableScanIter* driver = nullptr;
+  QueryProfiler prof;   // used only when `profiled`
+  WorkerStats wstats;
+  bool profiled = false;
 
   WorkerPipeline(const Database& db, int n_slots, const SlotOpPtr& sub_root,
-                 const SharedTables& shared, int driver_id)
-      : fev(db), frame(static_cast<size_t>(n_slots)) {
+                 const SharedTables& shared, int driver_id, int worker_id,
+                 bool with_profiling)
+      : fev(db), frame(static_cast<size_t>(n_slots)),
+        profiled(with_profiling) {
+    wstats.worker = worker_id;
     FrameExecCtx ctx;
     ctx.fev = &fev;
     ctx.frame = &frame;
     ctx.shared = &shared;
     ctx.driver_id = driver_id;
+    ctx.profiler = profiled ? &prof : nullptr;
     pipe = MakeFrameIterator(sub_root, ctx);
     driver = ctx.driver;
     LDB_INTERNAL_CHECK(driver != nullptr, "parallel driver scan not found");
@@ -1193,10 +1474,13 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   const size_t morsel = std::max<size_t>(1, opt.morsel_size);
   if (extent.size() <= morsel) return false;  // one morsel: serial is exact
 
+  QueryProfiler* uprof = opt.profiler;
+  const bool profiling = uprof != nullptr;
+
   const SlotOpPtr sub_root = spine.lowest_nest ? spine.lowest_nest->left
                                                : root->left;
   SharedTables shared;
-  PrebuildSpineTables(sub_root, db, sp.n_slots, &shared);
+  PrebuildSpineTables(sub_root, db, sp.n_slots, &shared, uprof);
 
   MorselQueue mq{extent.size(), morsel};
   const size_t n_morsels = mq.count();
@@ -1204,9 +1488,50 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
       std::min<size_t>(static_cast<size_t>(opt.n_threads), n_morsels));
   std::atomic<bool> stop{false};
 
+  // Worker states are kept alive past RunMorsels (which drops its own
+  // reference at thread exit) so their private profilers can be harvested.
+  std::atomic<int> worker_seq{0};
+  std::mutex states_mu;
+  std::vector<std::shared_ptr<WorkerPipeline>> states;
+  std::vector<MorselStats> morsel_stats(profiling ? n_morsels : 0);
+
   auto make_state = [&]() {
-    return std::make_unique<WorkerPipeline>(db, sp.n_slots, sub_root, shared,
-                                            spine.driver->id);
+    auto state = std::make_shared<WorkerPipeline>(
+        db, sp.n_slots, sub_root, shared, spine.driver->id,
+        worker_seq.fetch_add(1, std::memory_order_relaxed), profiling);
+    if (profiling) {
+      std::lock_guard<std::mutex> lock(states_mu);
+      states.push_back(state);
+    }
+    return state;
+  };
+
+  // Records the morsel into the worker's totals and the per-morsel table
+  // (only ever this worker's slot: each index is grabbed exactly once).
+  auto record_morsel = [&](WorkerPipeline& w, size_t idx, size_t lo, size_t hi,
+                           uint64_t rows, ProfClock::time_point t0) {
+    w.wstats.morsels += 1;
+    w.wstats.rows += rows;
+    w.wstats.busy_ns += NsSince(t0);
+    morsel_stats[idx] = MorselStats{idx, lo, hi, rows};
+  };
+
+  // Merges prebuild/worker counters and parallel metadata into *uprof.
+  auto harvest = [&](const char* mode) {
+    uprof->parallel_mode = mode;
+    uprof->threads_used = n_workers;
+    uprof->morsel_size = morsel;
+    std::sort(states.begin(), states.end(),
+              [](const auto& a, const auto& b) {
+                return a->wstats.worker < b->wstats.worker;
+              });
+    for (const auto& s : states) {
+      uprof->MergeFrom(s->prof);
+      uprof->workers.push_back(s->wstats);
+    }
+    for (const MorselStats& m : morsel_stats) {
+      if (m.hi > m.lo) uprof->morsels.push_back(m);  // hi == 0: never grabbed
+    }
   };
 
   if (!spine.lowest_nest) {
@@ -1215,27 +1540,51 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     std::vector<std::optional<Accumulator>> parts(n_morsels);
     RunMorsels(mq, n_workers, stop, make_state,
                [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
+                 auto t0 = ProfClock::now();
                  w.driver->SetRange(lo, hi);
                  w.pipe->Open();
                  Accumulator acc(root->monoid);
                  Value scratch;
+                 if (!w.profiled) {
+                   while (w.pipe->Next()) {
+                     if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
+                     acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                     if (acc.Saturated()) {
+                       // The saturated value is the final result whichever
+                       // morsel produces it first; stop dispatching.
+                       stop.store(true, std::memory_order_relaxed);
+                       break;
+                     }
+                   }
+                   w.pipe->Close();
+                   parts[idx].emplace(std::move(acc));
+                   return;
+                 }
+                 OperatorStats* rstats =
+                     w.prof.Register(root->id, PhysKind::kReduce, "Reduce");
+                 ++rstats->opens;
+                 uint64_t folded = 0;
                  while (w.pipe->Next()) {
+                   ++rstats->next_calls;
                    if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
                    acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                   ++folded;
                    if (acc.Saturated()) {
-                     // The saturated value is the final result whichever
-                     // morsel produces it first; stop dispatching.
+                     ++rstats->short_circuits;
                      stop.store(true, std::memory_order_relaxed);
                      break;
                    }
                  }
+                 rstats->rows_out += folded;
                  w.pipe->Close();
                  parts[idx].emplace(std::move(acc));
+                 record_morsel(w, idx, lo, hi, folded, t0);
                });
     Accumulator final_acc(root->monoid);
     for (std::optional<Accumulator>& p : parts) {
       if (p) final_acc.Absorb(*p);
     }
+    if (profiling) harvest("spine-reduce");
     *out = final_acc.Finish();
     return true;
   }
@@ -1248,14 +1597,18 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   std::vector<std::optional<PartialGroups>> parts(n_morsels);
   RunMorsels(mq, n_workers, stop, make_state,
              [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
+               auto t0 = ProfClock::now();
                w.driver->SetRange(lo, hi);
                w.pipe->Open();
                PartialGroups pg;
+               uint64_t rows = 0;
                while (w.pipe->Next()) {
                  AccumulateNestRow(nest, &w.fev, w.frame, &pg);
+                 ++rows;
                }
                w.pipe->Close();
                parts[idx].emplace(std::move(pg));
+               if (w.profiled) record_morsel(w, idx, lo, hi, rows, t0);
              });
 
   PartialGroups merged;
@@ -1271,7 +1624,10 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
       merged.groups[it->second].acc.Absorb(g.acc);
     }
   }
+  if (profiling) harvest("spine-nest");
 
+  // The serial tail above the nest accumulates straight into the caller's
+  // profiler (it runs once, exactly like the serial path).
   FrameEvaluator fev(db);
   Frame frame(static_cast<size_t>(sp.n_slots));
   FrameExecCtx ctx;
@@ -1279,15 +1635,38 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   ctx.frame = &frame;
   ctx.prebuilt_nest_id = nest.id;
   ctx.prebuilt_groups = &merged.groups;
-  std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
-  input->Open();
+  ctx.profiler = uprof;
   Accumulator acc(root->monoid);
   Value scratch;
+  if (!profiling) {
+    std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
+    input->Open();
+    while (input->Next()) {
+      if (!fev.EvalPred(*root->pred, frame)) continue;
+      acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
+      if (acc.Saturated()) break;
+    }
+    input->Close();
+    *out = acc.Finish();
+    return true;
+  }
+  OperatorStats* rstats =
+      uprof->Register(root->id, PhysKind::kReduce, "Reduce");
+  std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
+  input->Open();
+  ++rstats->opens;
+  auto t0 = ProfClock::now();
   while (input->Next()) {
+    ++rstats->next_calls;
     if (!fev.EvalPred(*root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
-    if (acc.Saturated()) break;
+    ++rstats->rows_out;
+    if (acc.Saturated()) {
+      ++rstats->short_circuits;
+      break;
+    }
   }
+  rstats->next_ns += NsSince(t0);
   input->Close();
   *out = acc.Finish();
   return true;
@@ -1329,18 +1708,31 @@ Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
                       const ExecOptions& options) {
   LDB_INTERNAL_CHECK(plan.root && plan.root->kind == PhysKind::kReduce,
                      "slot execution expects a Reduce root");
-  if (options.n_threads > 1) {
-    Value out;
-    if (TryExecuteParallel(plan, db, options, &out)) return out;
+  if (options.profiler == nullptr) {
+    if (options.n_threads > 1) {
+      Value out;
+      if (TryExecuteParallel(plan, db, options, &out)) return out;
+    }
+    return ExecuteSlotSerial(plan, db, nullptr);
   }
-  return ExecuteSlotSerial(plan, db);
+  auto wall0 = ProfClock::now();
+  Value result;
+  bool done = false;
+  if (options.n_threads > 1) {
+    done = TryExecuteParallel(plan, db, options, &result);
+  }
+  if (!done) result = ExecuteSlotSerial(plan, db, options.profiler);
+  options.profiler->wall_ns += NsSince(wall0);
+  return result;
 }
 
 Value ExecutePipelined(const PhysPtr& plan, const Database& db,
                        const ExecOptions& options) {
   LDB_INTERNAL_CHECK(plan && plan->kind == PhysKind::kReduce,
                      "pipelined execution expects a Reduce root");
-  if (!options.use_slot_frames) return ExecuteEnvPipeline(plan, db);
+  if (!options.use_slot_frames) {
+    return ExecuteEnvPipeline(plan, db, options.profiler);
+  }
   return ExecuteSlotPlan(CompileSlotPlan(plan, db), db, options);
 }
 

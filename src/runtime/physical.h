@@ -31,6 +31,8 @@ struct PhysicalOptions {
   bool use_indexes = true;
 };
 
+class QueryProfiler;  // fwd (src/runtime/profile.h)
+
 /// Options for the pipelined executor (ExecutePipelined).
 struct ExecOptions {
   /// Worker threads for morsel-driven parallelism. 1 = serial. Parallelism
@@ -43,6 +45,14 @@ struct ExecOptions {
   /// Execute through slot-compiled frames (plan-time variable resolution,
   /// flat row representation). Off = legacy string-keyed Env iterators.
   bool use_slot_frames = true;
+  /// Per-operator runtime profiling sink (docs/OBSERVABILITY.md). Null (the
+  /// default) disables profiling entirely: the executor builds exactly the
+  /// uninstrumented iterator tree, so the off cost is one pointer test per
+  /// operator at plan setup, not per row. Non-null: row counts, Next() call
+  /// counts, open/build and cumulative execution times, hash-build sizes,
+  /// and quantifier short-circuits accumulate into *profiler; under morsel
+  /// parallelism each worker keeps private counters merged at pipeline end.
+  QueryProfiler* profiler = nullptr;
 };
 
 /// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`

@@ -149,66 +149,89 @@ class Planner {
 
 void Print(const PhysPtr& op, int indent, std::ostringstream& os) {
   if (!op) return;
-  os << std::string(static_cast<size_t>(indent) * 2, ' ');
-  auto pred_suffix = [&]() -> std::string {
-    if (op->pred && !op->pred->IsTrueLiteral()) {
-      return " if " + PrintExpr(op->pred);
-    }
-    return "";
-  };
-  switch (op->kind) {
-    case PhysKind::kUnitRow:
-      os << "UnitRow\n";
-      return;
-    case PhysKind::kTableScan:
-      os << "TableScan[" << op->var << " <- " << op->extent << pred_suffix()
-         << "]\n";
-      return;
-    case PhysKind::kIndexScan:
-      os << "IndexScan[" << op->var << " <- " << op->extent << '.'
-         << op->index_attr << " = " << PrintExpr(op->index_key) << pred_suffix()
-         << "]\n";
-      return;
-    case PhysKind::kFilter:
-      os << "Filter[" << PrintExpr(op->pred) << "]\n";
-      break;
-    case PhysKind::kNLJoin:
-      os << "NLJoin[" << PrintExpr(op->pred) << "]\n";
-      break;
-    case PhysKind::kHashJoin:
-    case PhysKind::kHashOuterJoin: {
-      os << (op->kind == PhysKind::kHashJoin ? "HashJoin[" : "HashOuterJoin[");
-      os << "build=" << (op->build_is_left ? "left" : "right") << " keys(";
-      for (size_t i = 0; i < op->probe_keys.size(); ++i) {
-        if (i) os << ", ";
-        os << PrintExpr(op->probe_keys[i]) << '=' << PrintExpr(op->build_keys[i]);
-      }
-      os << ')' << pred_suffix() << "]\n";
-      break;
-    }
-    case PhysKind::kNLOuterJoin:
-      os << "NLOuterJoin[" << PrintExpr(op->pred) << "]\n";
-      break;
-    case PhysKind::kUnnest:
-    case PhysKind::kOuterUnnest:
-      os << (op->kind == PhysKind::kUnnest ? "Unnest[" : "OuterUnnest[")
-         << op->var << " := " << PrintExpr(op->path) << pred_suffix() << "]\n";
-      break;
-    case PhysKind::kHashNest: {
-      os << "HashNest[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
-         << " -> " << op->var << pred_suffix() << "]\n";
-      break;
-    }
-    case PhysKind::kReduce:
-      os << "Reduce[" << MonoidName(op->monoid) << '/' << PrintExpr(op->head)
-         << pred_suffix() << "]\n";
-      break;
-  }
+  os << std::string(static_cast<size_t>(indent) * 2, ' ')
+     << DescribePhysOp(*op) << '\n';
   Print(op->left, indent + 1, os);
   Print(op->right, indent + 1, os);
 }
 
 }  // namespace
+
+const char* PhysKindName(PhysKind kind) {
+  switch (kind) {
+    case PhysKind::kUnitRow:       return "UnitRow";
+    case PhysKind::kTableScan:     return "TableScan";
+    case PhysKind::kIndexScan:     return "IndexScan";
+    case PhysKind::kFilter:        return "Filter";
+    case PhysKind::kNLJoin:        return "NLJoin";
+    case PhysKind::kHashJoin:      return "HashJoin";
+    case PhysKind::kNLOuterJoin:   return "NLOuterJoin";
+    case PhysKind::kHashOuterJoin: return "HashOuterJoin";
+    case PhysKind::kUnnest:        return "Unnest";
+    case PhysKind::kOuterUnnest:   return "OuterUnnest";
+    case PhysKind::kHashNest:      return "HashNest";
+    case PhysKind::kReduce:        return "Reduce";
+  }
+  return "?";
+}
+
+std::string DescribePhysOp(const PhysOp& op) {
+  std::ostringstream os;
+  auto pred_suffix = [&]() -> std::string {
+    if (op.pred && !op.pred->IsTrueLiteral()) {
+      return " if " + PrintExpr(op.pred);
+    }
+    return "";
+  };
+  switch (op.kind) {
+    case PhysKind::kUnitRow:
+      os << "UnitRow";
+      break;
+    case PhysKind::kTableScan:
+      os << "TableScan[" << op.var << " <- " << op.extent << pred_suffix()
+         << "]";
+      break;
+    case PhysKind::kIndexScan:
+      os << "IndexScan[" << op.var << " <- " << op.extent << '.'
+         << op.index_attr << " = " << PrintExpr(op.index_key) << pred_suffix()
+         << "]";
+      break;
+    case PhysKind::kFilter:
+      os << "Filter[" << PrintExpr(op.pred) << "]";
+      break;
+    case PhysKind::kNLJoin:
+      os << "NLJoin[" << PrintExpr(op.pred) << "]";
+      break;
+    case PhysKind::kHashJoin:
+    case PhysKind::kHashOuterJoin: {
+      os << (op.kind == PhysKind::kHashJoin ? "HashJoin[" : "HashOuterJoin[");
+      os << "build=" << (op.build_is_left ? "left" : "right") << " keys(";
+      for (size_t i = 0; i < op.probe_keys.size(); ++i) {
+        if (i) os << ", ";
+        os << PrintExpr(op.probe_keys[i]) << '=' << PrintExpr(op.build_keys[i]);
+      }
+      os << ')' << pred_suffix() << "]";
+      break;
+    }
+    case PhysKind::kNLOuterJoin:
+      os << "NLOuterJoin[" << PrintExpr(op.pred) << "]";
+      break;
+    case PhysKind::kUnnest:
+    case PhysKind::kOuterUnnest:
+      os << (op.kind == PhysKind::kUnnest ? "Unnest[" : "OuterUnnest[")
+         << op.var << " := " << PrintExpr(op.path) << pred_suffix() << "]";
+      break;
+    case PhysKind::kHashNest:
+      os << "HashNest[" << MonoidName(op.monoid) << '/' << PrintExpr(op.head)
+         << " -> " << op.var << pred_suffix() << "]";
+      break;
+    case PhysKind::kReduce:
+      os << "Reduce[" << MonoidName(op.monoid) << '/' << PrintExpr(op.head)
+         << pred_suffix() << "]";
+      break;
+  }
+  return os.str();
+}
 
 PhysPtr PlanPhysical(const AlgPtr& plan, const Database& db,
                      const PhysicalOptions& options) {

@@ -82,6 +82,13 @@ struct PhysOp {
 PhysPtr PlanPhysical(const AlgPtr& plan, const Database& db,
                      const PhysicalOptions& options = {});
 
+/// Operator-kind mnemonic ("TableScan", "HashJoin", ...).
+const char* PhysKindName(PhysKind kind);
+
+/// One-line description of a single operator (no children, no newline) —
+/// the per-node text shared by PrintPhysicalPlan and ExplainAnalyze.
+std::string DescribePhysOp(const PhysOp& op);
+
 /// Indented rendering of a physical plan.
 std::string PrintPhysicalPlan(const PhysPtr& plan);
 

@@ -278,27 +278,10 @@ class Compiler {
   int next_proj_id_ = 0;
 };
 
-const char* SlotOpName(PhysKind k) {
-  switch (k) {
-    case PhysKind::kUnitRow:       return "UnitRow";
-    case PhysKind::kTableScan:     return "TableScan";
-    case PhysKind::kIndexScan:     return "IndexScan";
-    case PhysKind::kFilter:        return "Filter";
-    case PhysKind::kNLJoin:        return "NLJoin";
-    case PhysKind::kHashJoin:      return "HashJoin";
-    case PhysKind::kNLOuterJoin:   return "NLOuterJoin";
-    case PhysKind::kHashOuterJoin: return "HashOuterJoin";
-    case PhysKind::kUnnest:        return "Unnest";
-    case PhysKind::kOuterUnnest:   return "OuterUnnest";
-    case PhysKind::kHashNest:      return "HashNest";
-    case PhysKind::kReduce:        return "Reduce";
-  }
-  return "?";
-}
-
 void PrintSlotOp(const SlotOpPtr& op, int indent, std::ostringstream* out) {
   if (!op) return;
-  *out << std::string(static_cast<size_t>(indent) * 2, ' ') << SlotOpName(op->kind);
+  *out << std::string(static_cast<size_t>(indent) * 2, ' ')
+       << PhysKindName(op->kind);
   if (!op->extent.empty()) *out << " " << op->extent;
   if (op->var_slot >= 0) *out << " var@" << op->var_slot;
   if (op->kind == PhysKind::kHashNest) {
