@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <string>
@@ -119,6 +120,14 @@ struct JsonRecord {
   bool agree = true;       ///< result matched the reference for this query
   std::string profile;     ///< raw JSON: ProfileToJson of one profiled run
   std::string compile_trace;  ///< raw JSON: CompileTraceToJson (stage times)
+
+  // Service-mode metrics (bench_unnesting --clients): emitted only when
+  // qps > 0. `threads` then holds the client count and `ms` the wall time
+  // of the whole run.
+  double qps = 0;             ///< completed queries per second
+  double p50_ms = 0;          ///< median per-query latency
+  double p99_ms = 0;          ///< 99th-percentile per-query latency
+  double cache_hit_rate = 0;  ///< plan-cache hits / (hits + misses)
 };
 
 /// Collects JsonRecords and writes them as a single JSON document when the
@@ -131,8 +140,8 @@ class JsonReporter {
     return r;
   }
 
-  /// Parses `--json <path>` and `--quick` out of argv; returns false on a
-  /// malformed flag.
+  /// Parses `--json <path>`, `--quick`, and `--clients <n>` out of argv;
+  /// returns false on a malformed flag.
   bool ParseArgs(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--json") {
@@ -143,10 +152,20 @@ class JsonReporter {
         path_ = argv[++i];
       } else if (std::string(argv[i]) == "--quick") {
         quick_ = true;
+      } else if (std::string(argv[i]) == "--clients") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--clients requires a count argument\n");
+          return false;
+        }
+        clients_ = std::atoi(argv[++i]);
+        if (clients_ <= 0) {
+          std::fprintf(stderr, "--clients wants a positive count\n");
+          return false;
+        }
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' (supported: --json <path>, "
-                     "--quick)\n",
+                     "--quick, --clients <n>)\n",
                      argv[i]);
         return false;
       }
@@ -159,6 +178,10 @@ class JsonReporter {
   /// `--quick`: benchmarks should use their smallest scales (CI schema
   /// checks, not performance numbers).
   bool quick() const { return quick_; }
+
+  /// `--clients <n>`: concurrent client count for the query-service
+  /// experiment (bench_unnesting); 0 = flag not given, use the default.
+  int clients() const { return clients_; }
 
   void Add(JsonRecord r) {
     if (enabled()) records_.push_back(std::move(r));
@@ -191,6 +214,11 @@ class JsonReporter {
           << "\"ms\": " << r.ms << ", "
           << "\"ns_per_op\": " << r.ms * 1e6 << ", "
           << "\"agree\": " << (r.agree ? "true" : "false");
+      if (r.qps > 0) {
+        out << ", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
+            << ", \"p99_ms\": " << r.p99_ms
+            << ", \"cache_hit_rate\": " << r.cache_hit_rate;
+      }
       // Profile/trace fields hold already-serialized JSON objects
       // (ProfileToJson / CompileTraceToJson) and nest verbatim.
       if (!r.profile.empty()) out << ", \"profile\": " << r.profile;
@@ -221,6 +249,7 @@ class JsonReporter {
 
   std::string path_;
   bool quick_ = false;
+  int clients_ = 0;
   std::vector<JsonRecord> records_;
 };
 

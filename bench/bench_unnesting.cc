@@ -7,8 +7,11 @@
 // nested-loop-only unnested plans stay near the baseline (unnesting itself
 // is an enabler, not a win — Section 1).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/workload/company.h"
@@ -175,6 +178,80 @@ void RunEngineExperiment(const Experiment& exp, MakeDb make_db,
   }
 }
 
+// Query-service throughput: N client threads hammer one QueryService with a
+// fixed statement mix (three unnesting workhorses plus one parameterized
+// lookup rotated through its bindings). After the first round every
+// execution should be a plan-cache hit, so the numbers measure the serving
+// path — admission, cache lookup, execution — not compilation.
+void RunServiceExperiment(int n_clients, bool quick) {
+  bench::PrintHeader(("SERVICE: query service, " + std::to_string(n_clients) +
+                      " concurrent clients")
+                         .c_str());
+  const int scale = quick ? 2000 : 8000;
+  const int iters = quick ? 25 : 100;  // executions per client
+  Database db = MakeCompany(scale);
+
+  ServiceOptions opts;
+  opts.max_concurrent = n_clients;  // measure execution, not queueing
+  QueryService svc(db, opts);
+  const std::vector<std::string> mix = {
+      kTypeA.oql, kTypeJA.oql, kCountBug.oql,
+      "select distinct e.name from e in Employees where e.dno = $1"};
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(n_clients));
+  double total_ms = bench::TimeMs([&] {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(n_clients));
+    for (int c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto session = svc.OpenSession();
+        for (int i = 0; i < iters; ++i) {
+          const std::string& oql = mix[(c + i) % mix.size()];
+          session->Bind("1", Value::Int((c + i) % 4));
+          latencies[c].push_back(
+              bench::TimeMs([&] { svc.Execute(*session, oql); }));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  });
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    return all[static_cast<size_t>(p * (all.size() - 1))];
+  };
+  const double qps = all.size() / (total_ms / 1000.0);
+  PlanCacheStats cs = svc.cache_stats();
+  const double hit_rate =
+      cs.hits + cs.misses > 0
+          ? static_cast<double>(cs.hits) / (cs.hits + cs.misses)
+          : 0.0;
+
+  std::printf(
+      "scale %d | %zu queries in %.0f ms | %.1f q/s | p50 %.2f ms | "
+      "p99 %.2f ms | cache hit rate %.3f\n",
+      scale, all.size(), total_ms, qps, pct(0.50), pct(0.99), hit_rate);
+
+  bench::JsonRecord r;
+  r.experiment = "SERVICE";
+  r.query = "mixed (type-A, type-JA, count-bug, parameterized lookup)";
+  r.engine = "service";
+  r.scale = scale;
+  r.threads = n_clients;
+  r.rows = static_cast<long>(all.size());
+  r.ms = total_ms;
+  r.qps = qps;
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  r.cache_hit_rate = hit_rate;
+  bench::JsonReporter::Get().Add(std::move(r));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +292,13 @@ int main(int argc, char** argv) {
     RunEngineExperiment(kDeep, MakeCompany, {8000, 32000, 128000});
     RunEngineExperiment(kScan, MakeCompany, {32000, 128000, 512000});
   }
+
+  // Concurrent-service throughput (override the client count with
+  // `--clients N`; defaults to 4, capped at the usable-CPU count in quick
+  // mode so CI numbers stay honest).
+  int clients = bench::JsonReporter::Get().clients();
+  if (clients <= 0) clients = quick ? std::min(4, bench::UsableCpus()) : 4;
+  RunServiceExperiment(clients, quick);
 
   std::printf(
       "\nReading the table: 'baseline' is the naive nested-loop evaluation an\n"

@@ -12,10 +12,16 @@
 //   .profile <oql>       same, but emit the profile and trace as JSON
 //   .baseline <oql>      evaluate with the nested-loop baseline
 //   .time <oql>          compare baseline vs unnested timings
+//   .prepare <name> <oql> register a (possibly parameterized) statement
+//   .exec <name> [args]  run a prepared statement; args bind $1, $2, ...
+//   .timeout <ms>        per-query deadline for this session (0 = none)
+//   .cache [clear]       plan-cache counters / drop all cached plans
 //   .quit                exit
-//   <oql>                optimize + execute + print
+//   <oql>                execute through the query service + print
 //
-// Reads one query per line (no multi-line continuation).
+// Reads one query per line (no multi-line continuation). Ad-hoc queries and
+// prepared statements both run through a QueryService, so repeated queries
+// hit the plan cache and `.timeout` applies to everything.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +29,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/lambdadb.h"
@@ -124,6 +132,33 @@ double MsOf(const std::function<void()>& fn) {
       .count();
 }
 
+// `.exec` argument literals: "quoted" -> string, integer -> int,
+// decimal -> real, anything else -> string.
+Value ParseArgValue(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '"' && tok.back() == '"') {
+    return Value::Str(tok.substr(1, tok.size() - 2));
+  }
+  try {
+    size_t pos = 0;
+    long long i = std::stoll(tok, &pos);
+    if (pos == tok.size()) return Value::Int(i);
+  } catch (...) {
+  }
+  try {
+    size_t pos = 0;
+    double d = std::stod(tok, &pos);
+    if (pos == tok.size()) return Value::Real(d);
+  } catch (...) {
+  }
+  return Value::Str(tok);
+}
+
+void PrintQueryStats(const QueryStats& stats) {
+  std::printf("(%s plan | queue %.2f ms | compile %.2f ms | exec %.2f ms)\n",
+              stats.plan_cached ? "cached" : "compiled", stats.queue_ms,
+              stats.compile_ms, stats.exec_ms);
+}
+
 void PrintResult(const Value& v) {
   if (v.is_collection() && v.AsElems().size() > 20) {
     size_t i = 0;
@@ -146,6 +181,9 @@ int main(int argc, char** argv) {
   std::printf("oqlsh: %s database at scale %d (%zu objects). Type .help\n",
               which.c_str(), scale, db.ObjectCount());
 
+  QueryService service(db);
+  std::shared_ptr<Session> session = service.OpenSession();
+
   std::string line;
   while (std::printf("oql> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -154,7 +192,9 @@ int main(int argc, char** argv) {
       if (line == ".quit" || line == ".exit") break;
       if (line == ".help") {
         std::printf(".schema | .plan <oql> | .explain <oql> | .profile <oql> "
-                    "| .baseline <oql> | .time <oql> | .quit | <oql>\n");
+                    "| .baseline <oql> | .time <oql> | .prepare <name> <oql> "
+                    "| .exec <name> [args] | .timeout <ms> | .cache [clear] "
+                    "| .quit | <oql>\n");
       } else if (line == ".schema") {
         ShowSchema(db.schema());
       } else if (line.rfind(".plan ", 0) == 0) {
@@ -172,8 +212,51 @@ int main(int argc, char** argv) {
         double base_ms = MsOf([&] { base_result = RunOQLBaseline(db, oql); });
         std::printf("unnested: %.2f ms | baseline: %.2f ms | agree: %s\n",
                     opt_ms, base_ms, opt_result == base_result ? "yes" : "NO");
+      } else if (line.rfind(".prepare ", 0) == 0) {
+        std::istringstream in(line.substr(9));
+        std::string name;
+        in >> name;
+        std::string oql;
+        std::getline(in, oql);
+        size_t start = oql.find_first_not_of(' ');
+        if (name.empty() || start == std::string::npos) {
+          std::printf("usage: .prepare <name> <oql>\n");
+        } else {
+          service.Prepare(name, oql.substr(start));
+          std::printf("prepared '%s'\n", name.c_str());
+        }
+      } else if (line.rfind(".exec ", 0) == 0) {
+        std::istringstream in(line.substr(6));
+        std::string name;
+        in >> name;
+        session->ClearBindings();
+        std::string tok;
+        int idx = 1;
+        while (in >> tok) {
+          session->Bind(std::to_string(idx++), ParseArgValue(tok));
+        }
+        QueryStats stats;
+        PrintResult(service.ExecutePrepared(*session, name, &stats));
+        PrintQueryStats(stats);
+      } else if (line.rfind(".timeout ", 0) == 0) {
+        session->options().deadline_ms = std::atoll(line.substr(9).c_str());
+        std::printf("per-query deadline: %lld ms\n",
+                    static_cast<long long>(session->options().deadline_ms));
+      } else if (line == ".cache") {
+        PlanCacheStats cs = service.cache_stats();
+        std::printf(
+            "plan cache: %zu/%zu entries | %llu hits | %llu misses | "
+            "%llu evictions\n",
+            cs.entries, cs.capacity, static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.evictions));
+      } else if (line == ".cache clear") {
+        service.ClearCache();
+        std::printf("plan cache cleared\n");
       } else {
-        PrintResult(RunOQL(db, line));
+        QueryStats stats;
+        PrintResult(service.Execute(*session, line, &stats));
+        PrintQueryStats(stats);
       }
     } catch (const Error& e) {
       std::printf("error: %s\n", e.what());

@@ -35,6 +35,10 @@ class Catalog {
     return it == cards_.end() ? kDefaultCardinality : it->second;
   }
 
+  /// All recorded cardinalities (the plan cache folds them into its key:
+  /// stale statistics must not serve a plan chosen under different ones).
+  const std::map<std::string, double>& cards() const { return cards_; }
+
   /// Selectivity model: each equality conjunct keeps kEqSelectivity of the
   /// input, every other conjunct kOtherSelectivity.
   static constexpr double kDefaultCardinality = 1000.0;

@@ -20,6 +20,12 @@ ExprPtr Expr::Var(std::string name) {
   return e;
 }
 
+ExprPtr Expr::Param(std::string name) {
+  auto e = New(ExprKind::kParam);
+  e->name = std::move(name);
+  return e;
+}
+
 ExprPtr Expr::Lit(Value v) {
   auto e = New(ExprKind::kLiteral);
   e->literal = std::move(v);
@@ -163,6 +169,7 @@ void CollectFreeVars(const ExprPtr& e, std::set<std::string>* bound,
       return;
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return;
     case ExprKind::kRecord:
       for (const auto& [n, f] : e->fields) CollectFreeVars(f, bound, out);
@@ -209,6 +216,7 @@ ExprPtr Subst(const ExprPtr& e, const std::string& var, const ExprPtr& repl) {
       return e->name == var ? repl : e;
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return e;
     case ExprKind::kRecord: {
       std::vector<std::pair<std::string, ExprPtr>> fields;
@@ -275,6 +283,7 @@ bool ExprEqual(const ExprPtr& a, const ExprPtr& b) {
   if (a->kind != b->kind) return false;
   switch (a->kind) {
     case ExprKind::kVar:
+    case ExprKind::kParam:
       return a->name == b->name;
     case ExprKind::kLiteral:
       return a->literal == b->literal;

@@ -39,6 +39,7 @@ enum class ExprKind {
   kComp,     ///< ⊕{ e | q1, ..., qn }; no qualifiers = unit(e), e.g. {e}
   kMerge,    ///< e1 ⊕ e2
   kZero,     ///< Z⊕ (the zero element of a monoid, e.g. the empty set)
+  kParam,    ///< $name / $1 — a query parameter bound at execute time
 };
 
 enum class BinOpKind {
@@ -83,6 +84,10 @@ struct Expr {
 
   // -- factories ------------------------------------------------------------
   static ExprPtr Var(std::string name);
+  /// A query parameter placeholder ($1 / $name in OQL). Parameters are
+  /// closed terms (not free variables): they survive every rewrite pass
+  /// untouched and are resolved from the bindings at execute time.
+  static ExprPtr Param(std::string name);
   static ExprPtr Lit(Value v);
   static ExprPtr Int(int64_t i) { return Lit(Value::Int(i)); }
   static ExprPtr Real(double d) { return Lit(Value::Real(d)); }

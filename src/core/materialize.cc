@@ -36,6 +36,7 @@ ExprPtr FindPrefix(const ExprPtr& e, const Schema& schema, const TypeEnv& env,
     case ExprKind::kVar:
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return nullptr;
     case ExprKind::kProj:
       return FindPrefix(e->a, schema, env, /*under_proj=*/true);

@@ -277,6 +277,7 @@ ExprPtr PassChildren(const ExprPtr& e, bool* changed, bool pred_only) {
     case ExprKind::kVar:
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return e;
     case ExprKind::kRecord: {
       bool any = false;

@@ -184,6 +184,7 @@ ExprPtr FoldComps(const ExprPtr& e, const Optimizer& opt, const Database& db) {
     case ExprKind::kVar:
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return e;
     case ExprKind::kRecord: {
       std::vector<std::pair<std::string, ExprPtr>> fields;

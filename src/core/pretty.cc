@@ -39,6 +39,9 @@ void Print(const ExprPtr& e, std::ostringstream& os) {
     case ExprKind::kVar:
       os << e->name;
       return;
+    case ExprKind::kParam:
+      os << '$' << e->name;
+      return;
     case ExprKind::kLiteral:
       os << e->literal.ToString();
       return;
@@ -298,7 +301,13 @@ std::string ExplainAnalyze(const PhysPtr& plan, const QueryProfiler& profiler,
      << (profiler.parallel_mode.empty() ? "?" : profiler.parallel_mode)
      << " threads=" << profiler.threads_used;
   if (profiler.morsel_size > 0) os << " morsel=" << profiler.morsel_size;
-  os << " wall=" << FormatMs(static_cast<double>(profiler.wall_ns)) << ")\n";
+  os << " wall=" << FormatMs(static_cast<double>(profiler.wall_ns));
+  if (profiler.cache_hits + profiler.cache_misses > 0) {
+    os << " plan=" << (profiler.plan_cached ? "cached" : "compiled")
+       << " cache=" << profiler.cache_hits << "h/" << profiler.cache_misses
+       << "m/" << profiler.cache_evictions << "e";
+  }
+  os << ")\n";
 
   std::vector<ExplainRow> rows;
   int next_id = 0;

@@ -14,6 +14,7 @@ ExprPtr ReplaceSubterm(const ExprPtr& e, const ExprPtr& target,
     case ExprKind::kVar:
     case ExprKind::kLiteral:
     case ExprKind::kZero:
+    case ExprKind::kParam:
       return e;
     case ExprKind::kRecord: {
       std::vector<std::pair<std::string, ExprPtr>> fields;

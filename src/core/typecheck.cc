@@ -59,6 +59,11 @@ class Checker {
         }
         throw TypeError("unbound variable '" + e->name + "'");
       }
+      case ExprKind::kParam: {
+        // Parameters are dynamically typed: the binding arrives at execute
+        // time, so they check as Any (which unifies with everything).
+        return Type::Any();
+      }
       case ExprKind::kLiteral:
         return LiteralType(e->literal);
       case ExprKind::kRecord: {  // (T2)

@@ -72,6 +72,7 @@ class Unnester {
       case ExprKind::kVar:
       case ExprKind::kLiteral:
       case ExprKind::kZero:
+      case ExprKind::kParam:
         return e;
       case ExprKind::kRecord: {
         bool any = false;

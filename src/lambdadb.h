@@ -47,6 +47,9 @@
 #include "src/runtime/schema.h"
 #include "src/runtime/serialize.h"
 #include "src/runtime/value.h"
+#include "src/service/plan_cache.h"
+#include "src/service/query_service.h"
+#include "src/service/session.h"
 
 namespace ldb {
 

@@ -33,6 +33,7 @@ enum class NodeKind {
   kForAll,   ///< for all v in D: pred
   kAgg,      ///< count/sum/avg/max/min ( arg ), or exists( arg )
   kStruct,   ///< struct(A: e, ...)
+  kParam,    ///< $1 / $name placeholder bound at execute time
 };
 
 enum class OBin { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr, kAdd, kSub, kMul, kDiv, kMod };
@@ -82,6 +83,11 @@ struct Node {
   }
   static NodePtr Ident(std::string n) {
     auto node = New(NodeKind::kIdent);
+    node->name = std::move(n);
+    return node;
+  }
+  static NodePtr Param(std::string n) {
+    auto node = New(NodeKind::kParam);
     node->name = std::move(n);
     return node;
   }

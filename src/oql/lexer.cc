@@ -102,6 +102,20 @@ std::vector<Token> Lex(const std::string& input) {
       out.push_back(std::move(t));
       continue;
     }
+    if (c == '$') {
+      ++i;
+      size_t name_start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      if (i == name_start) {
+        throw ParseError("expected a parameter name after '$' at offset " +
+                         std::to_string(start));
+      }
+      push(TokKind::kParam, input.substr(name_start, i - name_start), start);
+      continue;
+    }
     // multi-char symbols
     auto two = [&](const char* s) {
       return i + 1 < n && input[i] == s[0] && input[i + 1] == s[1];

@@ -16,6 +16,7 @@ enum class TokKind {
   kReal,
   kString,
   kSymbol,  // punctuation / operator, in `text`
+  kParam,   // $1 / $name placeholder; `text` holds the name without the '$'
   kEnd,
 };
 

@@ -284,6 +284,10 @@ class Parser {
         Advance();
         return Node::Lit(Value::Str(t.text));
       }
+      case TokKind::kParam: {
+        Advance();
+        return Node::Param(t.text);
+      }
       case TokKind::kSymbol:
         if (t.text == "(") {
           Advance();

@@ -195,6 +195,8 @@ ExprPtr Trans(const NodePtr& n) {
   switch (n->kind) {
     case NodeKind::kIdent:
       return Expr::Var(n->name);
+    case NodeKind::kParam:
+      return Expr::Param(n->name);
     case NodeKind::kLiteral:
       return Expr::Lit(n->literal);
     case NodeKind::kProj:

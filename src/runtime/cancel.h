@@ -1,0 +1,75 @@
+// Cooperative cancellation for query execution.
+//
+// A CancelToken is shared between the thread that owns a query (a Session,
+// a shell, a test) and the threads executing it. The owner calls Cancel()
+// or arms a deadline; the executors poll ThrowIfCancelled() at their
+// blocking points — hash/nest build loops, buffered-join builds, root
+// reduce loops, and the morsel grab loop — and abort by throwing
+// QueryCancelled. Under morsel parallelism the throw rides the existing
+// per-morsel exception machinery: every worker is joined before the error
+// is rethrown to the caller, so cancellation never leaks a thread.
+//
+// The cancelled flag is a relaxed atomic (it is a pure flag — no data is
+// published through it), so polling costs one uncontended load. Deadline
+// polling additionally reads the steady clock, which only happens when a
+// deadline was armed.
+
+#ifndef LAMBDADB_RUNTIME_CANCEL_H_
+#define LAMBDADB_RUNTIME_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests abort. Safe from any thread, any number of times.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) a deadline `ms` milliseconds from now. Must be set
+  /// before execution starts (the executors read it without synchronization).
+  void SetDeadlineAfterMs(int64_t ms) {
+    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+    has_deadline_ = true;
+  }
+
+  /// Re-arms the token for a fresh execution: clears the cancelled flag and
+  /// any deadline. Only between executions — no thread may be polling.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+  }
+
+  /// True once Cancel() was called or the deadline passed.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The executors' polling point: throws QueryCancelled when expired.
+  void ThrowIfCancelled() const {
+    if (!Expired()) return;
+    throw QueryCancelled(cancelled_.load(std::memory_order_relaxed)
+                             ? "cancelled by caller"
+                             : "deadline exceeded");
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_RUNTIME_CANCEL_H_

@@ -1,5 +1,7 @@
 #include "src/runtime/database.h"
 
+#include <algorithm>
+
 #include "src/runtime/error.h"
 
 namespace ldb {
@@ -101,6 +103,36 @@ const std::vector<Value>& Database::IndexLookup(const std::string& extent_name,
   }
   auto hit = it->second.find(key);
   return hit == it->second.end() ? kEmpty : hit->second;
+}
+
+void Database::DeclareIndex(const std::string& extent_name,
+                            const std::string& attr) {
+  const ClassDecl* cls = schema_.FindExtent(extent_name);
+  if (cls == nullptr) throw TypeError("unknown extent '" + extent_name + "'");
+  if (!cls->AttributeType(attr)) {
+    throw TypeError("class " + cls->name + " has no attribute '" + attr + "'");
+  }
+  IndexKey key{extent_name, attr};
+  for (const IndexKey& d : declared_) {
+    if (d == key) return;
+  }
+  declared_.push_back(std::move(key));
+}
+
+std::vector<std::pair<std::string, std::string>> Database::IndexSpecs() const {
+  std::vector<IndexKey> out;
+  for (const auto& [key, index] : indexes_) out.push_back(key);
+  for (const IndexKey& d : declared_) {
+    if (indexes_.count(d) == 0) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RebuildIndexes(Database& db) {
+  for (const auto& [extent, attr] : db.IndexSpecs()) {
+    if (!db.HasIndex(extent, attr)) db.BuildIndex(extent, attr);
+  }
 }
 
 }  // namespace ldb

@@ -73,6 +73,17 @@ class Database {
                                         const std::string& attr,
                                         const Value& key) const;
 
+  /// Records that (extent, attr) should carry an index without building it.
+  /// LoadDatabase uses this for the dump's `index` records so loading stays
+  /// cheap; RebuildIndexes turns declarations into live indexes. Throws
+  /// TypeError on unknown extents or attributes.
+  void DeclareIndex(const std::string& extent_name, const std::string& attr);
+
+  /// Every (extent, attr) pair this database indexes: built ones plus
+  /// declared-but-unbuilt ones, sorted, deduplicated. Feeds DumpDatabase and
+  /// RebuildIndexes.
+  std::vector<std::pair<std::string, std::string>> IndexSpecs() const;
+
  private:
   Schema schema_;
   std::map<std::string, std::vector<Value>> objects_;  // class -> objects
@@ -81,7 +92,15 @@ class Database {
   using IndexKey = std::pair<std::string, std::string>;  // (extent, attr)
   using IndexMap = std::unordered_map<Value, std::vector<Value>, ValueHash>;
   std::map<IndexKey, IndexMap> indexes_;
+  std::vector<IndexKey> declared_;  // DeclareIndex'd, not yet built
 };
+
+/// Builds every declared-but-unbuilt index (Database::IndexSpecs). The dump
+/// format records index declarations but not their contents, so a loaded
+/// database answers HasIndex false until this runs; the query service calls
+/// it right after LoadDatabase so index-backed access paths keep firing
+/// across a serialize round-trip.
+void RebuildIndexes(Database& db);
 
 }  // namespace ldb
 

@@ -47,6 +47,17 @@ class EvalError : public Error {
   explicit EvalError(const std::string& msg) : Error("eval error: " + msg) {}
 };
 
+/// Raised when a running query is aborted cooperatively — an explicit
+/// Cancel() on its session or an expired deadline. The executors check the
+/// token at morsel boundaries and inside blocking (hash-build / nest /
+/// buffer) loops, so both engines abort deterministically with all worker
+/// threads joined and no partial result escaping.
+class QueryCancelled : public Error {
+ public:
+  explicit QueryCancelled(const std::string& msg)
+      : Error("query cancelled: " + msg) {}
+};
+
 /// Raised when an internal invariant is violated; indicates a bug in lambdadb.
 class InternalError : public Error {
  public:

@@ -11,12 +11,20 @@
 #include <utility>
 #include <vector>
 
+#include "src/runtime/cancel.h"
 #include "src/runtime/error.h"
 #include "src/runtime/profile.h"
 
 namespace ldb {
 
 namespace {
+
+// Cooperative cancellation poll (docs/SERVICE.md). Free when no token is
+// attached (one pointer test); one relaxed atomic load when attached; a
+// steady-clock read additionally only when the token armed a deadline.
+inline void PollCancel(const CancelToken* cancel) {
+  if (cancel != nullptr) cancel->ThrowIfCancelled();
+}
 
 // -- profiling helpers -------------------------------------------------------
 //
@@ -101,6 +109,7 @@ class TableScanIter : public RowIterator {
   }
   bool Next(Env* out) override {
     while (pos_ < extent_->size()) {
+      PollCancel(ev_->cancel());
       Env env;
       env.Bind(op_.var, (*extent_)[pos_++]);
       if (ev_->EvalPred(op_.pred, env)) {
@@ -261,7 +270,10 @@ class NLJoinIter : public RowIterator {
     right_->Open();
     buffer_.clear();
     Env env;
-    while (right_->Next(&env)) buffer_.push_back(env);
+    while (right_->Next(&env)) {
+      PollCancel(ev_->cancel());
+      buffer_.push_back(env);
+    }
     right_->Close();
     if (stats_) stats_->build_rows += buffer_.size();
     have_row_ = false;
@@ -329,6 +341,7 @@ class HashJoinIter : public RowIterator {
     Env env;
     size_t built = 0;
     while (build->Next(&env)) {
+      PollCancel(ev_->cancel());
       Value key = EvalKey(op_.build_keys, env);
       if (!key.is_null()) {
         table_[key].push_back(env);
@@ -422,6 +435,7 @@ class HashNestIter : public RowIterator {
     index_.clear();
     Env env;
     while (child_->Next(&env)) {
+      PollCancel(ev_->cancel());
       Elems key;
       key.reserve(op_.group_by.size());
       for (const auto& [name, expr] : op_.group_by) {
@@ -549,14 +563,18 @@ std::unique_ptr<RowIterator> MakeProfiledEnvIter(const PhysPtr& op,
 }
 
 Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
-                         QueryProfiler* prof) {
+                         const ExecOptions& options) {
+  QueryProfiler* prof = options.profiler;
   ExprEvaluator ev(db);
+  ev.SetParams(options.params);
+  ev.SetCancel(options.cancel);
   Accumulator acc(plan->monoid);
   Env env;
   if (prof == nullptr) {
     std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
     input->Open();
     while (input->Next(&env)) {
+      PollCancel(options.cancel);
       if (!ev.EvalPred(plan->pred, env)) continue;
       acc.Add(ev.Eval(plan->head, env));
       if (acc.Saturated()) break;  // the pipeline stops pulling here
@@ -575,6 +593,7 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
   ++rstats->opens;
   auto t0 = ProfClock::now();
   while (input->Next(&env)) {
+    PollCancel(options.cancel);
     ++rstats->next_calls;
     if (!ev.EvalPred(plan->pred, env)) continue;
     acc.Add(ev.Eval(plan->head, env));
@@ -653,6 +672,31 @@ const Value* EvalKeyPtr(FrameEvaluator* fev, Frame& frame,
   if (keys.size() == 1) return fev->EvalPtr(*keys[0], frame, scratch);
   *scratch = EvalKeyTuple(fev, frame, keys);
   return scratch;
+}
+
+// Writes the caller's parameter bindings into the plan's reserved slots.
+// Every parameter the plan declares must be bound (a missing binding is an
+// EvalError); extra bindings are ignored. Called once per frame — each
+// executing thread (serial, prebuild, worker, tail) owns its frame, so
+// parameters are plain slot reads afterwards.
+void FillParams(const SlotPlan& sp, const ExecOptions& opt, Frame& frame) {
+  for (const auto& [name, slot] : sp.param_slots) {
+    if (opt.params != nullptr) {
+      auto it = opt.params->find(name);
+      if (it != opt.params->end()) {
+        frame[static_cast<size_t>(slot)] = it->second;
+        continue;
+      }
+    }
+    throw EvalError("unbound parameter $" + name);
+  }
+}
+
+// Routes the caller's parameter bindings (for fallback subterms) and
+// cancellation token onto a thread's frame evaluator.
+void ArmEvaluator(FrameEvaluator* fev, const ExecOptions& opt) {
+  fev->SetParams(opt.params);
+  fev->SetCancel(opt.cancel);
 }
 
 // Folds the current frame into the group table exactly the way the serial
@@ -751,6 +795,7 @@ class FTableScanIter : public FrameIter {
   }
   bool Next() override {
     while (pos_ < end_) {
+      PollCancel(fev_->cancel());
       (*frame_)[op_.var_slot] = (*extent_)[pos_++];
       if (fev_->EvalPred(*op_.pred, *frame_)) return true;
     }
@@ -891,6 +936,7 @@ class FNLJoinIter : public FrameIter {
       own_buffer_.clear();
       right_->Open();
       while (right_->Next()) {
+        PollCancel(fev_->cancel());
         own_buffer_.push_back(
             CopySpan(*frame_, op_.right->out_lo, op_.right->out_hi));
       }
@@ -967,6 +1013,7 @@ class FHashJoinIter : public FrameIter {
       size_t built = 0;
       build->Open();
       while (build->Next()) {
+        PollCancel(fev_->cancel());
         Value key = EvalKeyTuple(fev_, *frame_, op_.build_keys);
         if (!key.is_null()) {
           own_table_[std::move(key)].push_back(
@@ -1061,7 +1108,10 @@ class FHashNestIter : public FrameIter {
     } else {
       PartialGroups pg;
       child_->Open();
-      while (child_->Next()) AccumulateNestRow(op_, fev_, *frame_, &pg);
+      while (child_->Next()) {
+        PollCancel(fev_->cancel());
+        AccumulateNestRow(op_, fev_, *frame_, &pg);
+      }
       child_->Close();
       groups_ = std::move(pg.groups);
     }
@@ -1201,9 +1251,11 @@ std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
 }
 
 Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
-                        QueryProfiler* prof) {
+                        const ExecOptions& opt, QueryProfiler* prof) {
   FrameEvaluator fev(db);
+  ArmEvaluator(&fev, opt);
   Frame frame(static_cast<size_t>(sp.n_slots));
+  FillParams(sp, opt, frame);
   FrameExecCtx ctx;
   ctx.fev = &fev;
   ctx.frame = &frame;
@@ -1214,6 +1266,7 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
     std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
     input->Open();
     while (input->Next()) {
+      PollCancel(opt.cancel);
       if (!fev.EvalPred(*sp.root->pred, frame)) continue;
       acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
       if (acc.Saturated()) break;  // the pipeline stops pulling here
@@ -1229,6 +1282,7 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
   ++rstats->opens;
   auto t0 = ProfClock::now();
   while (input->Next()) {
+    PollCancel(opt.cancel);
     ++rstats->next_calls;
     if (!fev.EvalPred(*sp.root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
@@ -1292,10 +1346,12 @@ SpineInfo AnalyzeSpine(const SlotOpPtr& root) {
 // while the workers (who only read the shared tables) record nothing for
 // them.
 void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
-                         int n_slots, SharedTables* shared,
-                         QueryProfiler* prof) {
+                         const SlotPlan& sp, const ExecOptions& opt,
+                         SharedTables* shared, QueryProfiler* prof) {
   FrameEvaluator fev(db);
-  Frame frame(static_cast<size_t>(n_slots));
+  ArmEvaluator(&fev, opt);
+  Frame frame(static_cast<size_t>(sp.n_slots));
+  FillParams(sp, opt, frame);
   for (SlotOpPtr cur = sub_root; cur;) {
     switch (cur->kind) {
       case PhysKind::kFilter:
@@ -1313,6 +1369,7 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         it->Open();
         std::vector<BufRow> buf;
         while (it->Next()) {
+          PollCancel(opt.cancel);
           buf.push_back(CopySpan(frame, cur->right->out_lo, cur->right->out_hi));
         }
         it->Close();
@@ -1336,6 +1393,7 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         JoinTable table;
         size_t built = 0;
         while (it->Next()) {
+          PollCancel(opt.cancel);
           Value key = EvalKeyTuple(&fev, frame, cur->build_keys);
           if (!key.is_null()) {
             table[std::move(key)].push_back(
@@ -1434,11 +1492,14 @@ struct WorkerPipeline {
   WorkerStats wstats;
   bool profiled = false;
 
-  WorkerPipeline(const Database& db, int n_slots, const SlotOpPtr& sub_root,
+  WorkerPipeline(const Database& db, const SlotPlan& sp,
+                 const ExecOptions& opt, const SlotOpPtr& sub_root,
                  const SharedTables& shared, int driver_id, int worker_id,
                  bool with_profiling)
-      : fev(db), frame(static_cast<size_t>(n_slots)),
+      : fev(db), frame(static_cast<size_t>(sp.n_slots)),
         profiled(with_profiling) {
+    ArmEvaluator(&fev, opt);
+    FillParams(sp, opt, frame);
     wstats.worker = worker_id;
     FrameExecCtx ctx;
     ctx.fev = &fev;
@@ -1480,7 +1541,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   const SlotOpPtr sub_root = spine.lowest_nest ? spine.lowest_nest->left
                                                : root->left;
   SharedTables shared;
-  PrebuildSpineTables(sub_root, db, sp.n_slots, &shared, uprof);
+  PrebuildSpineTables(sub_root, db, sp, opt, &shared, uprof);
 
   MorselQueue mq{extent.size(), morsel};
   const size_t n_morsels = mq.count();
@@ -1497,7 +1558,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
 
   auto make_state = [&]() {
     auto state = std::make_shared<WorkerPipeline>(
-        db, sp.n_slots, sub_root, shared, spine.driver->id,
+        db, sp, opt, sub_root, shared, spine.driver->id,
         worker_seq.fetch_add(1, std::memory_order_relaxed), profiling);
     if (profiling) {
       std::lock_guard<std::mutex> lock(states_mu);
@@ -1629,7 +1690,9 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   // The serial tail above the nest accumulates straight into the caller's
   // profiler (it runs once, exactly like the serial path).
   FrameEvaluator fev(db);
+  ArmEvaluator(&fev, opt);
   Frame frame(static_cast<size_t>(sp.n_slots));
+  FillParams(sp, opt, frame);
   FrameExecCtx ctx;
   ctx.fev = &fev;
   ctx.frame = &frame;
@@ -1642,6 +1705,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
     input->Open();
     while (input->Next()) {
+      PollCancel(opt.cancel);
       if (!fev.EvalPred(*root->pred, frame)) continue;
       acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
       if (acc.Saturated()) break;
@@ -1657,6 +1721,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   ++rstats->opens;
   auto t0 = ProfClock::now();
   while (input->Next()) {
+    PollCancel(opt.cancel);
     ++rstats->next_calls;
     if (!fev.EvalPred(*root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
@@ -1713,7 +1778,7 @@ Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
       Value out;
       if (TryExecuteParallel(plan, db, options, &out)) return out;
     }
-    return ExecuteSlotSerial(plan, db, nullptr);
+    return ExecuteSlotSerial(plan, db, options, nullptr);
   }
   auto wall0 = ProfClock::now();
   Value result;
@@ -1721,7 +1786,7 @@ Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
   if (options.n_threads > 1) {
     done = TryExecuteParallel(plan, db, options, &result);
   }
-  if (!done) result = ExecuteSlotSerial(plan, db, options.profiler);
+  if (!done) result = ExecuteSlotSerial(plan, db, options, options.profiler);
   options.profiler->wall_ns += NsSince(wall0);
   return result;
 }
@@ -1731,7 +1796,7 @@ Value ExecutePipelined(const PhysPtr& plan, const Database& db,
   LDB_INTERNAL_CHECK(plan && plan->kind == PhysKind::kReduce,
                      "pipelined execution expects a Reduce root");
   if (!options.use_slot_frames) {
-    return ExecuteEnvPipeline(plan, db, options.profiler);
+    return ExecuteEnvPipeline(plan, db, options);
   }
   return ExecuteSlotPlan(CompileSlotPlan(plan, db), db, options);
 }

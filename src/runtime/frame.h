@@ -92,6 +92,21 @@ class FrameEvaluator {
   /// next mutated.
   const Value* EvalPtr(const CExpr& e, Frame& frame, Value* scratch);
 
+  /// Routes parameter bindings to the embedded fallback interpreter (the
+  /// compiled hot path reads params from frame slots instead).
+  void SetParams(const std::map<std::string, Value>* params) {
+    fallback_.SetParams(params);
+  }
+
+  /// Cancellation token shared with the iterators built over this
+  /// evaluator; also armed on the fallback interpreter so long-running
+  /// fallback comprehensions stay cancellable.
+  void SetCancel(const CancelToken* cancel) {
+    cancel_ = cancel;
+    fallback_.SetCancel(cancel);
+  }
+  const CancelToken* cancel() const { return cancel_; }
+
   const Database& db() const { return db_; }
 
  private:
@@ -111,6 +126,7 @@ class FrameEvaluator {
 
   const Database& db_;
   ExprEvaluator fallback_;
+  const CancelToken* cancel_ = nullptr;
   std::vector<ProjCache> proj_cache_;  // indexed by CExpr::proj_id
 };
 

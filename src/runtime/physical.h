@@ -14,12 +14,15 @@
 #ifndef LAMBDADB_RUNTIME_PHYSICAL_H_
 #define LAMBDADB_RUNTIME_PHYSICAL_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/algebra.h"
 
 namespace ldb {
+
+class CancelToken;  // fwd (src/runtime/cancel.h)
 
 /// Execution options for the algebra executor.
 struct PhysicalOptions {
@@ -53,6 +56,16 @@ struct ExecOptions {
   /// and quantifier short-circuits accumulate into *profiler; under morsel
   /// parallelism each worker keeps private counters merged at pipeline end.
   QueryProfiler* profiler = nullptr;
+  /// Cooperative cancellation token (src/runtime/cancel.h). Null (the
+  /// default) disables the checks entirely. Non-null: both engines poll it
+  /// at morsel boundaries and inside hash-build/nest/buffer loops and abort
+  /// by throwing QueryCancelled with every worker thread joined.
+  const CancelToken* cancel = nullptr;
+  /// Bindings for $1/$name query parameters. Null when the plan has none;
+  /// executing a parameterized plan without its bindings is an EvalError.
+  /// The slot engine writes these into reserved frame slots before rows
+  /// flow; the Env engine resolves them through the interpreter.
+  const std::map<std::string, Value>* params = nullptr;
 };
 
 /// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`

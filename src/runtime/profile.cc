@@ -244,6 +244,10 @@ std::string ProfileToJson(const QueryProfiler& prof) {
   JsonEscape(prof.parallel_mode.empty() ? "serial" : prof.parallel_mode, os);
   os << ", \"wall_ns\": ";
   JsonDouble(prof.wall_ns, os);
+  os << ", \"plan_cached\": " << prof.plan_cached
+     << ", \"cache_hits\": " << prof.cache_hits
+     << ", \"cache_misses\": " << prof.cache_misses
+     << ", \"cache_evictions\": " << prof.cache_evictions;
   os << ", \"operators\": [";
   bool first = true;
   for (const OperatorStats* s : prof.Operators()) {
@@ -297,6 +301,14 @@ QueryProfiler ProfileFromJson(const std::string& json) {
       prof.parallel_mode = r.ParseString();
     } else if (key == "wall_ns") {
       prof.wall_ns = r.ParseNumber();
+    } else if (key == "plan_cached") {
+      prof.plan_cached = r.ParseUint();
+    } else if (key == "cache_hits") {
+      prof.cache_hits = r.ParseUint();
+    } else if (key == "cache_misses") {
+      prof.cache_misses = r.ParseUint();
+    } else if (key == "cache_evictions") {
+      prof.cache_evictions = r.ParseUint();
     } else if (key == "operators") {
       r.ExpectArrayStart();
       while (r.NextElement()) {

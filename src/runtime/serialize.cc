@@ -302,6 +302,12 @@ void DumpDatabase(const Database& db, std::ostream& os) {
       os << '\n';
     }
   }
+  // Index declarations (extent + attr are identifiers, so plain words are
+  // safe, mirroring the `class` record). Only the spec is recorded — the
+  // buckets are derivable, so RebuildIndexes reconstructs them after load.
+  for (const auto& [extent, attr] : db.IndexSpecs()) {
+    os << "index " << extent << ' ' << attr << '\n';
+  }
   os << "end\n";
 }
 
@@ -354,6 +360,12 @@ Database LoadDatabase(std::istream& is) {
       // Oids must be stable for refs serialized inside other objects.
       if (ref.AsRef().oid != i) throw ParseError("dump: oid mismatch");
     }
+    word = r.ReadWord();
+  }
+  while (word == "index") {
+    std::string extent = r.ReadWord();
+    std::string attr = r.ReadWord();
+    db.DeclareIndex(extent, attr);
     word = r.ReadWord();
   }
   if (word != "end") throw ParseError("dump: expected 'end', got '" + word + "'");

@@ -13,6 +13,7 @@
 //   ...
 //   objects <class> <count>
 //   <value>          (one per line)
+//   index <extent> <attr>
 //
 // Types serialize as: b | i | r | s | C<len>:<name> | S(<t>) | G(<t>) |
 // L(<t>) | T<n>(<len>:<name><t>...). Values as: N | B0/B1 | I<int>; |
@@ -33,9 +34,10 @@ namespace ldb {
 /// Writes the database (schema + every object, in oid order) to `os`.
 void DumpDatabase(const Database& db, std::ostream& os);
 
-/// Reads a database previously written by DumpDatabase. Indexes are not
-/// part of the dump (rebuild them after loading). Throws ParseError on
-/// malformed input.
+/// Reads a database previously written by DumpDatabase. Index contents are
+/// not part of the dump: their (extent, attr) declarations load as pending
+/// specs (Database::DeclareIndex) and RebuildIndexes materializes them.
+/// Throws ParseError on malformed input.
 Database LoadDatabase(std::istream& is);
 
 /// Convenience: round-trip through a string.

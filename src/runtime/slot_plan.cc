@@ -189,6 +189,14 @@ class Compiler {
         }
         throw EvalError("unbound variable '" + e->name + "'");
       }
+      case ExprKind::kParam: {
+        // One reserved slot per distinct parameter name; the executor fills
+        // it from the bindings before any row flows, so a parameter read is
+        // the same one vector load as a range-variable read.
+        out->kind = CExprKind::kSlot;
+        out->slot = ParamSlot(e->name);
+        return out;
+      }
       case ExprKind::kLiteral:
         out->kind = CExprKind::kLit;
         out->literal = e->literal;
@@ -256,8 +264,20 @@ class Compiler {
   }
 
   int n_slots() const { return next_scratch_; }
+  const std::vector<std::pair<std::string, int>>& param_slots() const {
+    return param_slots_;
+  }
 
  private:
+  int ParamSlot(const std::string& name) {
+    for (const auto& [n, slot] : param_slots_) {
+      if (n == name) return slot;
+    }
+    int slot = next_scratch_++;
+    param_slots_.emplace_back(name, slot);
+    return slot;
+  }
+
   CExprPtr Fallback(const ExprPtr& e, const Scope& scope) {
     auto out = std::make_shared<CExpr>();
     out->kind = CExprKind::kFallback;
@@ -276,6 +296,7 @@ class Compiler {
   int next_scratch_;
   int next_id_ = 0;
   int next_proj_id_ = 0;
+  std::vector<std::pair<std::string, int>> param_slots_;
 };
 
 void PrintSlotOp(const SlotOpPtr& op, int indent, std::ostringstream* out) {
@@ -311,6 +332,7 @@ SlotPlan CompileSlotPlan(const PhysPtr& plan, const Database& db) {
   SlotPlan out;
   out.root = c.CompileOp(plan, &scope);
   out.n_slots = c.n_slots();
+  out.param_slots = c.param_slots();
   return out;
 }
 

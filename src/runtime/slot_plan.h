@@ -68,10 +68,15 @@ struct SlotOp {
 };
 
 /// A compiled plan: the Reduce root plus the frame size (operator slots +
-/// scratch slots for compiled lambda applications).
+/// scratch slots for compiled lambda applications and query parameters).
 struct SlotPlan {
   SlotOpPtr root;
   int n_slots = 0;
+
+  /// Parameter name -> reserved frame slot. kParam expressions compile to
+  /// plain kSlot reads; executors write the session's bindings into these
+  /// slots of every frame before rows flow (ExecOptions::params).
+  std::vector<std::pair<std::string, int>> param_slots;
 };
 
 /// Compiles `plan` (Reduce-rooted, as produced by PlanPhysical) against

@@ -1,0 +1,52 @@
+#include "src/service/plan_cache.h"
+
+namespace ldb {
+
+std::shared_ptr<const PreparedPlan> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return lru_.front().second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const PreparedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  by_key_[key] = lru_.begin();
+  while (lru_.size() > capacity_ && capacity_ > 0) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.entries = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace ldb

@@ -1,0 +1,95 @@
+// LRU cache of compiled query plans (docs/SERVICE.md).
+//
+// The key is the pretty-printed *normalized* calculus plus a version stamp
+// covering the schema, catalog statistics, and plan-shaping optimizer flags.
+// Normalization is strongly normalizing and confluent on this fragment, so
+// the normal form is a canonical representative of the query: two query
+// texts that normalize to the same term are the same query and can share a
+// plan. Parameters ($1 / $name) survive normalization as opaque leaves and
+// print as `$name`, so one cached plan serves every binding.
+//
+// Cached plans are immutable and handed out as shared_ptr<const ...>: an
+// eviction never invalidates a plan that a concurrent execution still
+// holds. All counters are cache-wide totals, surfaced through the profiler
+// JSON (plan_cached / cache_hits / cache_misses / cache_evictions) and
+// `EXPLAIN ANALYZE`.
+
+#ifndef LAMBDADB_SERVICE_PLAN_CACHE_H_
+#define LAMBDADB_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/optimizer.h"
+#include "src/runtime/physical_plan.h"
+#include "src/runtime/slot_plan.h"
+
+namespace ldb {
+
+/// A fully compiled, engine-ready query. Built once per distinct normalized
+/// form and shared read-only by every execution (both engines, any number
+/// of concurrent sessions).
+struct PreparedPlan {
+  std::string cache_key;      ///< the key this plan is stored under
+  CompiledQuery compiled;     ///< calculus .. simplified algebra
+  PhysPtr physical;           ///< physical plan (Env engine entry point)
+  SlotPlan slots;             ///< slot-compiled plan (slot engine entry point)
+  bool ordered = false;       ///< top-level `order by`: sort after execution
+  std::vector<bool> descending;
+
+  /// Top level is not a comprehension (e.g. a record of aggregates): the
+  /// physical/slot fields are unset and execution routes through
+  /// Optimizer::Run on `compiled.calculus`.
+  bool fallback_run = false;
+};
+
+/// Point-in-time cache counters.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Thread-safe LRU map from cache key to PreparedPlan.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan and counts a hit (moving the entry to the
+  /// front), or nullptr and counts a miss.
+  std::shared_ptr<const PreparedPlan> Lookup(const std::string& key);
+
+  /// Inserts a freshly compiled plan, evicting the least-recently-used
+  /// entry when over capacity. Inserting an existing key refreshes it.
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedPlan> plan);
+
+  /// Drops every entry (counters are kept — they are lifetime totals).
+  void Clear();
+
+  PlanCacheStats Stats() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const PreparedPlan>>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,288 @@
+#include "src/service/query_service.h"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "src/core/normalize.h"
+#include "src/core/pretty.h"
+#include "src/lambdadb.h"
+#include "src/oql/parser.h"
+#include "src/oql/translate.h"
+#include "src/runtime/exec_pipeline.h"
+#include "src/runtime/physical_plan.h"
+#include "src/runtime/serialize.h"
+#include "src/runtime/slot_plan.h"
+
+namespace ldb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Rough byte footprint of a materialized result, for the session memory
+/// budget. Counts payload (strings, element headers, field names) rather
+/// than exact allocator overhead — the budget is a serving-side guard, not
+/// an accounting tool.
+size_t EstimateValueBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  switch (v.kind()) {
+    case Value::Kind::kStr:
+      bytes += v.AsStr().size();
+      break;
+    case Value::Kind::kTuple:
+      for (const auto& [name, field] : v.AsTuple())
+        bytes += name.size() + EstimateValueBytes(field);
+      break;
+    case Value::Kind::kSet:
+    case Value::Kind::kBag:
+    case Value::Kind::kList:
+      for (const Value& elem : v.AsElems()) bytes += EstimateValueBytes(elem);
+      break;
+    default:
+      break;  // null / bool / int / real / ref fit in the Value header
+  }
+  return bytes;
+}
+
+/// Fingerprint of everything outside the query text that shaped the plan:
+/// the schema, the catalog statistics, and the plan-shaping optimizer
+/// flags. Folded into every cache key so a plan compiled under one world
+/// never serves another.
+std::string ComputeVersionStamp(const Schema& schema,
+                                const OptimizerOptions& o) {
+  std::ostringstream os;
+  for (const auto& [name, decl] : schema.classes()) {
+    os << name << '[' << decl.extent;
+    for (const auto& [attr, type] : decl.attributes)
+      os << ' ' << attr << ':' << type->ToString();
+    os << ']';
+  }
+  for (const auto& [extent, card] : o.catalog.cards())
+    os << extent << '=' << card << ';';
+  os << "n" << o.normalize << "s" << o.simplify << "m" << o.materialize_paths
+     << "r" << o.reorder_joins << "h" << o.physical.use_hash_joins << "i"
+     << o.physical.use_indexes;
+  return std::to_string(std::hash<std::string>{}(os.str()));
+}
+
+}  // namespace
+
+/// Counting-semaphore admission with a bounded, deadline-aware wait queue.
+/// Construction blocks until a slot frees (or throws); destruction releases
+/// the slot, so a throwing execution can never leak one.
+class QueryService::AdmissionGuard {
+ public:
+  AdmissionGuard(QueryService* svc, const CancelToken& token) : svc_(svc) {
+    std::unique_lock<std::mutex> lock(svc_->admission_mu_);
+    if (svc_->running_ < svc_->options_.max_concurrent) {
+      ++svc_->running_;
+      return;
+    }
+    if (svc_->waiting_ >= svc_->options_.max_queue) {
+      throw AdmissionError(
+          std::to_string(svc_->options_.max_concurrent) +
+          " queries running and the wait queue of " +
+          std::to_string(svc_->options_.max_queue) + " is full");
+    }
+    ++svc_->waiting_;
+    while (svc_->running_ >= svc_->options_.max_concurrent) {
+      svc_->admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      if (token.Expired()) {
+        --svc_->waiting_;
+        token.ThrowIfCancelled();
+      }
+    }
+    --svc_->waiting_;
+    ++svc_->running_;
+  }
+
+  ~AdmissionGuard() {
+    std::lock_guard<std::mutex> lock(svc_->admission_mu_);
+    --svc_->running_;
+    svc_->admission_cv_.notify_one();
+  }
+
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+
+ private:
+  QueryService* svc_;
+};
+
+QueryService::QueryService(const Database& db, ServiceOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      cache_(options_.plan_cache_capacity) {
+  if (options_.max_concurrent < 1) options_.max_concurrent = 1;
+  version_stamp_ = ComputeVersionStamp(db_.schema(), options_.optimizer);
+}
+
+Database QueryService::LoadWithIndexes(std::istream& in) {
+  Database db = LoadDatabase(in);
+  RebuildIndexes(db);
+  return db;
+}
+
+std::shared_ptr<Session> QueryService::OpenSession(SessionOptions options) {
+  return std::make_shared<Session>(std::move(options));
+}
+
+void QueryService::Prepare(const std::string& name, const std::string& oql) {
+  oql::Parse(oql);  // surface syntax errors at prepare time
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  prepared_[name] = oql;
+}
+
+bool QueryService::HasPrepared(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  return prepared_.count(name) > 0;
+}
+
+Value QueryService::ExecutePrepared(Session& session, const std::string& name,
+                                    QueryStats* stats,
+                                    QueryProfiler* profiler) {
+  std::string oql;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end())
+      throw EvalError("unknown prepared statement '" + name + "'");
+    oql = it->second;
+  }
+  return Run(session, oql, stats, profiler);
+}
+
+Value QueryService::Execute(Session& session, const std::string& oql,
+                            QueryStats* stats, QueryProfiler* profiler) {
+  return Run(session, oql, stats, profiler);
+}
+
+int QueryService::running() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return running_;
+}
+
+std::shared_ptr<const PreparedPlan> QueryService::GetOrCompile(
+    const std::string& oql, bool* cached) {
+  oql::OrderedQuery q = oql::TranslateWithOrdering(oql::Parse(oql));
+  // Normalization is strongly normalizing, so the printed normal form is a
+  // canonical name for the query; two texts with the same normal form share
+  // one cache entry (docs/SERVICE.md).
+  ExprPtr normalized =
+      options_.optimizer.normalize ? Normalize(q.comp) : q.comp;
+  std::string key = PrintExpr(normalized);
+  key += "\n@";
+  key += version_stamp_;
+  if (q.ordered) {
+    // The ordering direction lives outside the calculus term, so it must be
+    // part of the key: `order by x asc` and `order by x desc` wrap to the
+    // same comprehension.
+    key += "|ord:";
+    for (bool desc : q.descending) key += desc ? 'd' : 'a';
+  }
+
+  if (auto hit = cache_.Lookup(key)) {
+    *cached = true;
+    return hit;
+  }
+  *cached = false;
+
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->cache_key = key;
+  plan->ordered = q.ordered;
+  plan->descending = q.descending;
+  Optimizer opt(db_.schema(), options_.optimizer);
+  try {
+    plan->compiled = opt.Compile(q.comp);
+    plan->physical =
+        PlanPhysical(plan->compiled.simplified, db_, options_.optimizer.physical);
+    plan->slots = CompileSlotPlan(plan->physical, db_);
+  } catch (const UnsupportedError&) {
+    // Top level is not a comprehension (a record of aggregates, a union of
+    // queries, ...): execution routes through Optimizer::Run, which folds
+    // the maximal comprehension subterms.
+    plan->fallback_run = true;
+    plan->compiled = CompiledQuery{};
+    plan->compiled.calculus = q.comp;
+    plan->compiled.normalized = normalized;
+    plan->physical = nullptr;
+  }
+  cache_.Insert(key, plan);
+  return plan;
+}
+
+Value QueryService::Run(Session& session, const std::string& oql,
+                        QueryStats* stats, QueryProfiler* profiler) {
+  CancelToken& token = session.token();
+  token.Reset();
+  if (session.options().deadline_ms > 0)
+    token.SetDeadlineAfterMs(session.options().deadline_ms);
+
+  Clock::time_point t0 = Clock::now();
+  AdmissionGuard guard(this, token);
+  Clock::time_point t1 = Clock::now();
+
+  bool cached = false;
+  std::shared_ptr<const PreparedPlan> plan = GetOrCompile(oql, &cached);
+  Clock::time_point t2 = Clock::now();
+
+  ExecOptions eo;
+  eo.n_threads = session.options().n_threads;
+  eo.morsel_size = session.options().morsel_size;
+  eo.use_slot_frames = session.options().use_slot_frames;
+  eo.profiler = profiler;
+  eo.cancel = &token;
+  eo.params = &session.bindings();
+
+  Value result;
+  if (plan->fallback_run) {
+    OptimizerOptions oo = options_.optimizer;
+    oo.exec = eo;
+    Optimizer opt(db_.schema(), oo);
+    result = opt.Run(plan->compiled.calculus, db_);
+  } else if (eo.use_slot_frames) {
+    // The cached SlotPlan is immutable and executes with per-call frames,
+    // so sharing it across concurrent sessions is safe — and skipping
+    // CompileSlotPlan here is most of what a cache hit buys.
+    result = ExecuteSlotPlan(plan->slots, db_, eo);
+  } else {
+    result = ExecutePipelined(plan->physical, db_, eo);
+  }
+  if (plan->ordered)
+    result = internal::SortOrderedResult(result, plan->descending);
+  Clock::time_point t3 = Clock::now();
+
+  if (session.options().memory_budget_bytes > 0) {
+    size_t estimate = EstimateValueBytes(result);
+    if (estimate > session.options().memory_budget_bytes) {
+      throw EvalError("result (~" + std::to_string(estimate) +
+                      " bytes) exceeds the session memory budget of " +
+                      std::to_string(session.options().memory_budget_bytes) +
+                      " bytes");
+    }
+  }
+
+  PlanCacheStats cs = cache_.Stats();
+  if (profiler != nullptr) {
+    profiler->plan_cached = cached ? 1 : 0;
+    profiler->cache_hits = cs.hits;
+    profiler->cache_misses = cs.misses;
+    profiler->cache_evictions = cs.evictions;
+  }
+  if (stats != nullptr) {
+    stats->plan_cached = cached;
+    stats->queue_ms = MsBetween(t0, t1);
+    stats->compile_ms = MsBetween(t1, t2);
+    stats->exec_ms = MsBetween(t2, t3);
+    stats->cache = cs;
+  }
+  return result;
+}
+
+}  // namespace ldb

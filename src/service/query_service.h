@@ -1,0 +1,139 @@
+// QueryService: a concurrent query front end over one shared immutable
+// Database (docs/SERVICE.md).
+//
+// The service owns the three serving concerns the compiler and executors
+// deliberately do not:
+//
+//   * a parameterized plan cache — queries are compiled once per distinct
+//     normalized calculus form and the compiled plan (physical + slot) is
+//     reused across bindings and sessions;
+//   * sessions — per-client bindings, deadline, memory budget, and the
+//     CancelToken both engines poll;
+//   * admission — at most `max_concurrent` queries execute at once; up to
+//     `max_queue` more wait on a condition variable (deadline-aware), and
+//     anything beyond that is rejected with AdmissionError.
+//
+// The Database is shared read-only: every execution builds its own iterator
+// tree / frames, so any number of sessions may run against it concurrently.
+
+#ifndef LAMBDADB_SERVICE_QUERY_SERVICE_H_
+#define LAMBDADB_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/core/optimizer.h"
+#include "src/runtime/database.h"
+#include "src/runtime/error.h"
+#include "src/runtime/profile.h"
+#include "src/service/plan_cache.h"
+#include "src/service/session.h"
+
+namespace ldb {
+
+/// Raised when a query cannot even be queued: `max_concurrent` queries are
+/// running and `max_queue` more are already waiting.
+class AdmissionError : public Error {
+ public:
+  explicit AdmissionError(const std::string& msg)
+      : Error("admission rejected: " + msg) {}
+};
+
+struct ServiceOptions {
+  /// Queries executing at once; further arrivals wait.
+  int max_concurrent = 4;
+  /// Waiters allowed beyond the running set; further arrivals get
+  /// AdmissionError immediately.
+  size_t max_queue = 16;
+  /// Plan-cache capacity in entries (LRU beyond that).
+  size_t plan_cache_capacity = 64;
+  /// Compile-side knobs (normalize/simplify/physical selection/catalog).
+  /// The exec member is ignored — execution knobs come from each session.
+  OptimizerOptions optimizer;
+};
+
+/// Per-query service-level timings and cache outcome. Complements the
+/// per-operator QueryProfiler (which the service also fills with the cache
+/// counters, so they reach the profile JSON and EXPLAIN ANALYZE).
+struct QueryStats {
+  bool plan_cached = false;  ///< plan came from the cache (no compile)
+  double queue_ms = 0;       ///< time spent waiting for admission
+  double compile_ms = 0;     ///< parse + key build (+ compile on a miss)
+  double exec_ms = 0;        ///< execution proper (incl. ordered-sort)
+  PlanCacheStats cache;      ///< cache-wide counters after this query
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const Database& db, ServiceOptions options = {});
+
+  /// Loads a database dump and rebuilds every index declared in it, so
+  /// index-backed access paths survive a dump/load round trip (plain
+  /// LoadDatabase only records the declarations).
+  static Database LoadWithIndexes(std::istream& in);
+
+  /// Creates an execution context. Sessions are independent; one session
+  /// runs one query at a time (calls on the same session must not overlap,
+  /// except Cancel(), which is safe from any thread).
+  std::shared_ptr<Session> OpenSession(SessionOptions options = {});
+
+  /// Registers `oql` under `name` for ExecutePrepared. Parses eagerly (so
+  /// syntax errors surface here); compilation happens on first execution
+  /// and is shared through the plan cache. Re-preparing a name replaces it.
+  void Prepare(const std::string& name, const std::string& oql);
+  bool HasPrepared(const std::string& name) const;
+
+  /// Executes a previously Prepare()d statement with the session's current
+  /// bindings. Throws EvalError for an unknown name.
+  Value ExecutePrepared(Session& session, const std::string& name,
+                        QueryStats* stats = nullptr,
+                        QueryProfiler* profiler = nullptr);
+
+  /// One-shot: admission -> plan cache (compile on miss) -> execute on the
+  /// session's engine with its bindings/deadline/cancel token.
+  Value Execute(Session& session, const std::string& oql,
+                QueryStats* stats = nullptr,
+                QueryProfiler* profiler = nullptr);
+
+  PlanCacheStats cache_stats() const { return cache_.Stats(); }
+  void ClearCache() { cache_.Clear(); }
+
+  const Database& db() const { return db_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Queries currently executing (not queued); for tests and monitoring.
+  int running() const;
+
+ private:
+  class AdmissionGuard;
+
+  /// Cache lookup by normalized-form key; compiles and inserts on a miss.
+  /// Sets *cached to whether the lookup hit.
+  std::shared_ptr<const PreparedPlan> GetOrCompile(const std::string& oql,
+                                                   bool* cached);
+
+  /// Admission + engine dispatch + ordered-sort + budget check.
+  Value Run(Session& session, const std::string& oql, QueryStats* stats,
+            QueryProfiler* profiler);
+
+  const Database& db_;
+  ServiceOptions options_;
+  std::string version_stamp_;  ///< schema/catalog/flags fingerprint
+  mutable PlanCache cache_;
+
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int running_ = 0;
+  size_t waiting_ = 0;
+
+  mutable std::mutex prepared_mu_;
+  std::map<std::string, std::string> prepared_;  ///< name -> OQL text
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_SERVICE_QUERY_SERVICE_H_

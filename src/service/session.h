@@ -1,0 +1,70 @@
+// A Session is one client's execution context against a QueryService: its
+// parameter bindings, per-query deadline, result-memory budget, engine
+// knobs, and the CancelToken the executors poll (docs/SERVICE.md).
+//
+// A session runs one query at a time (calls on the same session must not
+// overlap); Cancel() may be called from any other thread and aborts the
+// in-flight query at its first polling point. The token is re-armed
+// (Reset + deadline) at every execution start, so a deadline applies per
+// query, not per session lifetime — and a Cancel() landing between queries
+// is cleared when the next one starts.
+
+#ifndef LAMBDADB_SERVICE_SESSION_H_
+#define LAMBDADB_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/runtime/cancel.h"
+#include "src/runtime/value.h"
+
+namespace ldb {
+
+struct SessionOptions {
+  /// Per-query deadline in milliseconds; 0 = none. Armed on the session's
+  /// CancelToken when each execution starts, so queueing time counts.
+  int64_t deadline_ms = 0;
+  /// Cap on the (estimated) byte footprint of a query's materialized
+  /// result; 0 = unlimited. The service measures the result after the fold
+  /// and fails the query rather than hand the row set to the client — a
+  /// serving-side guard against one session buffering the database.
+  size_t memory_budget_bytes = 0;
+  /// Engine knobs, forwarded into ExecOptions per query.
+  int n_threads = 1;
+  size_t morsel_size = 2048;
+  bool use_slot_frames = true;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options) : options_(std::move(options)) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Binds parameter `$name` (positional `$1` binds name "1"). Rebinding
+  /// replaces; bindings persist across executions until cleared.
+  void Bind(const std::string& name, Value v) {
+    bindings_[name] = std::move(v);
+  }
+  void ClearBindings() { bindings_.clear(); }
+  const std::map<std::string, Value>& bindings() const { return bindings_; }
+
+  /// Aborts the in-flight query at its first polling point. Safe from any
+  /// thread.
+  void Cancel() { token_.Cancel(); }
+
+  CancelToken& token() { return token_; }
+  const SessionOptions& options() const { return options_; }
+  SessionOptions& options() { return options_; }
+
+ private:
+  SessionOptions options_;
+  std::map<std::string, Value> bindings_;
+  CancelToken token_;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_SERVICE_SESSION_H_

@@ -1,0 +1,455 @@
+// Query service tests: parameterized prepared statements, the plan cache
+// (hits, eviction, key soundness), cooperative cancellation under both
+// engines serial and morsel-parallel, admission control, memory budgets,
+// and index rebuild on load (docs/SERVICE.md).
+
+#include "src/service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/lambdadb.h"
+#include "src/workload/oo7.h"
+#include "tests/test_util.h"
+
+namespace ldb {
+namespace {
+
+// A hash-join query: equality predicate across the join, so the build side
+// (all of AtomicParts) goes through the hash-build loop the cancellation
+// tests target.
+const char* kHashJoinQuery =
+    "select distinct struct(A: a.id, B: b.id) "
+    "from a in AtomicParts, b in AtomicParts "
+    "where a.build_date = b.build_date and a.id < b.id";
+
+// A nesting query: the correlated subquery unnests to an outer hash join
+// feeding a nest operator, exercising the nest drain loop.
+const char* kNestQuery =
+    "select distinct struct(D: b.id, P: (select p.id from p in AtomicParts "
+    "where p.build_date = b.build_date)) "
+    "from b in BaseAssemblies";
+
+// A nested-loop self join (no equality conjunct): quadratic in AtomicParts,
+// so it reliably outlives any cancel/deadline the tests throw at it.
+const char* kSlowQuery =
+    "count(select struct(A: a.id, B: b.id) "
+    "from a in AtomicParts, b in AtomicParts where a.x < b.y)";
+
+Database LargeOO7() {
+  workload::OO7Params p;
+  p.n_composite_parts = 250;
+  p.parts_per_composite = 20;  // 5000 atomic parts
+  return workload::MakeOO7Database(p);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  Database db_ = workload::MakeOO7Database({});
+};
+
+// ---------------------------------------------------------------- parameters
+
+TEST_F(ServiceTest, PositionalParameterBindsAndRebinds) {
+  QueryService svc(db_);
+  svc.Prepare("by_id",
+              "select distinct p.x from p in AtomicParts where p.id = $1");
+  auto session = svc.OpenSession();
+
+  session->Bind("1", Value::Int(7));
+  Value r7 = svc.ExecutePrepared(*session, "by_id");
+  EXPECT_EQ(r7, RunOQL(db_,
+                       "select distinct p.x from p in AtomicParts "
+                       "where p.id = 7"));
+
+  session->Bind("1", Value::Int(13));
+  Value r13 = svc.ExecutePrepared(*session, "by_id");
+  EXPECT_EQ(r13, RunOQL(db_,
+                        "select distinct p.x from p in AtomicParts "
+                        "where p.id = 13"));
+  EXPECT_NE(r7, r13);
+}
+
+TEST_F(ServiceTest, NamedParameter) {
+  QueryService svc(db_);
+  auto session = svc.OpenSession();
+  session->Bind("cutoff", Value::Int(1500));
+  Value r = svc.Execute(*session,
+                        "count(select p from p in AtomicParts "
+                        "where p.build_date < $cutoff)");
+  EXPECT_EQ(r, RunOQL(db_,
+                      "count(select p from p in AtomicParts "
+                      "where p.build_date < 1500)"));
+}
+
+TEST_F(ServiceTest, ParameterWorksUnderEnvEngine) {
+  QueryService svc(db_);
+  SessionOptions so;
+  so.use_slot_frames = false;
+  auto session = svc.OpenSession(so);
+  session->Bind("1", Value::Int(7));
+  Value r = svc.Execute(
+      *session, "select distinct p.x from p in AtomicParts where p.id = $1");
+  EXPECT_EQ(r, RunOQL(db_,
+                      "select distinct p.x from p in AtomicParts "
+                      "where p.id = 7"));
+}
+
+TEST_F(ServiceTest, UnboundParameterIsEvalError) {
+  QueryService svc(db_);
+  auto session = svc.OpenSession();
+  EXPECT_THROW(
+      svc.Execute(*session,
+                  "select p.x from p in AtomicParts where p.id = $1"),
+      EvalError);
+}
+
+// ---------------------------------------------------------------- plan cache
+
+TEST_F(ServiceTest, SecondExecutionHitsCacheWithIdenticalResult) {
+  QueryService svc(db_);
+  auto session = svc.OpenSession();
+
+  QueryStats s1, s2;
+  QueryProfiler p1, p2;
+  Value r1 = svc.Execute(*session, kHashJoinQuery, &s1, &p1);
+  Value r2 = svc.Execute(*session, kHashJoinQuery, &s2, &p2);
+
+  EXPECT_FALSE(s1.plan_cached);
+  EXPECT_TRUE(s2.plan_cached);
+  EXPECT_GE(s2.cache.hits, 1u);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, RunOQL(db_, kHashJoinQuery));
+
+  // The cache outcome reaches the profile JSON.
+  EXPECT_EQ(p1.plan_cached, 0u);
+  EXPECT_EQ(p2.plan_cached, 1u);
+  std::string json = ProfileToJson(p2);
+  EXPECT_NE(json.find("\"plan_cached\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits\": "), std::string::npos) << json;
+}
+
+TEST_F(ServiceTest, CachedPlanIdenticalUnderBothEngines) {
+  QueryService svc(db_);
+  auto slot = svc.OpenSession();
+  SessionOptions env_opts;
+  env_opts.use_slot_frames = false;
+  auto env = svc.OpenSession(env_opts);
+
+  // One compiled plan (same cache key) serves both engines.
+  QueryStats s1, s2;
+  Value via_slot = svc.Execute(*slot, kNestQuery, &s1);
+  Value via_env = svc.Execute(*env, kNestQuery, &s2);
+  EXPECT_FALSE(s1.plan_cached);
+  EXPECT_TRUE(s2.plan_cached);
+  EXPECT_EQ(via_slot, via_env);
+  EXPECT_EQ(via_slot, RunOQL(db_, kNestQuery));
+}
+
+TEST_F(ServiceTest, PreparedStatementSecondExecutionHitsCache) {
+  QueryService svc(db_);
+  svc.Prepare("q", kNestQuery);
+  EXPECT_TRUE(svc.HasPrepared("q"));
+  EXPECT_FALSE(svc.HasPrepared("nope"));
+  auto session = svc.OpenSession();
+
+  QueryStats s1, s2;
+  Value r1 = svc.ExecutePrepared(*session, "q", &s1);
+  Value r2 = svc.ExecutePrepared(*session, "q", &s2);
+  EXPECT_FALSE(s1.plan_cached);
+  EXPECT_TRUE(s2.plan_cached);
+  EXPECT_EQ(r1, r2);
+
+  EXPECT_THROW(svc.ExecutePrepared(*session, "nope"), EvalError);
+}
+
+TEST_F(ServiceTest, OrderDirectionIsPartOfTheCacheKey) {
+  QueryService svc(db_);
+  auto session = svc.OpenSession();
+
+  QueryStats s_asc, s_desc;
+  Value asc = svc.Execute(
+      *session, "select b.id from b in BaseAssemblies order by b.id", &s_asc);
+  Value desc = svc.Execute(
+      *session, "select b.id from b in BaseAssemblies order by b.id desc",
+      &s_desc);
+
+  // Same wrapped comprehension, different direction: must NOT share a plan.
+  EXPECT_FALSE(s_asc.plan_cached);
+  EXPECT_FALSE(s_desc.plan_cached);
+  Elems up = asc.AsElems();
+  Elems down = desc.AsElems();
+  ASSERT_EQ(up.size(), down.size());
+  for (size_t i = 0; i < up.size(); ++i) {
+    EXPECT_EQ(up[i], down[down.size() - 1 - i]);
+  }
+}
+
+TEST_F(ServiceTest, LruEvictionAndClear) {
+  ServiceOptions opts;
+  opts.plan_cache_capacity = 2;
+  QueryService svc(db_, opts);
+  auto session = svc.OpenSession();
+
+  svc.Execute(*session, "count(select p from p in AtomicParts)");
+  svc.Execute(*session, "count(select b from b in BaseAssemblies)");
+  svc.Execute(*session, "count(select c from c in CompositeParts)");
+  PlanCacheStats cs = svc.cache_stats();
+  EXPECT_EQ(cs.entries, 2u);
+  EXPECT_GE(cs.evictions, 1u);
+
+  svc.ClearCache();
+  cs = svc.cache_stats();
+  EXPECT_EQ(cs.entries, 0u);
+  EXPECT_GE(cs.misses, 3u);  // counters are lifetime totals
+}
+
+// -------------------------------------------------------------- cancellation
+
+TEST_F(ServiceTest, DeadlineAbortsHashBuildSerialAndParallel) {
+  Database big = LargeOO7();
+  QueryService svc(big);
+  for (int threads : {1, 2, 4}) {
+    SessionOptions so;
+    so.deadline_ms = 1;
+    so.n_threads = threads;
+    auto session = svc.OpenSession(so);
+    EXPECT_THROW(svc.Execute(*session, kHashJoinQuery), QueryCancelled)
+        << "threads=" << threads;
+
+    // Clean abort: the session (and service) stay usable — the deadline is
+    // re-armed per query, workers are joined, no partial state leaks.
+    session->options().deadline_ms = 0;
+    Value ok = svc.Execute(*session,
+                           "count(select b from b in BaseAssemblies)");
+    EXPECT_EQ(ok.AsInt(), 10);
+  }
+}
+
+TEST_F(ServiceTest, DeadlineAbortsNestSerialAndParallel) {
+  Database big = LargeOO7();
+  QueryService svc(big);
+  for (int threads : {1, 2, 4}) {
+    SessionOptions so;
+    so.deadline_ms = 1;
+    so.n_threads = threads;
+    auto session = svc.OpenSession(so);
+    try {
+      svc.Execute(*session, kNestQuery);
+      FAIL() << "expected QueryCancelled at threads=" << threads;
+    } catch (const QueryCancelled& e) {
+      EXPECT_NE(std::string(e.what()).find("deadline exceeded"),
+                std::string::npos);
+    }
+    // Full (undeadlined) execution still produces the correct result.
+    session->options().deadline_ms = 0;
+    EXPECT_EQ(svc.Execute(*session, kNestQuery), RunOQL(big, kNestQuery));
+  }
+}
+
+TEST_F(ServiceTest, DeadlineAbortsEnvEngine) {
+  Database big = LargeOO7();
+  QueryService svc(big);
+  SessionOptions so;
+  so.deadline_ms = 1;
+  so.use_slot_frames = false;
+  auto session = svc.OpenSession(so);
+  EXPECT_THROW(svc.Execute(*session, kHashJoinQuery), QueryCancelled);
+}
+
+TEST_F(ServiceTest, ExplicitCancelFromAnotherThread) {
+  Database big = LargeOO7();
+  QueryService svc(big);
+  for (int threads : {1, 2, 4}) {
+    SessionOptions so;
+    so.n_threads = threads;
+    auto session = svc.OpenSession(so);
+    std::atomic<bool> cancelled{false};
+    std::string error;
+    std::thread runner([&] {
+      try {
+        svc.Execute(*session, kSlowQuery);  // quadratic; cannot finish first
+      } catch (const QueryCancelled& e) {
+        cancelled = true;
+        error = e.what();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    session->Cancel();
+    runner.join();
+    EXPECT_TRUE(cancelled) << "threads=" << threads;
+    EXPECT_NE(error.find("cancelled by caller"), std::string::npos) << error;
+    EXPECT_EQ(svc.running(), 0);
+  }
+}
+
+// ----------------------------------------------------------------- admission
+
+TEST_F(ServiceTest, OverAdmissionIsRejectedThenSlotFrees) {
+  Database big = LargeOO7();
+  ServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 0;
+  QueryService svc(big, opts);
+
+  auto holder = svc.OpenSession();
+  std::thread runner([&] {
+    try {
+      svc.Execute(*holder, kSlowQuery);
+    } catch (const QueryCancelled&) {
+    }
+  });
+  while (svc.running() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto other = svc.OpenSession();
+  EXPECT_THROW(
+      svc.Execute(*other, "count(select b from b in BaseAssemblies)"),
+      AdmissionError);
+
+  holder->Cancel();
+  runner.join();
+  EXPECT_EQ(svc.running(), 0);
+  // The slot is free again.
+  EXPECT_EQ(
+      svc.Execute(*other, "count(select b from b in BaseAssemblies)").AsInt(),
+      10);
+}
+
+TEST_F(ServiceTest, QueuedQueryRunsOnceSlotFrees) {
+  Database big = LargeOO7();
+  ServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 2;
+  QueryService svc(big, opts);
+
+  auto holder = svc.OpenSession();
+  std::thread runner([&] {
+    try {
+      svc.Execute(*holder, kSlowQuery);
+    } catch (const QueryCancelled&) {
+    }
+  });
+  while (svc.running() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto waiter = svc.OpenSession();
+  std::atomic<bool> done{false};
+  Value result;
+  std::thread queued([&] {
+    result = svc.Execute(*waiter, "count(select b from b in BaseAssemblies)");
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done);  // still waiting behind the held slot
+
+  holder->Cancel();
+  runner.join();
+  queued.join();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.AsInt(), 10);
+}
+
+TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
+  Database big = LargeOO7();
+  ServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 2;
+  QueryService svc(big, opts);
+
+  auto holder = svc.OpenSession();
+  std::thread runner([&] {
+    try {
+      svc.Execute(*holder, kSlowQuery);
+    } catch (const QueryCancelled&) {
+    }
+  });
+  while (svc.running() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  SessionOptions so;
+  so.deadline_ms = 30;  // expires in the admission queue
+  auto waiter = svc.OpenSession(so);
+  EXPECT_THROW(
+      svc.Execute(*waiter, "count(select b from b in BaseAssemblies)"),
+      QueryCancelled);
+
+  holder->Cancel();
+  runner.join();
+}
+
+// ------------------------------------------------------------ memory budget
+
+TEST_F(ServiceTest, MemoryBudgetRejectsOversizedResult) {
+  QueryService svc(db_);
+  SessionOptions so;
+  so.memory_budget_bytes = 64;  // far below 1000 atomic parts
+  auto session = svc.OpenSession(so);
+  EXPECT_THROW(svc.Execute(*session, "select p.id from p in AtomicParts"),
+               EvalError);
+
+  session->options().memory_budget_bytes = 0;
+  EXPECT_EQ(svc.Execute(*session, "count(select p from p in AtomicParts)")
+                .AsInt(),
+            1000);
+}
+
+// -------------------------------------------------- index rebuild on load
+
+TEST_F(ServiceTest, LoadWithIndexesRestoresAccessPaths) {
+  Database db = testing::TinyCompany();
+  db.BuildIndex("Employees", "dno");
+
+  std::stringstream dump;
+  DumpDatabase(db, dump);
+  Database loaded = QueryService::LoadWithIndexes(dump);
+
+  // Plain LoadDatabase leaves the declaration pending; the service factory
+  // rebuilds it.
+  EXPECT_TRUE(loaded.HasIndex("Employees", "dno"));
+
+  // The physical planner picks the index-backed access path again ...
+  Optimizer opt(loaded.schema());
+  CompiledQuery q = opt.Compile(
+      ParseOQL("select distinct e.name from e in Employees where e.dno = 1"));
+  std::string explained = ExplainPhysical(q.simplified, {}, &loaded);
+  EXPECT_NE(explained.find("IndexScan[e <- Employees.dno = 1]"),
+            std::string::npos)
+      << explained;
+
+  // ... and queries through the service agree with the original database.
+  QueryService svc(loaded);
+  auto session = svc.OpenSession();
+  EXPECT_EQ(svc.Execute(*session,
+                        "select distinct e.name from e in Employees "
+                        "where e.dno = 1"),
+            Value::Set({Value::Str("Cal"), Value::Str("Dee")}));
+}
+
+// ------------------------------------------------------- fallback execution
+
+TEST_F(ServiceTest, NonComprehensionTopLevelFallsBackToRun) {
+  QueryService svc(db_);
+  auto session = svc.OpenSession();
+  // A record of aggregates is not comprehension-rooted; the service routes
+  // it through Optimizer::Run (and still caches the decision).
+  const char* q =
+      "struct(N: count(select p from p in AtomicParts), "
+      "B: count(select b from b in BaseAssemblies))";
+  QueryStats s1, s2;
+  Value r1 = svc.Execute(*session, q, &s1);
+  Value r2 = svc.Execute(*session, q, &s2);
+  EXPECT_TRUE(s2.plan_cached);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, RunOQL(db_, q));
+}
+
+}  // namespace
+}  // namespace ldb
