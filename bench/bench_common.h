@@ -58,6 +58,29 @@ inline StrategyTimes RunStrategies(const Database& db, const std::string& oql) {
   return t;
 }
 
+/// Wall time of one full static-verifier pass over `oql` (docs/VERIFIER.md):
+/// every calculus and algebra layer plus the slot-plan dataflow check. The
+/// query compiles with `verify_plans` off so the number isolates the
+/// verifier itself instead of folding it into compile time; each report
+/// carries its own internally measured duration and they are summed here.
+inline double VerifyMs(const Database& db, const std::string& oql) {
+  OptimizerOptions options;
+  options.verify_plans = false;
+  Optimizer opt(db.schema(), options);
+  CompiledQuery q = opt.Compile(ParseOQL(oql));
+  std::vector<VerifyReport> reports = VerifyCompiledQuery(q, db.schema());
+  reports.push_back(
+      VerifySlotPlan(CompileSlotPlan(PlanPhysical(q.simplified, db), db)));
+  double ms = 0;
+  for (const VerifyReport& r : reports) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "verify FAILED: %s\n", r.ToString().c_str());
+    }
+    ms += r.ms;
+  }
+  return ms;
+}
+
 /// The current git commit id, or "unknown" outside a work tree — recorded in
 /// the JSON header so archived reports are attributable to a revision.
 inline std::string GitCommitId() {
@@ -128,6 +151,9 @@ struct JsonRecord {
   double p50_ms = 0;          ///< median per-query latency
   double p99_ms = 0;          ///< 99th-percentile per-query latency
   double cache_hit_rate = 0;  ///< plan-cache hits / (hits + misses)
+
+  /// Static-verifier wall time for this query (--verify); < 0 = not measured.
+  double verify_ms = -1;
 };
 
 /// Collects JsonRecords and writes them as a single JSON document when the
@@ -152,6 +178,8 @@ class JsonReporter {
         path_ = argv[++i];
       } else if (std::string(argv[i]) == "--quick") {
         quick_ = true;
+      } else if (std::string(argv[i]) == "--verify") {
+        verify_ = true;
       } else if (std::string(argv[i]) == "--clients") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "--clients requires a count argument\n");
@@ -165,7 +193,7 @@ class JsonReporter {
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' (supported: --json <path>, "
-                     "--quick, --clients <n>)\n",
+                     "--quick, --verify, --clients <n>)\n",
                      argv[i]);
         return false;
       }
@@ -178,6 +206,10 @@ class JsonReporter {
   /// `--quick`: benchmarks should use their smallest scales (CI schema
   /// checks, not performance numbers).
   bool quick() const { return quick_; }
+
+  /// `--verify`: run the static verifier over each benchmarked query and
+  /// report its wall time (`verify_ms`) alongside the execution numbers.
+  bool verify() const { return verify_; }
 
   /// `--clients <n>`: concurrent client count for the query-service
   /// experiment (bench_unnesting); 0 = flag not given, use the default.
@@ -214,6 +246,7 @@ class JsonReporter {
           << "\"ms\": " << r.ms << ", "
           << "\"ns_per_op\": " << r.ms * 1e6 << ", "
           << "\"agree\": " << (r.agree ? "true" : "false");
+      if (r.verify_ms >= 0) out << ", \"verify_ms\": " << r.verify_ms;
       if (r.qps > 0) {
         out << ", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
             << ", \"p99_ms\": " << r.p99_ms
@@ -249,6 +282,7 @@ class JsonReporter {
 
   std::string path_;
   bool quick_ = false;
+  bool verify_ = false;
   int clients_ = 0;
   std::vector<JsonRecord> records_;
 };

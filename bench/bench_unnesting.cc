@@ -123,6 +123,11 @@ void RunExperiment(const Experiment& exp, MakeDb make_db,
     Database db = make_db(scale);
     bench::StrategyTimes t = bench::RunStrategies(db, exp.oql);
     bench::PrintRow("scale " + std::to_string(scale), t);
+    double verify_ms = -1;
+    if (bench::JsonReporter::Get().verify()) {
+      verify_ms = bench::VerifyMs(db, exp.oql);
+      std::printf("%-28s %12.3f ms\n", "  verify", verify_ms);
+    }
     auto record = [&](const char* engine, double ms) {
       bench::JsonRecord r;
       r.experiment = exp.id;
@@ -132,6 +137,7 @@ void RunExperiment(const Experiment& exp, MakeDb make_db,
       r.rows = t.rows;
       r.ms = ms;
       r.agree = t.results_agree;
+      r.verify_ms = verify_ms;
       bench::JsonReporter::Get().Add(std::move(r));
     };
     record("baseline", t.baseline_ms);
@@ -155,6 +161,11 @@ void RunEngineExperiment(const Experiment& exp, MakeDb make_db,
     Database db = make_db(scale);
     bench::EngineTimes t = bench::RunEngines(db, exp.oql);
     bench::PrintEngineRow("scale " + std::to_string(scale), t);
+    double verify_ms = -1;
+    if (bench::JsonReporter::Get().verify()) {
+      verify_ms = bench::VerifyMs(db, exp.oql);
+      std::printf("%-28s %12.3f ms\n", "  verify", verify_ms);
+    }
     auto record = [&](const char* engine, int threads, double ms,
                       bool with_profile = false) {
       bench::JsonRecord r;
@@ -166,6 +177,7 @@ void RunEngineExperiment(const Experiment& exp, MakeDb make_db,
       r.rows = t.rows;
       r.ms = ms;
       r.agree = t.agree;
+      r.verify_ms = verify_ms;
       if (with_profile) {
         r.profile = t.profile_json;
         r.compile_trace = t.compile_trace_json;

@@ -10,6 +10,9 @@
 //                        the annotated plan (est vs measured rows, times)
 //                        plus the compile trace
 //   .profile <oql>       same, but emit the profile and trace as JSON
+//   .verify <oql>        run the static verifier over every IR the compiler
+//                        produces (docs/VERIFIER.md) and report per-stage
+//                        checks, findings, and wall time
 //   .baseline <oql>      evaluate with the nested-loop baseline
 //   .time <oql>          compare baseline vs unnested timings
 //   .prepare <name> <oql> register a (possibly parameterized) statement
@@ -106,6 +109,7 @@ void PrintResult(const Value& v);
 void ExplainQuery(const Database& db, const std::string& oql, bool as_json) {
   OptimizerOptions options;
   options.trace = true;
+  options.verify_plans = true;  // the trace then carries the verify stages
   Optimizer opt(db.schema(), options);
   CompiledQuery q = opt.Compile(ParseOQL(oql));
   PhysPtr phys = PlanPhysical(q.simplified, db, options.physical);
@@ -122,6 +126,31 @@ void ExplainQuery(const Database& db, const std::string& oql, bool as_json) {
   Catalog cat = Catalog::FromDatabase(db);
   std::printf("%s", ExplainAnalyze(phys, prof, &cat).c_str());
   PrintResult(result);
+}
+
+// `.verify`: compiles the query with verification off, then runs every
+// verifier layer explicitly — including the slot plan — and prints each
+// stage's summary plus any findings, instead of stopping at the first
+// VerifyError the pipeline would throw.
+void VerifyQuery(const Database& db, const std::string& oql) {
+  OptimizerOptions options;
+  options.verify_plans = false;  // run the layers by hand below
+  Optimizer opt(db.schema(), options);
+  CompiledQuery q = opt.Compile(ParseOQL(oql));
+  std::vector<VerifyReport> reports = VerifyCompiledQuery(q, db.schema());
+  SlotPlan slots = CompileSlotPlan(PlanPhysical(q.simplified, db), db);
+  reports.push_back(VerifySlotPlan(slots));
+  bool all_ok = true;
+  double total_ms = 0;
+  for (const VerifyReport& r : reports) {
+    std::printf("%s\n", r.ToString().c_str());
+    for (const VerifyFinding& f : r.findings) {
+      std::printf("  %s\n", f.ToString().c_str());
+    }
+    all_ok = all_ok && r.ok();
+    total_ms += r.ms;
+  }
+  std::printf("verdict: %s (%.3f ms)\n", all_ok ? "ok" : "FAILED", total_ms);
 }
 
 double MsOf(const std::function<void()>& fn) {
@@ -192,9 +221,9 @@ int main(int argc, char** argv) {
       if (line == ".quit" || line == ".exit") break;
       if (line == ".help") {
         std::printf(".schema | .plan <oql> | .explain <oql> | .profile <oql> "
-                    "| .baseline <oql> | .time <oql> | .prepare <name> <oql> "
-                    "| .exec <name> [args] | .timeout <ms> | .cache [clear] "
-                    "| .quit | <oql>\n");
+                    "| .verify <oql> | .baseline <oql> | .time <oql> "
+                    "| .prepare <name> <oql> | .exec <name> [args] "
+                    "| .timeout <ms> | .cache [clear] | .quit | <oql>\n");
       } else if (line == ".schema") {
         ShowSchema(db.schema());
       } else if (line.rfind(".plan ", 0) == 0) {
@@ -203,6 +232,8 @@ int main(int argc, char** argv) {
         ExplainQuery(db, line.substr(9), /*as_json=*/false);
       } else if (line.rfind(".profile ", 0) == 0) {
         ExplainQuery(db, line.substr(9), /*as_json=*/true);
+      } else if (line.rfind(".verify ", 0) == 0) {
+        VerifyQuery(db, line.substr(8));
       } else if (line.rfind(".baseline ", 0) == 0) {
         PrintResult(RunOQLBaseline(db, line.substr(10)));
       } else if (line.rfind(".time ", 0) == 0) {

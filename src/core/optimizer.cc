@@ -14,6 +14,7 @@
 #include "src/runtime/eval_algebra.h"
 #include "src/runtime/exec_pipeline.h"
 #include "src/runtime/eval_calculus.h"
+#include "src/verify/verify.h"
 
 namespace ldb {
 
@@ -105,9 +106,19 @@ CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
     out.trace = std::make_shared<CompileTrace>();
     trace = out.trace.get();
   }
+  // Verifier passes (docs/VERIFIER.md): each one re-checks the paper's
+  // statically checkable guarantees on the IR a stage just produced, records
+  // a summary in the trace, and aborts compilation on any finding.
+  auto verify = [&](VerifyReport report) {
+    RecordVerifyStage(trace, report);
+    report.ThrowIfFailed();
+  };
   if (options_.typecheck) {
     TimeStage(trace, "typecheck-calculus",
               [&] { return TypeCheck(calculus, schema_); });
+  }
+  if (options_.verify_plans) {
+    verify(VerifyCalculus(calculus, schema_, CalculusStage::kInput));
   }
   out.normalized =
       options_.normalize
@@ -123,6 +134,10 @@ CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
         "Compile expects a comprehension-rooted query; use Run for general "
         "terms");
   }
+  if (options_.verify_plans && options_.normalize) {
+    verify(VerifyCalculus(out.normalized, schema_, CalculusStage::kNormalized,
+                          "calculus-normalized"));
+  }
   out.plan = TimeStage(trace, "unnest", [&] {
     return trace ? UnnestCompTraced(out.normalized, schema_,
                                     &trace->unnest_steps)
@@ -130,6 +145,9 @@ CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
   });
   LDB_INTERNAL_CHECK(IsFullyUnnested(out.plan),
                      "unnesting left a nested comprehension (Theorem 1)");
+  if (options_.verify_plans) {
+    verify(VerifyAlgebra(out.plan, schema_, "algebra-unnested"));
+  }
   if (options_.check_duplicate_safety) {
     DupVars(out.plan, schema_);  // throws on unsafe group keys
   }
@@ -152,6 +170,9 @@ CompiledQuery Optimizer::Compile(const ExprPtr& calculus) const {
       return ReorderJoins(out.simplified, options_.catalog);
     });
   }
+  if (options_.verify_plans && out.simplified != out.plan) {
+    verify(VerifyAlgebra(out.simplified, schema_, "algebra-simplified"));
+  }
   if (options_.typecheck) {
     out.result_type = TimeStage(trace, "typecheck-plan", [&] {
       return TypeCheckPlan(out.simplified, schema_);
@@ -165,6 +186,15 @@ Value Optimizer::Execute(const CompiledQuery& q, const Database& db) const {
     PhysPtr physical = TimeStage(q.trace.get(), "physical", [&] {
       return PlanPhysical(q.simplified, db, options_.physical);
     });
+    if (options_.verify_plans && options_.exec.use_slot_frames) {
+      // Compile the slot plan here so it can be verified before running;
+      // ExecuteSlotPlan then reuses it (no second compilation).
+      SlotPlan slots = CompileSlotPlan(physical, db);
+      VerifyReport report = VerifySlotPlan(slots);
+      RecordVerifyStage(q.trace.get(), report);
+      report.ThrowIfFailed();
+      return ExecuteSlotPlan(slots, db, options_.exec);
+    }
     return ExecutePipelined(physical, db, options_.exec);
   }
   return ExecutePlan(q.simplified, db, options_.physical);

@@ -37,6 +37,15 @@ struct StageTiming {
   double ms = 0;
 };
 
+/// Summary of one verifier pass (src/verify/): which IR was checked, how
+/// many individual invariants, how many findings, and the wall time.
+struct VerifyStageSummary {
+  std::string stage;  ///< "calculus-input" | ... | "slot-plan"
+  int checks = 0;
+  int findings = 0;
+  double ms = 0;
+};
+
 /// End-to-end record of one compilation: how long each stage took and which
 /// rewrite rules fired where. The static counterpart of QueryProfiler
 /// (docs/OBSERVABILITY.md); render with PrintCompileTrace (pretty.h) or
@@ -46,6 +55,7 @@ struct CompileTrace {
   std::vector<RuleFiring> normalize_rules;  ///< Figure 4 N1-N9 (+ helpers)
   std::vector<UnnestStep> unnest_steps;   ///< Figure 7 C1-C9, firing order
   int simplify_rewrites = 0;              ///< Section 5 rule applications
+  std::vector<VerifyStageSummary> verify_stages;  ///< when verify_plans is on
   double total_ms = 0;                    ///< sum over stages
 };
 
@@ -73,6 +83,18 @@ struct OptimizerOptions {
   /// through the counting rewriter, which is measurably slower on tiny
   /// queries.
   bool trace = false;
+
+  /// Run the static verifier (src/verify/) over every IR the pipeline
+  /// produces — the calculus before and after normalization, the algebra
+  /// after unnesting and after simplification, and the slot plan before
+  /// execution — throwing VerifyError on any invariant violation. On by
+  /// default in Debug builds (docs/VERIFIER.md); cheap enough to enable
+  /// explicitly wherever a miscompiled plan would be expensive.
+#ifndef NDEBUG
+  bool verify_plans = true;
+#else
+  bool verify_plans = false;
+#endif
 };
 
 /// A compiled query, exposing every intermediate the paper shows so that

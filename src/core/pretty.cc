@@ -355,6 +355,15 @@ std::string PrintCompileTrace(const CompileTrace& trace) {
     }
   }
   os << "simplify rewrites: " << trace.simplify_rewrites << "\n";
+  if (!trace.verify_stages.empty()) {
+    os << "verify stages:\n";
+    for (const VerifyStageSummary& v : trace.verify_stages) {
+      os << "  " << v.stage;
+      if (v.stage.size() < 20) os << std::string(20 - v.stage.size(), ' ');
+      os << v.checks << " checks, " << v.findings << " findings, "
+         << std::fixed << std::setprecision(3) << v.ms << " ms\n";
+    }
+  }
   return os.str();
 }
 

@@ -50,6 +50,8 @@
 #include "src/service/plan_cache.h"
 #include "src/service/query_service.h"
 #include "src/service/session.h"
+#include "src/verify/calc_parser.h"
+#include "src/verify/verify.h"
 
 namespace ldb {
 

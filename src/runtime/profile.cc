@@ -405,6 +405,18 @@ std::string CompileTraceToJson(const CompileTrace& trace) {
     JsonEscape(step.description, os);
     os << "}";
   }
+  os << "], \"verify_stages\": [";
+  first = true;
+  for (const VerifyStageSummary& v : trace.verify_stages) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"stage\": ";
+    JsonEscape(v.stage, os);
+    os << ", \"checks\": " << v.checks << ", \"findings\": " << v.findings
+       << ", \"ms\": ";
+    JsonDouble(v.ms, os);
+    os << "}";
+  }
   os << "], \"simplify_rewrites\": " << trace.simplify_rewrites
      << ", \"total_ms\": ";
   JsonDouble(trace.total_ms, os);

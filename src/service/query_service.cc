@@ -203,6 +203,14 @@ std::shared_ptr<const PreparedPlan> QueryService::GetOrCompile(
     plan->physical =
         PlanPhysical(plan->compiled.simplified, db_, options_.optimizer.physical);
     plan->slots = CompileSlotPlan(plan->physical, db_);
+    // A cached plan is served to every future session with this key, so a
+    // miscompiled frame layout would corrupt them all: when verification is
+    // on, the slot plan must pass the dataflow analysis before it may enter
+    // the cache (Compile already verified the calculus/algebra IRs;
+    // VerifyError propagates — it is not an UnsupportedError).
+    if (options_.optimizer.verify_plans) {
+      VerifySlotPlan(plan->slots).ThrowIfFailed();
+    }
   } catch (const UnsupportedError&) {
     // Top level is not a comprehension (a record of aggregates, a union of
     // queries, ...): execution routes through Optimizer::Run, which folds

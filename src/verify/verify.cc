@@ -1,0 +1,75 @@
+#include "src/verify/verify.h"
+
+#include <sstream>
+
+namespace ldb {
+
+std::string VerifyFinding::ToString() const {
+  std::ostringstream os;
+  os << "[" << stage << "/" << rule << "] " << detail;
+  if (!subtree.empty()) os << "\n  in: " << subtree;
+  return os.str();
+}
+
+std::string VerifyReport::ToString() const {
+  std::ostringstream os;
+  os << stage << ": " << checks << " checks, " << findings.size()
+     << (findings.size() == 1 ? " finding" : " findings");
+  for (const VerifyFinding& f : findings) {
+    os << "\n  " << f.ToString();
+  }
+  return os.str();
+}
+
+void VerifyReport::ThrowIfFailed() const {
+  if (!findings.empty()) throw VerifyError(findings.front(), findings.size());
+}
+
+namespace {
+
+std::string FormatError(const VerifyFinding& first, size_t n_findings) {
+  std::ostringstream os;
+  os << "verify failed at " << first.stage << " (rule " << first.rule
+     << "): " << first.detail;
+  if (!first.subtree.empty()) os << "\n  in: " << first.subtree;
+  if (n_findings > 1) os << "\n  (+" << (n_findings - 1) << " more findings)";
+  return os.str();
+}
+
+}  // namespace
+
+VerifyError::VerifyError(const VerifyFinding& first, size_t n_findings)
+    : Error(FormatError(first, n_findings)),
+      stage_(first.stage),
+      rule_(first.rule) {}
+
+std::vector<VerifyReport> VerifyCompiledQuery(const CompiledQuery& q,
+                                              const Schema& schema,
+                                              bool expect_normal_form) {
+  std::vector<VerifyReport> out;
+  out.push_back(VerifyCalculus(q.calculus, schema, CalculusStage::kInput));
+  if (q.normalized) {
+    out.push_back(VerifyCalculus(q.normalized, schema,
+                                 expect_normal_form ? CalculusStage::kNormalized
+                                                    : CalculusStage::kInput,
+                                 "calculus-normalized"));
+  }
+  out.push_back(VerifyAlgebra(q.plan, schema, "algebra-unnested"));
+  if (q.simplified != q.plan) {
+    out.push_back(VerifyAlgebra(q.simplified, schema, "algebra-simplified"));
+  }
+  return out;
+}
+
+void ThrowOnFindings(const std::vector<VerifyReport>& reports) {
+  for (const VerifyReport& r : reports) r.ThrowIfFailed();
+}
+
+void RecordVerifyStage(CompileTrace* trace, const VerifyReport& report) {
+  if (!trace) return;
+  trace->verify_stages.push_back({report.stage, report.checks,
+                                  static_cast<int>(report.findings.size()),
+                                  report.ms});
+}
+
+}  // namespace ldb

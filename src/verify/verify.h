@@ -1,0 +1,134 @@
+// PlanVerifier: static invariant checking across every IR the compiler
+// produces (docs/VERIFIER.md).
+//
+// The paper states its guarantees as theorems — Figure 3/Figure 6 typing,
+// Theorem 1 (the unnested algebra contains no nested subqueries), Theorem 2
+// (soundness of rules (C1)-(C9)) — but a rewrite bug would only surface as a
+// wrong answer at runtime. The verifier re-checks the theorems' statically
+// checkable content after each stage:
+//
+//   * VerifyCalculus — Figure 3 typing, scope/free-variable discipline, and
+//     (for post-normalize terms) the Figure 4 normal form: no (N1)-(N9)
+//     redex remains, established by re-running the normalizer to a fixpoint;
+//   * VerifyAlgebra  — Figure 6 operator typing for (O1)-(O7), Theorem 1
+//     structurally (no comprehension inside any operator expression), the
+//     reduce-only-at-root plan shape, and the Section 3/5 null→zero
+//     discipline: every nest null-var must be introduced below it by an
+//     outer-join / outer-unnest (NULL-padded on failed matches) or by the
+//     branch's seed scan (an uncorrelated box's first generator — never
+//     NULL, so the conversion is vacuous but legitimate);
+//   * VerifySlotPlan — dataflow over the slot-compiled plan: every slot read
+//     is dominated by a write, parameter slots are reserved outside operator
+//     spans (written before rows flow), no two operators claim the same slot
+//     (the static analog of "no two concurrent morsel pipelines write the
+//     same non-accumulator slot" — workers own private frames, so
+//     single-writer-per-slot is the shared-plan invariant), covering spans
+//     nest properly, and nest null-slots are genuine padding slots.
+//
+// Violations are collected as structured VerifyFinding diagnostics (stage,
+// rule, pretty-printed offending subtree); ThrowIfFailed raises VerifyError.
+// The optimizer runs all three layers behind OptimizerOptions::verify_plans
+// (on by default in Debug builds) and records per-stage summaries in the
+// CompileTrace.
+
+#ifndef LAMBDADB_VERIFY_VERIFY_H_
+#define LAMBDADB_VERIFY_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/algebra.h"
+#include "src/core/expr.h"
+#include "src/core/optimizer.h"
+#include "src/runtime/error.h"
+#include "src/runtime/schema.h"
+#include "src/runtime/slot_plan.h"
+
+namespace ldb {
+
+/// One invariant violation: which pipeline stage's IR, which rule (named
+/// after the paper figure/theorem it enforces), what went wrong, and the
+/// pretty-printed offending subtree.
+struct VerifyFinding {
+  std::string stage;    ///< "calculus-input" | "calculus-normalized" |
+                        ///< "algebra-unnested" | "algebra-simplified" |
+                        ///< "slot-plan"
+  std::string rule;     ///< e.g. "Fig3-typing", "Thm1-flat", "read-before-write"
+  std::string detail;   ///< human-readable description of the violation
+  std::string subtree;  ///< pretty-printed offending subtree (may be empty)
+
+  std::string ToString() const;
+};
+
+/// The result of verifying one IR: the stage label, how many individual
+/// invariants were checked, the wall time spent, and any findings.
+struct VerifyReport {
+  std::string stage;
+  int checks = 0;
+  double ms = 0;
+  std::vector<VerifyFinding> findings;
+
+  bool ok() const { return findings.empty(); }
+  std::string ToString() const;
+  /// Throws VerifyError carrying the first finding if any were recorded.
+  void ThrowIfFailed() const;
+};
+
+/// Raised when a verified IR violates a checked invariant. Carries the stage
+/// and rule of the first finding so callers (and tests) can tell which layer
+/// rejected the plan.
+class VerifyError : public Error {
+ public:
+  VerifyError(const VerifyFinding& first, size_t n_findings);
+
+  const std::string& stage() const { return stage_; }
+  const std::string& rule() const { return rule_; }
+
+ private:
+  std::string stage_;
+  std::string rule_;
+};
+
+/// Which calculus pipeline point is being verified. Post-normalize terms
+/// additionally get the Figure 4 normal-form check.
+enum class CalculusStage {
+  kInput,       ///< after parse/translate, before normalization
+  kNormalized,  ///< after Figure 4 normalization (normal form asserted)
+};
+
+/// Checks a calculus term: well-formedness, Figure 3 typing, free variables
+/// all declared extents, and (kNormalized) that no (N1)-(N9) redex remains.
+/// `stage_label` overrides the default report/finding label ("calculus-input"
+/// / "calculus-normalized") when non-empty.
+VerifyReport VerifyCalculus(const ExprPtr& e, const Schema& schema,
+                            CalculusStage stage,
+                            const std::string& stage_label = "");
+
+/// Checks an algebra plan: Figure 6 typing, Theorem 1, reduce-at-root shape,
+/// and the null→zero discipline. `stage_label` names the pipeline point
+/// ("algebra-unnested" / "algebra-simplified").
+VerifyReport VerifyAlgebra(const AlgPtr& plan, const Schema& schema,
+                           const std::string& stage_label);
+
+/// Dataflow analysis over a slot-compiled plan (no database needed — extent
+/// references were resolved to constants at slot-compile time).
+VerifyReport VerifySlotPlan(const SlotPlan& plan);
+
+/// Verifies every IR a Compile produced: the input calculus, the normalized
+/// term (normal form asserted only when `expect_normal_form`), the unnested
+/// plan, and — when distinct — the simplified plan. Slot plans are verified
+/// separately (VerifySlotPlan) where they are compiled.
+std::vector<VerifyReport> VerifyCompiledQuery(const CompiledQuery& q,
+                                              const Schema& schema,
+                                              bool expect_normal_form = true);
+
+/// Throws VerifyError for the first failing report, if any.
+void ThrowOnFindings(const std::vector<VerifyReport>& reports);
+
+/// Appends a report's summary (stage, checks, findings, ms) to a trace.
+/// No-op when `trace` is null.
+void RecordVerifyStage(CompileTrace* trace, const VerifyReport& report);
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_VERIFY_VERIFY_H_

@@ -1,0 +1,215 @@
+// Algebra-layer verification: Figure 6 operator typing, Theorem 1, and the
+// Section 3/5 null→zero discipline. See verify.h and docs/VERIFIER.md.
+
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "src/core/pretty.h"
+#include "src/core/typecheck.h"
+#include "src/verify/verify.h"
+
+namespace ldb {
+
+namespace {
+
+class AlgebraChecker {
+ public:
+  explicit AlgebraChecker(VerifyReport* report) : report_(report) {}
+
+  // Facts about an operator's output stream that the O7 check needs:
+  // `nullable` holds the variables that may be bound to NULL (outer-join /
+  // outer-unnest padding); `seeds` holds the variables bound by the stream's
+  // leftmost scan — the (C1) seed of the branch. The unnesting algorithm
+  // null-converts every generator of an inner box, and when an uncorrelated
+  // box starts a fresh branch its first generator is introduced by a plain
+  // seed scan, so that null-var can never actually be NULL (the conversion
+  // is vacuous but legitimate).
+  struct StreamFacts {
+    std::set<std::string> nullable;
+    std::set<std::string> seeds;
+  };
+
+  // Walks the plan top-down, propagating StreamFacts bottom-up (nest group
+  // keys that are identity bindings pass both properties through).
+  StreamFacts Check(const AlgPtr& op, bool is_root) {
+    if (!op) {
+      Finding("arity", "null plan node", "");
+      return {};
+    }
+    // Theorem 1: the unnested algebra is flat — no comprehension survives
+    // inside any operator expression. (A surviving comprehension would be
+    // evaluated per row through the interpreter, which is exactly the
+    // nested-loop evaluation the unnesting algorithm exists to eliminate.)
+    FlatExpr(op, op->pred, "predicate");
+    FlatExpr(op, op->head, "head");
+    FlatExpr(op, op->path, "path");
+    for (const auto& [name, key] : op->group_by) {
+      (void)name;
+      FlatExpr(op, key, "group-by key");
+    }
+
+    // Reduce is the paper's Δ: it folds the whole stream to the query
+    // result, so it can only sit at the plan root (O4).
+    Require(op, op->kind == AlgKind::kReduce ? is_root : true, "root-reduce",
+            "reduce operator below the plan root");
+    if (is_root) {
+      Require(op, op->kind == AlgKind::kReduce, "root-reduce",
+              "plan root is not a reduce");
+    }
+
+    Require(op, op->pred != nullptr, "arity", "operator missing predicate");
+
+    switch (op->kind) {
+      case AlgKind::kUnit:
+        Require(op, !op->left && !op->right, "arity", "unit with children");
+        return {};
+      case AlgKind::kScan:
+        Require(op, !op->left && !op->right, "arity", "scan with children");
+        Require(op, !op->var.empty(), "arity", "scan with empty variable");
+        Require(op, !op->extent.empty(), "arity", "scan with empty extent");
+        return {{}, {op->var}};
+      case AlgKind::kSelect:
+        Require(op, op->left && !op->right, "arity",
+                "select must have exactly one child");
+        return Check(op->left, false);
+      case AlgKind::kJoin:
+      case AlgKind::kOuterJoin: {
+        Require(op, op->left && op->right, "arity", "join missing a child");
+        StreamFacts facts = Check(op->left, false);
+        StreamFacts right = Check(op->right, false);
+        facts.nullable.insert(right.nullable.begin(), right.nullable.end());
+        // The combined stream's seed stays the left (leftmost) one: vars
+        // joining in from the right were introduced by (C3)/(C6), never (C1).
+        if (op->kind == AlgKind::kOuterJoin) {
+          // O5: a failed match pads every right-side variable with NULL.
+          for (const std::string& v : OutputVars(op->right)) {
+            facts.nullable.insert(v);
+          }
+        }
+        return facts;
+      }
+      case AlgKind::kUnnest:
+      case AlgKind::kOuterUnnest: {
+        Require(op, op->left && !op->right, "arity",
+                "unnest must have exactly one child");
+        Require(op, op->path != nullptr, "arity", "unnest missing its path");
+        Require(op, !op->var.empty(), "arity", "unnest with empty variable");
+        StreamFacts facts = Check(op->left, false);
+        if (op->kind == AlgKind::kOuterUnnest) {
+          facts.nullable.insert(op->var);  // O6: empty collections pad NULL
+        }
+        return facts;
+      }
+      case AlgKind::kNest: {
+        Require(op, op->left && !op->right, "arity",
+                "nest must have exactly one child");
+        Require(op, op->head != nullptr, "arity", "nest missing its head");
+        Require(op, !op->var.empty(), "arity",
+                "nest with empty output variable");
+        StreamFacts child = Check(op->left, false);
+        std::set<std::string> group_names;
+        for (const auto& [name, key] : op->group_by) {
+          (void)key;
+          Require(op, !name.empty(), "arity", "group-by with empty name");
+          Require(op, group_names.insert(name).second, "arity",
+                  "duplicate group-by name '" + name + "'");
+        }
+        // O7 / rules (C5)-(C7): the null-converted variables are the inner
+        // box's own generators. Each was introduced below either by an
+        // outer-join / outer-unnest (so a failed match reaches the nest as a
+        // NULL-padded row) or — for an uncorrelated box starting a fresh
+        // branch — by the branch's (C1) seed scan, which never binds NULL
+        // (the conversion is vacuous there). Anything else means the g
+        // function is applied to the wrong variable set.
+        std::set<std::string> seen_null;
+        for (const std::string& v : op->null_vars) {
+          Require(op, seen_null.insert(v).second, "O7-null-zero",
+                  "duplicate null-var '" + v + "'");
+          Require(op, child.nullable.count(v) > 0 || child.seeds.count(v) > 0,
+                  "O7-null-zero",
+                  "null-var '" + v +
+                      "' is neither introduced by an outer-join/outer-unnest "
+                      "below the nest nor the branch's seed generator");
+        }
+        // The nest replaces its input scope: group keys that are identity
+        // bindings pass nullability and seed-ness through (the padded NULL
+        // is a legitimate group key); the accumulated variable itself is
+        // always bound.
+        StreamFacts facts;
+        for (const auto& [name, key] : op->group_by) {
+          if (key && key->kind == ExprKind::kVar) {
+            if (child.nullable.count(key->name) > 0) {
+              facts.nullable.insert(name);
+            }
+            if (child.seeds.count(key->name) > 0) facts.seeds.insert(name);
+          }
+        }
+        return facts;
+      }
+      case AlgKind::kReduce:
+        Require(op, op->left && !op->right, "arity",
+                "reduce must have exactly one child");
+        Require(op, op->head != nullptr, "arity", "reduce missing its head");
+        Check(op->left, false);
+        return {};
+    }
+    return {};
+  }
+
+ private:
+  void Require(const AlgPtr& at, bool cond, const std::string& rule,
+               const std::string& detail) {
+    ++report_->checks;
+    if (!cond) Finding(rule, detail, at ? PlanShape(at) : "");
+  }
+
+  void FlatExpr(const AlgPtr& at, const ExprPtr& e, const char* where) {
+    if (!e) return;
+    ++report_->checks;
+    if (ContainsComp(e)) {
+      Finding("Thm1-flat",
+              std::string("comprehension survives in operator ") + where +
+                  ": " + PrintExpr(e),
+              PlanShape(at));
+    }
+  }
+
+  void Finding(const std::string& rule, const std::string& detail,
+               const std::string& subtree) {
+    report_->findings.push_back({report_->stage, rule, detail, subtree});
+  }
+
+  VerifyReport* report_;
+};
+
+}  // namespace
+
+VerifyReport VerifyAlgebra(const AlgPtr& plan, const Schema& schema,
+                           const std::string& stage_label) {
+  auto t0 = std::chrono::steady_clock::now();
+  VerifyReport report;
+  report.stage = stage_label;
+
+  AlgebraChecker checker(&report);
+  checker.Check(plan, /*is_root=*/true);
+
+  if (plan && report.ok()) {
+    // Figure 6 typing, bottom-up over the whole plan: every predicate bool,
+    // every unnest path a collection, every nest/reduce head compatible with
+    // its monoid, every variable bound before use.
+    ++report.checks;
+    try {
+      TypeCheckPlan(plan, schema);
+    } catch (const TypeError& err) {
+      report.findings.push_back(
+          {report.stage, "Fig6-typing", err.what(), PrintPlan(plan)});
+    }
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
+  report.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return report;
+}
+
+}  // namespace ldb

@@ -5,6 +5,14 @@
 // that every plan is comprehension-free (Theorem 1). This explores corners
 // the hand-written battery cannot (odd correlation patterns, aggregates
 // under quantifiers under aggregates, constant predicates, empty results).
+//
+// The primary optimizer runs with verify_plans on, making this a three-way
+// property check per query: the Env engines' result, the slot engine's
+// result, and the static verifier's verdict over every IR the pipeline
+// produced (docs/VERIFIER.md) must all agree that the plan is correct.
+// Each accepted query also exercises the pretty-printer round-trip that
+// backs plan-cache keys: print(normalized) must re-parse, re-typecheck, and
+// be a fixpoint of print∘normalize∘parse.
 
 #include <gtest/gtest.h>
 
@@ -227,7 +235,9 @@ TEST_P(RandomQueryTest, PlanMatchesBaseline) {
   params.n_managers = 4;
   params.seed = GetParam() * 1337 + 17;
   Database db = workload::MakeCompanyDatabase(params);
-  Optimizer opt(db.schema());
+  OptimizerOptions verify_opts;
+  verify_opts.verify_plans = true;  // static verdict alongside both engines
+  Optimizer opt(db.schema(), verify_opts);
 
   // Differential executor harness: the same compiled plan must agree across
   // every execution engine. `opt` above is the default (serial slot-frame
@@ -263,8 +273,27 @@ TEST_P(RandomQueryTest, PlanMatchesBaseline) {
       via_plan = opt.Execute(compiled, db);
     } catch (const UnsupportedError&) {
       continue;  // e.g. a non-canonical residue; baseline-only territory
+    } catch (const VerifyError& e) {
+      // A verifier rejection on a fuzzed query is a bug in either the
+      // optimizer or the verifier; recompile unverified so the failure
+      // message carries the IR the verifier objected to.
+      OptimizerOptions noverify;
+      noverify.verify_plans = false;
+      CompiledQuery c2 = Optimizer(db.schema(), noverify).Compile(q);
+      FAIL() << e.what() << "\nnormalized: " << PrintExpr(c2.normalized)
+             << "\nplan:\n"
+             << PrintPlan(c2.plan);
     }
     EXPECT_EQ(via_plan, baseline);
+    // Pretty-printer round-trip: the printed normalized term is the plan
+    // cache's key, so it must re-parse to a term that prints identically,
+    // still normalizes to itself, and still type-checks.
+    const std::string cache_key = PrintExpr(compiled.normalized);
+    ExprPtr reparsed = ParseCalculus(cache_key);
+    EXPECT_EQ(PrintExpr(reparsed), cache_key) << "print/parse round-trip";
+    EXPECT_EQ(PrintExpr(Normalize(reparsed)), cache_key)
+        << "cache key is not a normalization fixpoint";
+    ASSERT_NO_THROW(TypeCheck(reparsed, db.schema()));
     // serial slot pipeline == materializing executor == Env pipeline ==
     // parallel slot pipeline, on every plan the optimizer accepts. The
     // parallel result must be byte-identical (ExactSum makes kSum/kAvg

@@ -53,7 +53,17 @@ TEST_F(SlotFrameTest, ShadowedVariableInSubquery) {
   const std::string oql =
       "select distinct e.name from e in Employees "
       "where e.age > sum(select e.age from e in e.children)";
-  EXPECT_THROW(RunOQL(db_, oql), TypeError);
+  // Release surfaces the plan typechecker's TypeError directly; Debug
+  // builds verify plans by default and report the same rejection as a
+  // structured Fig6-typing violation (VerifyError). Both derive from Error.
+  try {
+    RunOQL(db_, oql);
+    FAIL() << "rebinding must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rebinds variable 'e'"),
+              std::string::npos)
+        << e.what();
+  }
 
   // The baseline's Env scoping handles the shadowing directly.
   // Ann 30 !> 5+25, Bob 40 > 0, Cal 25 !> 30, Dee 55 > 10.
@@ -67,6 +77,9 @@ TEST_F(SlotFrameTest, ShadowedVariableInSubquery) {
   // reverse scope lookup must shadow exactly like the Env engines do.
   OptimizerOptions unchecked;
   unchecked.typecheck = false;
+  // The verifier re-runs the plan typecheck as its Fig6-typing rule, so it
+  // must come off with the checker (it is on by default in Debug builds).
+  unchecked.verify_plans = false;
   Value slot_serial = RunOQL(db_, oql, unchecked);
   unchecked.exec.use_slot_frames = false;
   EXPECT_EQ(RunOQL(db_, oql, unchecked), slot_serial) << "Env pipeline";
