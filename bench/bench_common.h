@@ -180,6 +180,8 @@ class JsonReporter {
         quick_ = true;
       } else if (std::string(argv[i]) == "--verify") {
         verify_ = true;
+      } else if (std::string(argv[i]) == "--metrics") {
+        metrics_ = true;
       } else if (std::string(argv[i]) == "--clients") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "--clients requires a count argument\n");
@@ -193,7 +195,7 @@ class JsonReporter {
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' (supported: --json <path>, "
-                     "--quick, --verify, --clients <n>)\n",
+                     "--quick, --verify, --metrics, --clients <n>)\n",
                      argv[i]);
         return false;
       }
@@ -215,6 +217,14 @@ class JsonReporter {
   /// experiment (bench_unnesting); 0 = flag not given, use the default.
   int clients() const { return clients_; }
 
+  /// `--metrics`: collect the service MetricsRegistry during the service
+  /// experiment and embed its snapshot in the report (bench_unnesting).
+  bool metrics() const { return metrics_; }
+
+  /// Installs an already-serialized MetricsSnapshot::ToJson document; it is
+  /// emitted verbatim as the report's top-level "metrics" field.
+  void SetMetricsJson(std::string json) { metrics_json_ = std::move(json); }
+
   void Add(JsonRecord r) {
     if (enabled()) records_.push_back(std::move(r));
   }
@@ -234,6 +244,9 @@ class JsonReporter {
     out << "  \"host_cpus\": " << UsableCpus() << ",\n";
     out << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n";
+    if (!metrics_json_.empty()) {
+      out << "  \"metrics\": " << metrics_json_ << ",\n";
+    }
     out << "  \"results\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const JsonRecord& r = records_[i];
@@ -283,7 +296,9 @@ class JsonReporter {
   std::string path_;
   bool quick_ = false;
   bool verify_ = false;
+  bool metrics_ = false;
   int clients_ = 0;
+  std::string metrics_json_;
   std::vector<JsonRecord> records_;
 };
 

@@ -262,6 +262,31 @@ void RunServiceExperiment(int n_clients, bool quick) {
   r.p99_ms = pct(0.99);
   r.cache_hit_rate = hit_rate;
   bench::JsonReporter::Get().Add(std::move(r));
+
+  // --metrics: embed the registry snapshot in the JSON report and write the
+  // Prometheus text + a Perfetto trace of one profiled parallel execution as
+  // standalone artifacts (CI uploads and validates them).
+  if (bench::JsonReporter::Get().metrics()) {
+    auto session = svc.OpenSession();
+    session->options().n_threads = 2;
+    QueryProfiler prof;
+    svc.Execute(*session, kTypeA.oql, nullptr, &prof);
+
+    obs::MetricsSnapshot snap = svc.metrics().Snapshot();
+    bench::JsonReporter::Get().SetMetricsJson(snap.ToJson());
+    {
+      std::ofstream prom("bench_metrics.prom");
+      prom << snap.ToPrometheusText();
+    }
+    {
+      std::ofstream trace("bench_trace.json");
+      trace << obs::TraceEventsJson(prof);
+    }
+    std::printf("metrics: %zu series -> bench_metrics.prom; "
+                "trace (%zu operators, %zu morsels) -> bench_trace.json\n",
+                snap.samples.size(), prof.Operators().size(),
+                prof.morsels.size());
+  }
 }
 
 }  // namespace

@@ -19,6 +19,11 @@
 //   .exec <name> [args]  run a prepared statement; args bind $1, $2, ...
 //   .timeout <ms>        per-query deadline for this session (0 = none)
 //   .cache [clear]       plan-cache counters / drop all cached plans
+//   .metrics             dump the service metrics (Prometheus text format)
+//   .querylog [n]        last n query-log records (default 10); slow queries
+//                        additionally print their captured plan
+//   .trace <file> <oql>  execute with profiling and write a Chrome/Perfetto
+//                        trace (load via ui.perfetto.dev or chrome://tracing)
 //   .quit                exit
 //   <oql>                execute through the query service + print
 //
@@ -31,6 +36,7 @@
 #include <functional>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -161,6 +167,49 @@ double MsOf(const std::function<void()>& fn) {
       .count();
 }
 
+// `.trace`: compiles with the optimizer trace on, executes with a profiler,
+// and writes the combined compile + execution timeline as Chrome trace-event
+// JSON (one lane per worker; load in ui.perfetto.dev or chrome://tracing).
+void TraceQuery(const Database& db, const std::string& file,
+                const std::string& oql) {
+  OptimizerOptions options;
+  options.trace = true;
+  Optimizer opt(db.schema(), options);
+  CompiledQuery q = opt.Compile(ParseOQL(oql));
+  PhysPtr phys = PlanPhysical(q.simplified, db, options.physical);
+  QueryProfiler prof;
+  ExecOptions exec;
+  exec.profiler = &prof;
+  Value result = ExecutePipelined(phys, db, exec);
+  std::ofstream out(file);
+  if (!out) {
+    std::printf("error: cannot write '%s'\n", file.c_str());
+    return;
+  }
+  out << obs::TraceEventsJson(prof, q.trace.get());
+  std::printf("wrote %s (%zu operators, %zu morsels)\n", file.c_str(),
+              prof.Operators().size(), prof.morsels.size());
+  PrintResult(result);
+}
+
+void ShowQueryLog(const ldb::obs::QueryLog& log, size_t n) {
+  std::vector<obs::QueryLogRecord> tail = log.Tail(n);
+  if (tail.empty()) {
+    std::printf("(query log empty)\n");
+    return;
+  }
+  for (const obs::QueryLogRecord& rec : tail) {
+    std::printf("%s\n", rec.ToString().c_str());
+    if (rec.slow && !rec.plan_text.empty()) {
+      std::printf("  -- slow-query plan --\n%s", rec.plan_text.c_str());
+    }
+  }
+  std::printf("(%llu appended, %llu slow, %llu dropped by the ring)\n",
+              static_cast<unsigned long long>(log.appended()),
+              static_cast<unsigned long long>(log.slow_count()),
+              static_cast<unsigned long long>(log.dropped()));
+}
+
 // `.exec` argument literals: "quoted" -> string, integer -> int,
 // decimal -> real, anything else -> string.
 Value ParseArgValue(const std::string& tok) {
@@ -223,7 +272,10 @@ int main(int argc, char** argv) {
         std::printf(".schema | .plan <oql> | .explain <oql> | .profile <oql> "
                     "| .verify <oql> | .baseline <oql> | .time <oql> "
                     "| .prepare <name> <oql> | .exec <name> [args] "
-                    "| .timeout <ms> | .cache [clear] | .quit | <oql>\n");
+                    "| .timeout <ms> | .cache [clear] | .metrics "
+                    "| .querylog [n] | .trace <file> <oql> | .quit | <oql>\n"
+                    "(.explain prints the profiled plan inline; .trace writes "
+                    "the same execution as a Perfetto timeline)\n");
       } else if (line == ".schema") {
         ShowSchema(db.schema());
       } else if (line.rfind(".plan ", 0) == 0) {
@@ -284,6 +336,24 @@ int main(int argc, char** argv) {
       } else if (line == ".cache clear") {
         service.ClearCache();
         std::printf("plan cache cleared\n");
+      } else if (line == ".metrics") {
+        std::printf("%s", service.metrics().Snapshot().ToPrometheusText().c_str());
+      } else if (line == ".querylog" || line.rfind(".querylog ", 0) == 0) {
+        size_t n = 10;
+        if (line.size() > 10) n = std::strtoull(line.c_str() + 10, nullptr, 10);
+        ShowQueryLog(service.query_log(), n == 0 ? 10 : n);
+      } else if (line.rfind(".trace ", 0) == 0) {
+        std::istringstream in(line.substr(7));
+        std::string file;
+        in >> file;
+        std::string oql;
+        std::getline(in, oql);
+        size_t start = oql.find_first_not_of(' ');
+        if (file.empty() || start == std::string::npos) {
+          std::printf("usage: .trace <file> <oql>\n");
+        } else {
+          TraceQuery(db, file, oql.substr(start));
+        }
       } else {
         QueryStats stats;
         PrintResult(service.Execute(*session, line, &stats));

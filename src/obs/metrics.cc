@@ -1,0 +1,529 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "src/runtime/error.h"
+
+namespace ldb {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+int Counter::ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local int shard =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) % kShards);
+  return shard;
+}
+
+void Histogram::Observe(double v) {
+#if LDB_METRICS_ENABLED
+  int idx = 0;
+  double ub = 1;
+  while (idx < kFiniteBuckets && v > ub) {
+    ub *= 2;
+    ++idx;
+  }
+  // idx == kFiniteBuckets means v exceeded the last finite bound (2^38).
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (m < v &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kFiniteBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i);
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> out(kBuckets);
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    out[static_cast<size_t>(i)] = cum;
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> cum = CumulativeCounts();
+  uint64_t total = cum.back();
+  if (total == 0) return 0;
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (cum[static_cast<size_t>(i)] >= rank) {
+      return i < kFiniteBuckets ? BucketUpperBound(i) : Max();
+    }
+  }
+  return Max();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string SeriesKey(const std::string& name,
+                      const std::map<std::string, std::string>& labels) {
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& help,
+    std::map<std::string, std::string> labels, const std::string& type) {
+  std::string key = SeriesKey(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    if (it->second->type != type) {
+      throw InternalError("metric '" + key + "' re-registered as " + type +
+                          " (was " + it->second->type + ")");
+    }
+    return it->second;
+  }
+  entries_.emplace_back();
+  Entry* e = &entries_.back();
+  e->name = name;
+  e->help = help;
+  e->labels = std::move(labels);
+  e->type = type;
+  by_key_[key] = e;
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, help, std::move(labels), "counter");
+  if (e->counter == nullptr) {
+    counters_.emplace_back();
+    e->counter = &counters_.back();
+  }
+  return e->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, help, std::move(labels), "gauge");
+  if (e->gauge == nullptr) {
+    gauges_.emplace_back();
+    e->gauge = &gauges_.back();
+  }
+  return e->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& help,
+    std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, help, std::move(labels), "histogram");
+  if (e->histogram == nullptr) {
+    histograms_.emplace_back();
+    e->histogram = &histograms_.back();
+  }
+  return e->histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(by_key_.size());
+  for (const auto& [key, e] : by_key_) {  // map order => sorted, deterministic
+    (void)key;
+    MetricSample s;
+    s.name = e->name;
+    s.type = e->type;
+    s.help = e->help;
+    s.labels = e->labels;
+    if (e->counter != nullptr) {
+      s.value = static_cast<double>(e->counter->Value());
+    } else if (e->gauge != nullptr) {
+      s.value = static_cast<double>(e->gauge->Value());
+    } else if (e->histogram != nullptr) {
+      const Histogram& h = *e->histogram;
+      std::vector<uint64_t> cum = h.CumulativeCounts();
+      s.buckets.reserve(cum.size());
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        s.buckets.emplace_back(Histogram::BucketUpperBound(i),
+                               cum[static_cast<size_t>(i)]);
+      }
+      s.count = h.Count();
+      s.sum = h.Sum();
+      s.max = h.Max();
+      s.p50 = h.Quantile(0.50);
+      s.p90 = h.Quantile(0.90);
+      s.p99 = h.Quantile(0.99);
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering. Same hand-rolled JSON discipline as src/runtime/profile.cc:
+// doubles print with %.17g so SnapshotFromJson round-trips bit-exactly.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void JsonEscape(const std::string& s, std::ostringstream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonDouble(double d, std::ostringstream& os) {
+  if (!std::isfinite(d)) {
+    os << 0;  // JSON has no Inf/NaN; le=+Inf is encoded as a string instead
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+/// Prometheus `le` label value: finite bounds are exact powers of two and
+/// print as integers; the overflow bucket prints as "+Inf".
+std::string FormatLe(double ub) {
+  if (std::isinf(ub)) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", ub);
+  return buf;
+}
+
+/// Prometheus sample value: integral values print without a decimal point.
+std::string FormatValue(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string RenderLabels(const std::map<std::string, std::string>& labels,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Minimal recursive-descent JSON reader (same shape as the file-local one in
+// src/runtime/profile.cc, which is deliberately not exported).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  void ExpectObjectStart() { Skip(); Expect('{'); }
+  bool NextKey(std::string* key) {
+    Skip();
+    if (Peek() == '}') { ++pos_; return false; }
+    if (Peek() == ',') ++pos_;
+    Skip();
+    *key = ParseString();
+    Skip();
+    Expect(':');
+    return true;
+  }
+  void ExpectArrayStart() { Skip(); Expect('['); }
+  bool NextElement() {
+    Skip();
+    if (Peek() == ']') { ++pos_; return false; }
+    if (Peek() == ',') { ++pos_; Skip(); }
+    return true;
+  }
+
+  std::string ParseString() {
+    Skip();
+    Expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  double ParseNumber() {
+    Skip();
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::strchr("+-.eE", s_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ParseError("expected number in metrics JSON");
+    return std::strtod(s_.c_str() + start, nullptr);
+  }
+
+  uint64_t ParseUint() { return static_cast<uint64_t>(ParseNumber()); }
+
+  void SkipValue() {
+    Skip();
+    char c = Peek();
+    if (c == '"') { ParseString(); return; }
+    if (c == '{') {
+      ExpectObjectStart();
+      std::string k;
+      while (NextKey(&k)) SkipValue();
+      return;
+    }
+    if (c == '[') {
+      ExpectArrayStart();
+      while (NextElement()) SkipValue();
+      return;
+    }
+    ParseNumber();
+  }
+
+ private:
+  char Peek() const {
+    if (pos_ >= s_.size()) throw ParseError("truncated metrics JSON");
+    return s_[pos_];
+  }
+  void Skip() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  void Expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      throw ParseError(std::string("metrics JSON: expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_name) {
+      os << "# HELP " << s.name << ' ' << s.help << '\n';
+      os << "# TYPE " << s.name << ' ' << s.type << '\n';
+      last_name = s.name;
+    }
+    if (s.type == "histogram") {
+      for (const auto& [le, cum] : s.buckets) {
+        os << s.name << "_bucket"
+           << RenderLabels(s.labels, "le", FormatLe(le)) << ' ' << cum << '\n';
+      }
+      os << s.name << "_sum" << RenderLabels(s.labels) << ' '
+         << FormatValue(s.sum) << '\n';
+      os << s.name << "_count" << RenderLabels(s.labels) << ' ' << s.count
+         << '\n';
+      os << "# " << s.name << " p50=" << FormatValue(s.p50)
+         << " p90=" << FormatValue(s.p90) << " p99=" << FormatValue(s.p99)
+         << " max=" << FormatValue(s.max) << '\n';
+    } else {
+      os << s.name << RenderLabels(s.labels) << ' ' << FormatValue(s.value)
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"samples\": [";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": ";
+    JsonEscape(s.name, os);
+    os << ", \"type\": ";
+    JsonEscape(s.type, os);
+    os << ", \"help\": ";
+    JsonEscape(s.help, os);
+    os << ", \"labels\": {";
+    bool lf = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!lf) os << ", ";
+      lf = false;
+      JsonEscape(k, os);
+      os << ": ";
+      JsonEscape(v, os);
+    }
+    os << "}";
+    if (s.type == "histogram") {
+      os << ", \"buckets\": [";
+      bool bf = true;
+      for (const auto& [le, cum] : s.buckets) {
+        if (!bf) os << ", ";
+        bf = false;
+        os << "{\"le\": ";
+        JsonEscape(FormatLe(le), os);
+        os << ", \"cum\": " << cum << "}";
+      }
+      os << "], \"count\": " << s.count << ", \"sum\": ";
+      JsonDouble(s.sum, os);
+      os << ", \"max\": ";
+      JsonDouble(s.max, os);
+      os << ", \"p50\": ";
+      JsonDouble(s.p50, os);
+      os << ", \"p90\": ";
+      JsonDouble(s.p90, os);
+      os << ", \"p99\": ";
+      JsonDouble(s.p99, os);
+    } else {
+      os << ", \"value\": ";
+      JsonDouble(s.value, os);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+MetricsSnapshot SnapshotFromJson(const std::string& json) {
+  MetricsSnapshot snap;
+  JsonReader r(json);
+  r.ExpectObjectStart();
+  std::string key;
+  while (r.NextKey(&key)) {
+    if (key != "samples") {
+      r.SkipValue();
+      continue;
+    }
+    r.ExpectArrayStart();
+    while (r.NextElement()) {
+      r.ExpectObjectStart();
+      MetricSample s;
+      std::string f;
+      while (r.NextKey(&f)) {
+        if (f == "name") s.name = r.ParseString();
+        else if (f == "type") s.type = r.ParseString();
+        else if (f == "help") s.help = r.ParseString();
+        else if (f == "labels") {
+          r.ExpectObjectStart();
+          std::string lk;
+          while (r.NextKey(&lk)) s.labels[lk] = r.ParseString();
+        } else if (f == "buckets") {
+          r.ExpectArrayStart();
+          while (r.NextElement()) {
+            r.ExpectObjectStart();
+            double le = 0;
+            uint64_t cum = 0;
+            std::string bf;
+            while (r.NextKey(&bf)) {
+              if (bf == "le") {
+                std::string tok = r.ParseString();
+                le = tok == "+Inf" ? std::numeric_limits<double>::infinity()
+                                   : std::strtod(tok.c_str(), nullptr);
+              } else if (bf == "cum") {
+                cum = r.ParseUint();
+              } else {
+                r.SkipValue();
+              }
+            }
+            s.buckets.emplace_back(le, cum);
+          }
+        } else if (f == "count") s.count = r.ParseUint();
+        else if (f == "sum") s.sum = r.ParseNumber();
+        else if (f == "max") s.max = r.ParseNumber();
+        else if (f == "p50") s.p50 = r.ParseNumber();
+        else if (f == "p90") s.p90 = r.ParseNumber();
+        else if (f == "p99") s.p99 = r.ParseNumber();
+        else if (f == "value") s.value = r.ParseNumber();
+        else r.SkipValue();
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace ldb

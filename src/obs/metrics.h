@@ -1,0 +1,222 @@
+// Service-wide metrics: sharded counters, gauges, and log-bucketed
+// histograms cheap enough to sit on hot paths, collected in a
+// MetricsRegistry that renders Prometheus text and JSON snapshots.
+//
+// Design rules (docs/OBSERVABILITY.md has the full catalog):
+//  * Counter::Inc is one relaxed fetch_add on a thread-striped cache line —
+//    no locks, no false sharing between worker threads.
+//  * Histogram::Observe is one relaxed fetch_add on a power-of-two bucket
+//    plus CAS updates of sum/max; it is called once per query, never per row.
+//  * Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+//    meant for startup / first-use paths; call sites cache the returned
+//    pointer, which stays valid for the registry's lifetime.
+//  * Building with -DLDB_METRICS=OFF defines LDB_METRICS_ENABLED=0 and
+//    compiles Inc/Set/Add/Observe down to empty inline functions, so the
+//    "metrics compiled out" baseline really has zero hot-path cost.
+//
+// The runtime layer never includes this header: engines report through the
+// plain ExecTotals struct in src/runtime/physical.h and the QueryService
+// (which sees both layers) flushes those totals into the registry.
+
+#ifndef LAMBDADB_OBS_METRICS_H_
+#define LAMBDADB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef LDB_METRICS_ENABLED
+#define LDB_METRICS_ENABLED 1
+#endif
+
+namespace ldb {
+namespace obs {
+
+/// Monotonic counter, striped over cache-line-aligned shards so concurrent
+/// morsel workers never contend on one line. Value() sums the shards; it is
+/// monotone but not a linearizable point-in-time read (fine for metrics).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+#if LDB_METRICS_ENABLED
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  /// Threads are assigned shards round-robin on first use.
+  static int ShardIndex();
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins signed gauge (queue depths, live bytes, cache entries).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+#if LDB_METRICS_ENABLED
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t d) {
+#if LDB_METRICS_ENABLED
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  /// Raises the gauge to `v` if it is below (peak tracking).
+  void SetMax(int64_t v) {
+#if LDB_METRICS_ENABLED
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-bucketed histogram: finite bucket upper bounds are 2^0 .. 2^38 plus a
+/// +Inf overflow bucket. Quantile() returns the upper bound of the bucket
+/// containing the requested rank (the max observed value for the overflow
+/// bucket), so p50/p90/p99 are upper bounds accurate to one power of two.
+class Histogram {
+ public:
+  static constexpr int kFiniteBuckets = 39;  // 2^0 .. 2^38
+  static constexpr int kBuckets = kFiniteBuckets + 1;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+  /// q in (0, 1]; returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Upper bound of bucket `i`; +Inf for the last bucket.
+  static double BucketUpperBound(int i);
+  /// Cumulative counts per bucket (Prometheus `le` semantics).
+  std::vector<uint64_t> CumulativeCounts() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<double> sum_{0};
+  std::atomic<double> max_{0};
+};
+
+/// One rendered metric (counter/gauge value or full histogram state).
+struct MetricSample {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram"
+  std::string help;
+  std::map<std::string, std::string> labels;
+
+  double value = 0;  ///< counter/gauge
+
+  // histogram only:
+  std::vector<std::pair<double, uint64_t>> buckets;  ///< (le, cumulative)
+  uint64_t count = 0;
+  double sum = 0;
+  double max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by (name, labels)
+/// so renders are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Prometheus text exposition format (histograms expand to _bucket/_sum/
+  /// _count series; quantiles are emitted as # comments, not series).
+  std::string ToPrometheusText() const;
+  /// Self-contained JSON, round-tripped by SnapshotFromJson.
+  std::string ToJson() const;
+};
+
+/// Parses a snapshot produced by ToJson. Throws ParseError on bad input.
+MetricsSnapshot SnapshotFromJson(const std::string& json);
+
+/// Owns every metric instrument. Thread-safe; returned pointers are stable
+/// for the registry's lifetime (deque storage behind a mutex).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// True when metrics are compiled in (LDB_METRICS_ENABLED).
+  static constexpr bool Enabled() { return LDB_METRICS_ENABLED != 0; }
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      std::map<std::string, std::string> labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  std::map<std::string, std::string> labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::map<std::string, std::string> labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::map<std::string, std::string> labels;
+    std::string type;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+  /// Series identity: name plus rendered labels. Re-registering the same
+  /// series returns the existing instrument; a kind mismatch throws.
+  Entry* FindOrCreate(const std::string& name, const std::string& help,
+                      std::map<std::string, std::string> labels,
+                      const std::string& type);
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<Entry> entries_;
+  std::map<std::string, Entry*> by_key_;
+};
+
+}  // namespace obs
+}  // namespace ldb
+
+#endif  // LAMBDADB_OBS_METRICS_H_

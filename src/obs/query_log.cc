@@ -1,0 +1,67 @@
+#include "src/obs/query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ldb {
+namespace obs {
+
+std::string QueryLogRecord::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "#%llu session=%llu %s %s%s queue=%.2fms compile=%.2fms "
+                "exec=%.2fms rows=%llu engine=%s threads=%d hash=%016llx",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(session), status.c_str(),
+                plan_cached ? "cached" : "compiled", slow ? " SLOW" : "",
+                queue_ms, compile_ms, exec_ms,
+                static_cast<unsigned long long>(rows), engine.c_str(), threads,
+                static_cast<unsigned long long>(query_hash));
+  std::string out = buf;
+  if (!error.empty()) {
+    out += " error=\"";
+    out += error;
+    out += '"';
+  }
+  return out;
+}
+
+uint64_t QueryLog::Append(QueryLogRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.id = ++appended_;
+  if (rec.slow) ++slow_;
+  uint64_t id = rec.id;
+  ring_[static_cast<size_t>((appended_ - 1) % capacity_)] = std::move(rec);
+  return id;
+}
+
+std::vector<QueryLogRecord> QueryLog::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = static_cast<size_t>(std::min<uint64_t>(appended_, capacity_));
+  n = std::min(n, live);
+  std::vector<QueryLogRecord> out;
+  out.reserve(n);
+  // Records appended_-n+1 .. appended_ (1-based ids), oldest first.
+  for (uint64_t id = appended_ - n + 1; id <= appended_ && n > 0; ++id) {
+    out.push_back(ring_[static_cast<size_t>((id - 1) % capacity_)]);
+  }
+  return out;
+}
+
+uint64_t QueryLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t QueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ > capacity_ ? appended_ - capacity_ : 0;
+}
+
+uint64_t QueryLog::slow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+}  // namespace obs
+}  // namespace ldb

@@ -1,0 +1,38 @@
+// Trace-event export: renders a profiled execution (and optionally its
+// CompileTrace) as Chrome trace-event JSON, loadable in chrome://tracing or
+// Perfetto (ui.perfetto.dev -> "Open trace file").
+//
+// Lanes:
+//   pid 1 "compile"  — one span per optimizer stage, laid end to end;
+//   pid 2 "execute"  — one thread lane per morsel worker, one span per
+//                      morsel (ts/dur from MorselStats.start_ns/dur_ns);
+//                      serial runs get a single "pipeline" span of wall_ns;
+//   pid 3 "operators (cumulative)" — one lane per physical operator, one
+//                      span whose duration is the operator's cumulative
+//                      open_ns + next_ns, so per-operator totals can be read
+//                      off the timeline and checked against EXPLAIN ANALYZE.
+//
+// All timestamps are microseconds (the trace-event format's unit); spans
+// within a lane never overlap, so the timeline needs no async-event pairs.
+
+#ifndef LAMBDADB_OBS_TRACE_EXPORT_H_
+#define LAMBDADB_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+namespace ldb {
+
+class QueryProfiler;   // src/runtime/profile.h
+struct CompileTrace;   // src/core/optimizer.h
+
+namespace obs {
+
+/// Renders the profile (plus the compile trace when given) as a JSON object
+/// `{"displayTimeUnit": "ms", "traceEvents": [...]}`.
+std::string TraceEventsJson(const QueryProfiler& prof,
+                            const CompileTrace* trace = nullptr);
+
+}  // namespace obs
+}  // namespace ldb
+
+#endif  // LAMBDADB_OBS_TRACE_EXPORT_H_

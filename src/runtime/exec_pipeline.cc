@@ -41,6 +41,20 @@ double NsSince(ProfClock::time_point t0) {
       .count();
 }
 
+// Flushes a serial run's root-row count into ExecOptions::totals on scope
+// exit, so a QueryCancelled unwind still reports the partial total. The
+// counter stays a plain local on the fold loop's hot path.
+struct SerialTotalsGuard {
+  ExecTotals* totals;
+  const uint64_t* rows;
+  ~SerialTotalsGuard() {
+    if (totals != nullptr) {
+      totals->root_rows += *rows;
+      totals->mode = "serial";
+    }
+  }
+};
+
 // Short operator label: the kind plus the extent for scans.
 std::string ProfLabel(PhysKind kind, const std::string& extent) {
   std::string out = PhysKindName(kind);
@@ -570,6 +584,8 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
   ev.SetCancel(options.cancel);
   Accumulator acc(plan->monoid);
   Env env;
+  uint64_t folded = 0;
+  SerialTotalsGuard totals_guard{options.totals, &folded};
   if (prof == nullptr) {
     std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
     input->Open();
@@ -577,6 +593,7 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
       PollCancel(options.cancel);
       if (!ev.EvalPred(plan->pred, env)) continue;
       acc.Add(ev.Eval(plan->head, env));
+      ++folded;
       if (acc.Saturated()) break;  // the pipeline stops pulling here
     }
     input->Close();
@@ -598,6 +615,7 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
     if (!ev.EvalPred(plan->pred, env)) continue;
     acc.Add(ev.Eval(plan->head, env));
     ++rstats->rows_out;
+    ++folded;
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;
@@ -1262,6 +1280,8 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
   ctx.profiler = prof;
   Accumulator acc(sp.root->monoid);
   Value scratch;
+  uint64_t folded = 0;
+  SerialTotalsGuard totals_guard{opt.totals, &folded};
   if (prof == nullptr) {
     std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
     input->Open();
@@ -1269,6 +1289,7 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
       PollCancel(opt.cancel);
       if (!fev.EvalPred(*sp.root->pred, frame)) continue;
       acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
+      ++folded;
       if (acc.Saturated()) break;  // the pipeline stops pulling here
     }
     input->Close();
@@ -1287,6 +1308,7 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
     if (!fev.EvalPred(*sp.root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
     ++rstats->rows_out;
+    ++folded;
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;
@@ -1537,6 +1559,10 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
 
   QueryProfiler* uprof = opt.profiler;
   const bool profiling = uprof != nullptr;
+  // ExecTotals collection rides on the same per-worker counters profiling
+  // uses (plain fields, summed after the join) — worker states are retained
+  // whenever either consumer is attached.
+  const bool track = profiling || opt.totals != nullptr;
 
   const SlotOpPtr sub_root = spine.lowest_nest ? spine.lowest_nest->left
                                                : root->left;
@@ -1560,32 +1586,62 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     auto state = std::make_shared<WorkerPipeline>(
         db, sp, opt, sub_root, shared, spine.driver->id,
         worker_seq.fetch_add(1, std::memory_order_relaxed), profiling);
-    if (profiling) {
+    if (track) {
       std::lock_guard<std::mutex> lock(states_mu);
       states.push_back(state);
     }
     return state;
   };
 
+  // Timeline origin for MorselStats spans (trace export draws one lane per
+  // worker from these offsets).
+  const auto run_epoch = ProfClock::now();
+
   // Records the morsel into the worker's totals and the per-morsel table
   // (only ever this worker's slot: each index is grabbed exactly once).
   auto record_morsel = [&](WorkerPipeline& w, size_t idx, size_t lo, size_t hi,
                            uint64_t rows, ProfClock::time_point t0) {
+    double dur = NsSince(t0);
     w.wstats.morsels += 1;
     w.wstats.rows += rows;
-    w.wstats.busy_ns += NsSince(t0);
-    morsel_stats[idx] = MorselStats{idx, lo, hi, rows};
+    w.wstats.busy_ns += dur;
+    if (profiling) {
+      double start =
+          std::chrono::duration<double, std::nano>(t0 - run_epoch).count();
+      morsel_stats[idx] =
+          MorselStats{idx, lo, hi, rows, w.wstats.worker, start, dur};
+    }
   };
 
-  // Merges prebuild/worker counters and parallel metadata into *uprof.
-  auto harvest = [&](const char* mode) {
-    uprof->parallel_mode = mode;
-    uprof->threads_used = n_workers;
-    uprof->morsel_size = morsel;
+  // Merges prebuild/worker counters and parallel metadata into *uprof and
+  // flushes ExecTotals. Runs exactly once — on the success path or on a
+  // QueryCancelled/error unwind, never both. The exactly-once flag matters
+  // beyond idempotence: mode B's serial tail executes *after* this and
+  // accumulates straight into *uprof, so a second merge of the worker
+  // profilers (e.g. from a catch-all around the tail) would double-count
+  // every sub-spine operator.
+  bool finished = false;
+  auto finish = [&](const char* mode, bool rows_are_root) {
+    if (finished) return;
+    finished = true;
     std::sort(states.begin(), states.end(),
               [](const auto& a, const auto& b) {
                 return a->wstats.worker < b->wstats.worker;
               });
+    if (opt.totals != nullptr) {
+      ExecTotals& t = *opt.totals;
+      t.mode = mode;
+      t.workers = static_cast<int>(states.size());
+      for (const auto& s : states) {
+        t.morsels += s->wstats.morsels;
+        t.busy_ns += s->wstats.busy_ns;
+        if (rows_are_root) t.root_rows += s->wstats.rows;
+      }
+    }
+    if (!profiling) return;
+    uprof->parallel_mode = mode;
+    uprof->threads_used = n_workers;
+    uprof->morsel_size = morsel;
     for (const auto& s : states) {
       uprof->MergeFrom(s->prof);
       uprof->workers.push_back(s->wstats);
@@ -1599,7 +1655,8 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     // Mode A: workers run the whole spine including the root reduce; one
     // partial accumulator per morsel, merged in morsel order.
     std::vector<std::optional<Accumulator>> parts(n_morsels);
-    RunMorsels(mq, n_workers, stop, make_state,
+    auto run_a = [&] {
+      RunMorsels(mq, n_workers, stop, make_state,
                [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
                  auto t0 = ProfClock::now();
                  w.driver->SetRange(lo, hi);
@@ -1607,9 +1664,11 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                  Accumulator acc(root->monoid);
                  Value scratch;
                  if (!w.profiled) {
+                   uint64_t plain_rows = 0;
                    while (w.pipe->Next()) {
                      if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
                      acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                     ++plain_rows;
                      if (acc.Saturated()) {
                        // The saturated value is the final result whichever
                        // morsel produces it first; stop dispatching.
@@ -1619,6 +1678,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                    }
                    w.pipe->Close();
                    parts[idx].emplace(std::move(acc));
+                   if (track) record_morsel(w, idx, lo, hi, plain_rows, t0);
                    return;
                  }
                  OperatorStats* rstats =
@@ -1641,11 +1701,20 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                  parts[idx].emplace(std::move(acc));
                  record_morsel(w, idx, lo, hi, folded, t0);
                });
+    };
+    try {
+      run_a();
+    } catch (...) {
+      // Cancellation (or any per-morsel error) still merges the worker
+      // profilers into *uprof — exactly once — before the unwind continues.
+      finish("spine-reduce", /*rows_are_root=*/true);
+      throw;
+    }
     Accumulator final_acc(root->monoid);
     for (std::optional<Accumulator>& p : parts) {
       if (p) final_acc.Absorb(*p);
     }
-    if (profiling) harvest("spine-reduce");
+    finish("spine-reduce", /*rows_are_root=*/true);
     *out = final_acc.Finish();
     return true;
   }
@@ -1656,7 +1725,8 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   // then the plan above the nest executes serially over the merged groups.
   const SlotOp& nest = *spine.lowest_nest;
   std::vector<std::optional<PartialGroups>> parts(n_morsels);
-  RunMorsels(mq, n_workers, stop, make_state,
+  try {
+    RunMorsels(mq, n_workers, stop, make_state,
              [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
                auto t0 = ProfClock::now();
                w.driver->SetRange(lo, hi);
@@ -1669,8 +1739,12 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                }
                w.pipe->Close();
                parts[idx].emplace(std::move(pg));
-               if (w.profiled) record_morsel(w, idx, lo, hi, rows, t0);
+               if (track) record_morsel(w, idx, lo, hi, rows, t0);
              });
+  } catch (...) {
+    finish("spine-nest", /*rows_are_root=*/false);
+    throw;
+  }
 
   PartialGroups merged;
   for (std::optional<PartialGroups>& p : parts) {
@@ -1685,10 +1759,12 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
       merged.groups[it->second].acc.Absorb(g.acc);
     }
   }
-  if (profiling) harvest("spine-nest");
+  finish("spine-nest", /*rows_are_root=*/false);
 
   // The serial tail above the nest accumulates straight into the caller's
-  // profiler (it runs once, exactly like the serial path).
+  // profiler (it runs once, exactly like the serial path). `finish` already
+  // ran, so a tail unwind cannot re-merge the worker profilers; the guard
+  // below still flushes the tail's partial root-row count into the totals.
   FrameEvaluator fev(db);
   ArmEvaluator(&fev, opt);
   Frame frame(static_cast<size_t>(sp.n_slots));
@@ -1701,6 +1777,14 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   ctx.profiler = uprof;
   Accumulator acc(root->monoid);
   Value scratch;
+  uint64_t tail_rows = 0;
+  struct TailTotalsGuard {
+    ExecTotals* totals;
+    const uint64_t* rows;
+    ~TailTotalsGuard() {
+      if (totals != nullptr) totals->root_rows += *rows;
+    }
+  } tail_guard{opt.totals, &tail_rows};
   if (!profiling) {
     std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
     input->Open();
@@ -1708,6 +1792,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
       PollCancel(opt.cancel);
       if (!fev.EvalPred(*root->pred, frame)) continue;
       acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
+      ++tail_rows;
       if (acc.Saturated()) break;
     }
     input->Close();
@@ -1726,6 +1811,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     if (!fev.EvalPred(*root->pred, frame)) continue;
     acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
     ++rstats->rows_out;
+    ++tail_rows;
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;
@@ -1783,10 +1869,17 @@ Value ExecuteSlotPlan(const SlotPlan& plan, const Database& db,
   auto wall0 = ProfClock::now();
   Value result;
   bool done = false;
-  if (options.n_threads > 1) {
-    done = TryExecuteParallel(plan, db, options, &result);
+  try {
+    if (options.n_threads > 1) {
+      done = TryExecuteParallel(plan, db, options, &result);
+    }
+    if (!done) result = ExecuteSlotSerial(plan, db, options, options.profiler);
+  } catch (...) {
+    // A cancelled (or failed) run still records how long it ran; the worker
+    // profilers were already merged by the executor's unwind path.
+    options.profiler->wall_ns += NsSince(wall0);
+    throw;
   }
-  if (!done) result = ExecuteSlotSerial(plan, db, options, options.profiler);
   options.profiler->wall_ns += NsSince(wall0);
   return result;
 }

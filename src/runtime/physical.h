@@ -36,6 +36,21 @@ struct PhysicalOptions {
 
 class QueryProfiler;  // fwd (src/runtime/profile.h)
 
+/// Always-on execution totals, filled by both engines regardless of whether
+/// a profiler is attached. The counters are kept by each run with plain
+/// locals (one increment per root row; no atomics, no per-operator state)
+/// and written out once at pipeline end, so they are cheap enough for the
+/// service to collect on every query. The runtime layer knows nothing about
+/// metrics; the QueryService flushes these into its MetricsRegistry
+/// (src/obs/metrics.h).
+struct ExecTotals {
+  uint64_t root_rows = 0;   ///< rows folded by the root Reduce
+  uint64_t morsels = 0;     ///< morsels dispatched (0 for serial runs)
+  int workers = 0;          ///< worker threads that ran (0 for serial)
+  double busy_ns = 0;       ///< summed worker busy time (0 for serial)
+  const char* mode = "serial";  ///< "serial" | "spine-reduce" | "spine-nest"
+};
+
 /// Options for the pipelined executor (ExecutePipelined).
 struct ExecOptions {
   /// Worker threads for morsel-driven parallelism. 1 = serial. Parallelism
@@ -66,6 +81,10 @@ struct ExecOptions {
   /// The slot engine writes these into reserved frame slots before rows
   /// flow; the Env engine resolves them through the interpreter.
   const std::map<std::string, Value>* params = nullptr;
+  /// Always-on execution totals sink. Null (the default) skips the writes;
+  /// non-null: filled at pipeline end, including on a QueryCancelled unwind
+  /// (partial totals), so service metrics count cancelled work too.
+  ExecTotals* totals = nullptr;
 };
 
 /// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`

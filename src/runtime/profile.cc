@@ -281,7 +281,12 @@ std::string ProfileToJson(const QueryProfiler& prof) {
     if (!first) os << ", ";
     first = false;
     os << "{\"index\": " << m.index << ", \"lo\": " << m.lo
-       << ", \"hi\": " << m.hi << ", \"rows\": " << m.rows << "}";
+       << ", \"hi\": " << m.hi << ", \"rows\": " << m.rows
+       << ", \"worker\": " << m.worker << ", \"start_ns\": ";
+    JsonDouble(m.start_ns, os);
+    os << ", \"dur_ns\": ";
+    JsonDouble(m.dur_ns, os);
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -361,6 +366,9 @@ QueryProfiler ProfileFromJson(const std::string& json) {
           else if (f == "lo") m.lo = r.ParseUint();
           else if (f == "hi") m.hi = r.ParseUint();
           else if (f == "rows") m.rows = r.ParseUint();
+          else if (f == "worker") m.worker = static_cast<int>(r.ParseNumber());
+          else if (f == "start_ns") m.start_ns = r.ParseNumber();
+          else if (f == "dur_ns") m.dur_ns = r.ParseNumber();
           else r.SkipValue();
         }
         prof.morsels.push_back(m);

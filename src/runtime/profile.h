@@ -66,12 +66,17 @@ struct WorkerStats {
   double busy_ns = 0;     ///< time spent executing morsels
 };
 
-/// Per-morsel accounting: extent range and spine rows produced.
+/// Per-morsel accounting: extent range, spine rows produced, and the span
+/// on the execution timeline (relative to the parallel run's start) so the
+/// trace exporter (src/obs/trace_export.h) can draw one lane per worker.
 struct MorselStats {
   uint64_t index = 0;
   uint64_t lo = 0;
   uint64_t hi = 0;
   uint64_t rows = 0;
+  int worker = -1;      ///< worker that executed this morsel
+  double start_ns = 0;  ///< offset from the run's first morsel grab
+  double dur_ns = 0;    ///< wall time this worker spent on the morsel
 };
 
 /// Profile of one pipeline execution. Operator registration is single-

@@ -7,9 +7,11 @@ std::shared_ptr<const PreparedPlan> PlanCache::Lookup(const std::string& key) {
   auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++misses_;
+    if (hooks_.misses != nullptr) hooks_.misses->Inc();
     return nullptr;
   }
   ++hits_;
+  if (hooks_.hits != nullptr) hooks_.hits->Inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return lru_.front().second;
 }
@@ -28,14 +30,41 @@ void PlanCache::Insert(const std::string& key,
   while (lru_.size() > capacity_ && capacity_ > 0) {
     by_key_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    ++evictions_capacity_;
+    if (hooks_.evictions_capacity != nullptr) hooks_.evictions_capacity->Inc();
   }
+  if (hooks_.entries != nullptr)
+    hooks_.entries->Set(static_cast<int64_t>(lru_.size()));
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  evictions_invalidated_ += lru_.size();
+  if (hooks_.evictions_invalidated != nullptr)
+    hooks_.evictions_invalidated->Inc(lru_.size());
   lru_.clear();
   by_key_.clear();
+  if (hooks_.entries != nullptr) hooks_.entries->Set(0);
+}
+
+size_t PlanCache::EvictNotMatching(const std::string& stamp_fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.find(stamp_fragment) == std::string::npos) {
+      by_key_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evictions_invalidated_ += dropped;
+  if (hooks_.evictions_invalidated != nullptr && dropped > 0)
+    hooks_.evictions_invalidated->Inc(dropped);
+  if (hooks_.entries != nullptr)
+    hooks_.entries->Set(static_cast<int64_t>(lru_.size()));
+  return dropped;
 }
 
 PlanCacheStats PlanCache::Stats() const {
@@ -43,7 +72,9 @@ PlanCacheStats PlanCache::Stats() const {
   PlanCacheStats out;
   out.hits = hits_;
   out.misses = misses_;
-  out.evictions = evictions_;
+  out.evictions_capacity = evictions_capacity_;
+  out.evictions_invalidated = evictions_invalidated_;
+  out.evictions = evictions_capacity_ + evictions_invalidated_;
   out.entries = lru_.size();
   out.capacity = capacity_;
   return out;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/core/optimizer.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/physical_plan.h"
 #include "src/runtime/slot_plan.h"
 
@@ -49,11 +50,16 @@ struct PreparedPlan {
   bool fallback_run = false;
 };
 
-/// Point-in-time cache counters.
+/// Point-in-time cache counters. `evictions` is the lifetime total;
+/// the two `evictions_*` fields split it by reason so metrics can tell LRU
+/// pressure (capacity) apart from plans dropped because the schema/catalog/
+/// flags version stamp moved on (invalidated — includes Clear()).
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;  ///< evictions_capacity + evictions_invalidated
+  uint64_t evictions_capacity = 0;
+  uint64_t evictions_invalidated = 0;
   size_t entries = 0;
   size_t capacity = 0;
 };
@@ -61,7 +67,21 @@ struct PlanCacheStats {
 /// Thread-safe LRU map from cache key to PreparedPlan.
 class PlanCache {
  public:
+  /// Optional metric instruments updated at event time (in addition to the
+  /// internal counters, which exist regardless). All pointers may be null.
+  struct MetricHooks {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions_capacity = nullptr;
+    obs::Counter* evictions_invalidated = nullptr;
+    obs::Gauge* entries = nullptr;
+  };
+
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Installs metric instruments. Call before concurrent use (the service
+  /// does it at construction).
+  void SetMetricHooks(MetricHooks hooks) { hooks_ = hooks; }
 
   /// Returns the cached plan and counts a hit (moving the entry to the
   /// front), or nullptr and counts a miss.
@@ -73,7 +93,15 @@ class PlanCache {
               std::shared_ptr<const PreparedPlan> plan);
 
   /// Drops every entry (counters are kept — they are lifetime totals).
+  /// Dropped entries count as invalidation evictions.
   void Clear();
+
+  /// Drops every entry whose key does not contain `stamp_fragment` (the
+  /// "\n@<version-stamp>" suffix the service builds into each key). Used
+  /// when the catalog/schema changes: surviving entries were compiled under
+  /// the current stamp. Returns the number of entries dropped; each counts
+  /// as an invalidation eviction.
+  size_t EvictNotMatching(const std::string& stamp_fragment);
 
   PlanCacheStats Stats() const;
 
@@ -82,12 +110,14 @@ class PlanCache {
       std::list<std::pair<std::string, std::shared_ptr<const PreparedPlan>>>;
 
   mutable std::mutex mu_;
+  MetricHooks hooks_;
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> by_key_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  uint64_t evictions_capacity_ = 0;
+  uint64_t evictions_invalidated_ = 0;
 };
 
 }  // namespace ldb

@@ -71,6 +71,10 @@ std::string ComputeVersionStamp(const Schema& schema,
   return std::to_string(std::hash<std::string>{}(os.str()));
 }
 
+uint64_t ResultRowCount(const Value& v) {
+  return v.is_collection() ? static_cast<uint64_t>(v.AsElems().size()) : 1;
+}
+
 }  // namespace
 
 /// Counting-semaphore admission with a bounded, deadline-aware wait queue.
@@ -79,9 +83,11 @@ std::string ComputeVersionStamp(const Schema& schema,
 class QueryService::AdmissionGuard {
  public:
   AdmissionGuard(QueryService* svc, const CancelToken& token) : svc_(svc) {
+    const Instruments& ins = svc_->ins_;
     std::unique_lock<std::mutex> lock(svc_->admission_mu_);
     if (svc_->running_ < svc_->options_.max_concurrent) {
       ++svc_->running_;
+      if (ins.enabled) ins.queries_running->Set(svc_->running_);
       return;
     }
     if (svc_->waiting_ >= svc_->options_.max_queue) {
@@ -91,20 +97,33 @@ class QueryService::AdmissionGuard {
           std::to_string(svc_->options_.max_queue) + " is full");
     }
     ++svc_->waiting_;
+    if (ins.enabled) {
+      ins.admission_waits->Inc();
+      ins.admission_queue_depth->Set(static_cast<int64_t>(svc_->waiting_));
+    }
     while (svc_->running_ >= svc_->options_.max_concurrent) {
       svc_->admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
       if (token.Expired()) {
         --svc_->waiting_;
+        if (ins.enabled) {
+          ins.admission_timeouts->Inc();
+          ins.admission_queue_depth->Set(static_cast<int64_t>(svc_->waiting_));
+        }
         token.ThrowIfCancelled();
       }
     }
     --svc_->waiting_;
     ++svc_->running_;
+    if (ins.enabled) {
+      ins.queries_running->Set(svc_->running_);
+      ins.admission_queue_depth->Set(static_cast<int64_t>(svc_->waiting_));
+    }
   }
 
   ~AdmissionGuard() {
     std::lock_guard<std::mutex> lock(svc_->admission_mu_);
     --svc_->running_;
+    if (svc_->ins_.enabled) svc_->ins_.queries_running->Set(svc_->running_);
     svc_->admission_cv_.notify_one();
   }
 
@@ -118,9 +137,88 @@ class QueryService::AdmissionGuard {
 QueryService::QueryService(const Database& db, ServiceOptions options)
     : db_(db),
       options_(std::move(options)),
-      cache_(options_.plan_cache_capacity) {
+      cache_(options_.plan_cache_capacity),
+      query_log_(options_.query_log_capacity, options_.slow_query_ms) {
   if (options_.max_concurrent < 1) options_.max_concurrent = 1;
   version_stamp_ = ComputeVersionStamp(db_.schema(), options_.optimizer);
+  InitInstruments();
+}
+
+void QueryService::InitInstruments() {
+  ins_.enabled = options_.enable_metrics && obs::MetricsRegistry::Enabled();
+  if (!ins_.enabled) return;
+  obs::MetricsRegistry& m = metrics_;
+  ins_.queries_started =
+      m.GetCounter("ldb_queries_started_total", "Queries the service accepted");
+  ins_.queries_ok =
+      m.GetCounter("ldb_queries_ok_total", "Queries that returned a result");
+  ins_.queries_failed = m.GetCounter("ldb_queries_failed_total",
+                                     "Queries that threw (parse/type/eval)");
+  ins_.queries_cancelled =
+      m.GetCounter("ldb_queries_cancelled_total",
+                   "Queries aborted by cancellation or deadline");
+  ins_.queries_rejected = m.GetCounter(
+      "ldb_queries_rejected_total", "Queries refused at admission (queue full)");
+  ins_.slow_queries = m.GetCounter(
+      "ldb_slow_queries_total", "Queries at or above the slow-query threshold");
+  ins_.sessions_opened =
+      m.GetCounter("ldb_sessions_opened_total", "Sessions created");
+  ins_.admission_waits = m.GetCounter(
+      "ldb_admission_waits_total", "Queries that had to queue for a slot");
+  ins_.admission_timeouts =
+      m.GetCounter("ldb_admission_timeouts_total",
+                   "Queries whose deadline expired while queued");
+  ins_.admission_wait_ms = m.GetHistogram(
+      "ldb_admission_wait_ms", "Milliseconds spent waiting for admission");
+  ins_.queries_running =
+      m.GetGauge("ldb_queries_running", "Queries executing right now");
+  ins_.admission_queue_depth =
+      m.GetGauge("ldb_admission_queue_depth", "Queries waiting for admission");
+  ins_.compile_ms = m.GetHistogram(
+      "ldb_query_compile_ms", "Milliseconds in parse + key build + compile");
+  ins_.exec_ms =
+      m.GetHistogram("ldb_query_exec_ms", "Milliseconds executing the plan");
+  ins_.total_ms = m.GetHistogram("ldb_query_total_ms",
+                                 "End-to-end query milliseconds (incl. queue)");
+  ins_.result_rows =
+      m.GetHistogram("ldb_result_rows", "Rows in the materialized result");
+  ins_.result_bytes = m.GetHistogram(
+      "ldb_result_bytes",
+      "Estimated result bytes (observed when a session budget is set)");
+  ins_.result_bytes_peak = m.GetGauge(
+      "ldb_result_bytes_peak",
+      "Largest estimated result seen (sessions with a memory budget)");
+  ins_.root_rows = m.GetCounter("ldb_root_rows_total",
+                                "Rows folded by root reduces (all queries)");
+  ins_.morsels = m.GetCounter("ldb_morsels_dispatched_total",
+                              "Morsels executed by parallel pipelines");
+  ins_.worker_busy_ns = m.GetCounter(
+      "ldb_worker_busy_ns_total", "Nanoseconds workers spent executing morsels");
+  ins_.parallel_execs = m.GetCounter("ldb_parallel_executions_total",
+                                     "Queries that ran a parallel pipeline");
+  static constexpr PhysKind kKinds[] = {
+      PhysKind::kUnitRow,      PhysKind::kTableScan, PhysKind::kIndexScan,
+      PhysKind::kFilter,       PhysKind::kNLJoin,    PhysKind::kHashJoin,
+      PhysKind::kNLOuterJoin,  PhysKind::kHashOuterJoin,
+      PhysKind::kUnnest,       PhysKind::kOuterUnnest,
+      PhysKind::kHashNest,     PhysKind::kReduce,
+  };
+  for (PhysKind k : kKinds) {
+    ins_.op_rows[static_cast<int>(k)] =
+        m.GetCounter("ldb_operator_rows_total",
+                     "Rows produced per operator class (profiled executions)",
+                     {{"op", PhysKindName(k)}});
+  }
+  cache_.SetMetricHooks(PlanCache::MetricHooks{
+      m.GetCounter("ldb_plan_cache_hits_total", "Plan-cache lookup hits"),
+      m.GetCounter("ldb_plan_cache_misses_total",
+                   "Plan-cache lookup misses (compiles)"),
+      m.GetCounter("ldb_plan_cache_evictions_total",
+                   "Plans evicted, by reason", {{"reason", "capacity"}}),
+      m.GetCounter("ldb_plan_cache_evictions_total",
+                   "Plans evicted, by reason", {{"reason", "invalidated"}}),
+      m.GetGauge("ldb_plan_cache_entries", "Plans currently cached"),
+  });
 }
 
 Database QueryService::LoadWithIndexes(std::istream& in) {
@@ -130,7 +228,9 @@ Database QueryService::LoadWithIndexes(std::istream& in) {
 }
 
 std::shared_ptr<Session> QueryService::OpenSession(SessionOptions options) {
-  return std::make_shared<Session>(std::move(options));
+  if (ins_.enabled) ins_.sessions_opened->Inc();
+  return std::make_shared<Session>(
+      std::move(options), next_session_id_.fetch_add(1) + 1);
 }
 
 void QueryService::Prepare(const std::string& name, const std::string& oql) {
@@ -166,6 +266,15 @@ Value QueryService::Execute(Session& session, const std::string& oql,
 int QueryService::running() const {
   std::lock_guard<std::mutex> lock(admission_mu_);
   return running_;
+}
+
+void QueryService::UpdateCatalog(const Catalog& catalog) {
+  options_.optimizer.catalog = catalog;
+  version_stamp_ = ComputeVersionStamp(db_.schema(), options_.optimizer);
+  // Plans compiled under the old stamp can never be looked up again (every
+  // new key carries the new stamp) — drop them now so the eviction is
+  // attributed to invalidation rather than to later capacity pressure.
+  cache_.EvictNotMatching("\n@" + version_stamp_);
 }
 
 std::shared_ptr<const PreparedPlan> QueryService::GetOrCompile(
@@ -232,13 +341,94 @@ Value QueryService::Run(Session& session, const std::string& oql,
   if (session.options().deadline_ms > 0)
     token.SetDeadlineAfterMs(session.options().deadline_ms);
 
+  if (ins_.enabled) ins_.queries_started->Inc();
+
+  obs::QueryLogRecord rec;
+  rec.session = session.id();
+  rec.query_hash = std::hash<std::string>{}(oql);
+  rec.threads = session.options().n_threads;
+  rec.engine = session.options().use_slot_frames ? "slot" : "env";
+
   Clock::time_point t0 = Clock::now();
+  std::shared_ptr<const PreparedPlan> plan;
+
+  // Classifies the outcome, flushes the per-query metrics, captures the
+  // slow-query plan/profile, and appends the log record — on every exit
+  // path, including the unwinds.
+  auto finalize = [&](const char* status, const std::string& error) {
+    double total_ms = MsBetween(t0, Clock::now());
+    rec.status = status;
+    rec.error = error;
+    rec.slow = query_log_.IsSlow(total_ms);
+    if (ins_.enabled) {
+      ins_.total_ms->Observe(total_ms);
+      if (rec.slow) ins_.slow_queries->Inc();
+      if (profiler != nullptr) {
+        // Per-operator-class row totals come from the profiler, which the
+        // executors merge exactly once even on a cancellation unwind.
+        for (const OperatorStats* s : profiler->Operators()) {
+          auto it = ins_.op_rows.find(static_cast<int>(s->kind));
+          if (it != ins_.op_rows.end()) it->second->Inc(s->rows_out);
+        }
+      }
+    }
+    if (rec.slow) {
+      if (plan != nullptr) {
+        rec.plan_text = plan->fallback_run
+                            ? PrintExpr(plan->compiled.normalized)
+                            : PrintPhysicalPlan(plan->physical);
+      }
+      if (profiler != nullptr) rec.profile_json = ProfileToJson(*profiler);
+    }
+    query_log_.Append(std::move(rec));
+  };
+
+  try {
+    Value result = RunAdmitted(session, oql, stats, profiler, t0, &rec, &plan);
+    if (ins_.enabled) ins_.queries_ok->Inc();
+    finalize("ok", "");
+    return result;
+  } catch (const AdmissionError& e) {
+    if (ins_.enabled) ins_.queries_rejected->Inc();
+    finalize("rejected", e.what());
+    throw;
+  } catch (const QueryCancelled& e) {
+    if (ins_.enabled) ins_.queries_cancelled->Inc();
+    finalize("cancelled", e.what());
+    throw;
+  } catch (const Error& e) {
+    if (ins_.enabled) ins_.queries_failed->Inc();
+    finalize("failed", e.what());
+    throw;
+  } catch (...) {
+    if (ins_.enabled) ins_.queries_failed->Inc();
+    finalize("failed", "(non-Error exception)");
+    throw;
+  }
+}
+
+Value QueryService::RunAdmitted(Session& session, const std::string& oql,
+                                QueryStats* stats, QueryProfiler* profiler,
+                                Clock::time_point t0, obs::QueryLogRecord* rec,
+                                std::shared_ptr<const PreparedPlan>* plan_out) {
+  CancelToken& token = session.token();
+
   AdmissionGuard guard(this, token);
   Clock::time_point t1 = Clock::now();
+  rec->queue_ms = MsBetween(t0, t1);
+  if (ins_.enabled) ins_.admission_wait_ms->Observe(rec->queue_ms);
 
   bool cached = false;
   std::shared_ptr<const PreparedPlan> plan = GetOrCompile(oql, &cached);
+  *plan_out = plan;
   Clock::time_point t2 = Clock::now();
+  rec->compile_ms = MsBetween(t1, t2);
+  rec->plan_cached = cached;
+  rec->cache_key = plan->cache_key;
+  if (plan->fallback_run) rec->engine = "fallback";
+  if (!cached && options_.optimizer.verify_plans && !plan->fallback_run)
+    rec->verify = "ok";  // a verifier rejection would have thrown above
+  if (ins_.enabled) ins_.compile_ms->Observe(rec->compile_ms);
 
   ExecOptions eo;
   eo.n_threads = session.options().n_threads;
@@ -247,27 +437,55 @@ Value QueryService::Run(Session& session, const std::string& oql,
   eo.profiler = profiler;
   eo.cancel = &token;
   eo.params = &session.bindings();
+  ExecTotals totals;
+  if (ins_.enabled) eo.totals = &totals;
+
+  // The engines fill *eo.totals even on a cancellation unwind, so the
+  // always-on counters see partial work from aborted queries too.
+  auto flush_totals = [&] {
+    if (!ins_.enabled) return;
+    ins_.root_rows->Inc(totals.root_rows);
+    ins_.morsels->Inc(totals.morsels);
+    ins_.worker_busy_ns->Inc(static_cast<uint64_t>(totals.busy_ns));
+    if (totals.workers > 0) ins_.parallel_execs->Inc();
+  };
 
   Value result;
-  if (plan->fallback_run) {
-    OptimizerOptions oo = options_.optimizer;
-    oo.exec = eo;
-    Optimizer opt(db_.schema(), oo);
-    result = opt.Run(plan->compiled.calculus, db_);
-  } else if (eo.use_slot_frames) {
-    // The cached SlotPlan is immutable and executes with per-call frames,
-    // so sharing it across concurrent sessions is safe — and skipping
-    // CompileSlotPlan here is most of what a cache hit buys.
-    result = ExecuteSlotPlan(plan->slots, db_, eo);
-  } else {
-    result = ExecutePipelined(plan->physical, db_, eo);
+  try {
+    if (plan->fallback_run) {
+      OptimizerOptions oo = options_.optimizer;
+      oo.exec = eo;
+      Optimizer opt(db_.schema(), oo);
+      result = opt.Run(plan->compiled.calculus, db_);
+    } else if (eo.use_slot_frames) {
+      // The cached SlotPlan is immutable and executes with per-call frames,
+      // so sharing it across concurrent sessions is safe — and skipping
+      // CompileSlotPlan here is most of what a cache hit buys.
+      result = ExecuteSlotPlan(plan->slots, db_, eo);
+    } else {
+      result = ExecutePipelined(plan->physical, db_, eo);
+    }
+  } catch (...) {
+    flush_totals();
+    throw;
   }
   if (plan->ordered)
     result = internal::SortOrderedResult(result, plan->descending);
   Clock::time_point t3 = Clock::now();
+  rec->exec_ms = MsBetween(t2, t3);
+  rec->rows = ResultRowCount(result);
+  flush_totals();
+  if (ins_.enabled) {
+    ins_.exec_ms->Observe(rec->exec_ms);
+    ins_.result_rows->Observe(static_cast<double>(rec->rows));
+  }
 
   if (session.options().memory_budget_bytes > 0) {
     size_t estimate = EstimateValueBytes(result);
+    if (ins_.enabled) {
+      ins_.result_bytes->Observe(static_cast<double>(estimate));
+      ins_.result_bytes_peak->SetMax(static_cast<int64_t>(estimate));
+    }
     if (estimate > session.options().memory_budget_bytes) {
       throw EvalError("result (~" + std::to_string(estimate) +
                       " bytes) exceeds the session memory budget of " +
@@ -285,9 +503,9 @@ Value QueryService::Run(Session& session, const std::string& oql,
   }
   if (stats != nullptr) {
     stats->plan_cached = cached;
-    stats->queue_ms = MsBetween(t0, t1);
-    stats->compile_ms = MsBetween(t1, t2);
-    stats->exec_ms = MsBetween(t2, t3);
+    stats->queue_ms = rec->queue_ms;
+    stats->compile_ms = rec->compile_ms;
+    stats->exec_ms = rec->exec_ms;
     stats->cache = cs;
   }
   return result;

@@ -1,7 +1,7 @@
 // QueryService: a concurrent query front end over one shared immutable
 // Database (docs/SERVICE.md).
 //
-// The service owns the three serving concerns the compiler and executors
+// The service owns the serving concerns the compiler and executors
 // deliberately do not:
 //
 //   * a parameterized plan cache — queries are compiled once per distinct
@@ -11,7 +11,10 @@
 //     CancelToken both engines poll;
 //   * admission — at most `max_concurrent` queries execute at once; up to
 //     `max_queue` more wait on a condition variable (deadline-aware), and
-//     anything beyond that is rejected with AdmissionError.
+//     anything beyond that is rejected with AdmissionError;
+//   * observability — a MetricsRegistry (counters/gauges/histograms over
+//     every query the service runs) and a structured query log with
+//     slow-query plan/profile capture (src/obs/, docs/OBSERVABILITY.md).
 //
 // The Database is shared read-only: every execution builds its own iterator
 // tree / frames, so any number of sessions may run against it concurrently.
@@ -19,6 +22,8 @@
 #ifndef LAMBDADB_SERVICE_QUERY_SERVICE_H_
 #define LAMBDADB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <istream>
 #include <map>
@@ -27,6 +32,8 @@
 #include <string>
 
 #include "src/core/optimizer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
 #include "src/runtime/database.h"
 #include "src/runtime/error.h"
 #include "src/runtime/profile.h"
@@ -54,6 +61,13 @@ struct ServiceOptions {
   /// Compile-side knobs (normalize/simplify/physical selection/catalog).
   /// The exec member is ignored — execution knobs come from each session.
   OptimizerOptions optimizer;
+  /// Collect service metrics (no-op when built with -DLDB_METRICS=OFF).
+  bool enable_metrics = true;
+  /// Query-log ring size (records kept before the oldest is overwritten).
+  size_t query_log_capacity = 256;
+  /// Queries whose total wall time reaches this threshold additionally log
+  /// their rendered plan and profiler snapshot; <= 0 disables slow capture.
+  double slow_query_ms = 50;
 };
 
 /// Per-query service-level timings and cache outcome. Complements the
@@ -102,6 +116,19 @@ class QueryService {
   PlanCacheStats cache_stats() const { return cache_.Stats(); }
   void ClearCache() { cache_.Clear(); }
 
+  /// Swaps in new catalog statistics, recomputes the version stamp, and
+  /// drops every cached plan compiled under the old stamp (they count as
+  /// invalidation evictions, not capacity evictions). Not safe against
+  /// concurrent Execute calls — a maintenance-window operation.
+  void UpdateCatalog(const Catalog& catalog);
+
+  /// Service-wide metrics (docs/OBSERVABILITY.md has the catalog). The
+  /// registry exists even with metrics disabled; it then renders zeros.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The structured query log (bounded ring; slow queries carry plan +
+  /// profile snapshots).
+  obs::QueryLog& query_log() const { return query_log_; }
+
   const Database& db() const { return db_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -111,19 +138,68 @@ class QueryService {
  private:
   class AdmissionGuard;
 
+  /// Metric instruments, registered once at construction and cached so the
+  /// per-query path never touches the registry mutex. `enabled` is false
+  /// when ServiceOptions::enable_metrics is off or metrics are compiled out.
+  struct Instruments {
+    bool enabled = false;
+    obs::Counter* queries_started = nullptr;
+    obs::Counter* queries_ok = nullptr;
+    obs::Counter* queries_failed = nullptr;
+    obs::Counter* queries_cancelled = nullptr;
+    obs::Counter* queries_rejected = nullptr;
+    obs::Counter* slow_queries = nullptr;
+    obs::Counter* sessions_opened = nullptr;
+    obs::Counter* admission_waits = nullptr;
+    obs::Counter* admission_timeouts = nullptr;
+    obs::Histogram* admission_wait_ms = nullptr;
+    obs::Gauge* queries_running = nullptr;
+    obs::Gauge* admission_queue_depth = nullptr;
+    obs::Histogram* compile_ms = nullptr;
+    obs::Histogram* exec_ms = nullptr;
+    obs::Histogram* total_ms = nullptr;
+    obs::Histogram* result_rows = nullptr;
+    obs::Histogram* result_bytes = nullptr;
+    obs::Gauge* result_bytes_peak = nullptr;
+    obs::Counter* root_rows = nullptr;
+    obs::Counter* morsels = nullptr;
+    obs::Counter* worker_busy_ns = nullptr;
+    obs::Counter* parallel_execs = nullptr;
+    /// rows_out per operator class, keyed by static_cast<int>(PhysKind);
+    /// fed from the profiler, so only profiled executions contribute.
+    std::map<int, obs::Counter*> op_rows;
+  };
+  void InitInstruments();
+
   /// Cache lookup by normalized-form key; compiles and inserts on a miss.
   /// Sets *cached to whether the lookup hit.
   std::shared_ptr<const PreparedPlan> GetOrCompile(const std::string& oql,
                                                    bool* cached);
 
-  /// Admission + engine dispatch + ordered-sort + budget check.
+  /// Admission + engine dispatch + ordered-sort + budget check; classifies
+  /// the outcome into metrics and the query log (status ok / failed /
+  /// cancelled / rejected, slow-query plan + profile capture).
   Value Run(Session& session, const std::string& oql, QueryStats* stats,
             QueryProfiler* profiler);
+
+  /// The admitted part of Run (everything inside the admission slot).
+  /// `*plan_out` receives the plan as soon as it is known so the caller can
+  /// render it for the slow-query log even when execution throws.
+  Value RunAdmitted(Session& session, const std::string& oql,
+                    QueryStats* stats, QueryProfiler* profiler,
+                    std::chrono::steady_clock::time_point t0,
+                    obs::QueryLogRecord* rec,
+                    std::shared_ptr<const PreparedPlan>* plan_out);
 
   const Database& db_;
   ServiceOptions options_;
   std::string version_stamp_;  ///< schema/catalog/flags fingerprint
   mutable PlanCache cache_;
+
+  mutable obs::MetricsRegistry metrics_;
+  mutable obs::QueryLog query_log_;
+  Instruments ins_;
+  std::atomic<uint64_t> next_session_id_{0};
 
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;

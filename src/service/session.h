@@ -39,9 +39,14 @@ struct SessionOptions {
 
 class Session {
  public:
-  explicit Session(SessionOptions options) : options_(std::move(options)) {}
+  /// `id` identifies the session in the query log; QueryService::OpenSession
+  /// assigns them from a per-service counter (0 = not service-created).
+  explicit Session(SessionOptions options, uint64_t id = 0)
+      : options_(std::move(options)), id_(id) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
 
   /// Binds parameter `$name` (positional `$1` binds name "1"). Rebinding
   /// replaces; bindings persist across executions until cleared.
@@ -63,6 +68,7 @@ class Session {
   SessionOptions options_;
   std::map<std::string, Value> bindings_;
   CancelToken token_;
+  uint64_t id_ = 0;
 };
 
 }  // namespace ldb

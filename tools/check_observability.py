@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts bench_unnesting --metrics emits.
+
+Usage:
+    check_observability.py <bench.json> <metrics.prom> <trace.json>
+
+Checks three things:
+  * the benchmark report embeds a metrics snapshot with sane counters;
+  * the Prometheus text exposition is well-formed (TYPE lines, cumulative
+    histogram buckets, _count == +Inf bucket);
+  * the Chrome trace-event JSON is loadable, events are well-formed with
+    non-negative monotone-sortable timestamps, and spans within one
+    (pid, tid) lane nest properly (a worker lane never has two morsels
+    overlapping halfway).
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import re
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# A sample line: name, optional {labels}, a float value.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|\+Inf|NaN)$"
+)
+
+
+def check_prometheus(path):
+    typed = {}
+    samples = defaultdict(list)  # name -> [(labels, value)]
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"
+                ):
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line}")
+                if parts[2] in typed:
+                    fail(f"{path}:{lineno}: duplicate TYPE for {parts[2]}")
+                typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: malformed sample line: {line}")
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            samples[name].append((labels, float(value.replace("+Inf", "inf"))))
+
+    if not typed:
+        fail(f"{path}: no TYPE lines — empty exposition?")
+
+    for name, kind in typed.items():
+        if kind != "histogram":
+            if not samples.get(name):
+                fail(f"{path}: TYPE {name} declared but no samples")
+            continue
+        buckets = samples.get(name + "_bucket", [])
+        if not buckets:
+            fail(f"{path}: histogram {name} has no _bucket samples")
+        # Buckets must be cumulative (non-decreasing in le order, which is
+        # the emission order) and end at +Inf matching _count.
+        prev = -1.0
+        inf_cum = None
+        for labels, cum in buckets:
+            if cum < prev:
+                fail(f"{path}: {name} buckets not cumulative at {labels}")
+            prev = cum
+            if 'le="+Inf"' in labels:
+                inf_cum = cum
+        if inf_cum is None:
+            fail(f"{path}: {name} missing the +Inf bucket")
+        counts = samples.get(name + "_count", [])
+        if len(counts) != 1 or counts[0][1] != inf_cum:
+            fail(f"{path}: {name}_count != +Inf bucket cumulative")
+    print(f"prometheus OK: {len(typed)} metrics, "
+          f"{sum(len(v) for v in samples.values())} samples")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    lanes = defaultdict(list)
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"{path}: event {i} has unsupported phase {ph!r}")
+        if ph == "M":
+            continue
+        if not ev.get("name"):
+            fail(f"{path}: complete event {i} has no name")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event {i} has bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"{path}: event {i} has bad dur {dur!r}")
+        lanes[(ev.get("pid"), ev.get("tid"))].append((ts, dur, ev["name"]))
+
+    if not lanes:
+        fail(f"{path}: only metadata events, no spans")
+
+    spans = 0
+    for (pid, tid), lane in lanes.items():
+        lane.sort()
+        open_stack = []  # end timestamps of enclosing spans
+        prev_ts = -1.0
+        for ts, dur, name in lane:
+            if ts < prev_ts:
+                fail(f"{path}: lane {pid}/{tid} timestamps not sorted")
+            prev_ts = ts
+            # Timestamps are rendered with microsecond %.3f precision, so
+            # adjacent spans can appear to overlap by up to ~1e-3 us.
+            end = ts + dur
+            while open_stack and ts >= open_stack[-1] - 2e-3:
+                open_stack.pop()
+            if open_stack and end > open_stack[-1] + 2e-3:
+                fail(f"{path}: lane {pid}/{tid} span '{name}' "
+                     f"[{ts}, {end}) overlaps its predecessor without nesting")
+            open_stack.append(end)
+            spans += 1
+    print(f"trace OK: {spans} spans across {len(lanes)} lanes")
+
+
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not metrics:
+        fail(f"{path}: no top-level metrics block (run with --metrics)")
+    by_name = defaultdict(float)
+    for s in metrics.get("samples", []):
+        if "name" not in s or "type" not in s:
+            fail(f"{path}: metrics sample missing name/type: {s}")
+        if s["type"] == "counter":
+            by_name[s["name"]] += s.get("value", 0)
+    started = by_name.get("ldb_queries_started_total", 0)
+    ok = by_name.get("ldb_queries_ok_total", 0)
+    hits = by_name.get("ldb_plan_cache_hits_total", 0)
+    if started <= 0:
+        fail(f"{path}: ldb_queries_started_total is {started} after a "
+             "service run")
+    if ok <= 0 or ok > started:
+        fail(f"{path}: ldb_queries_ok_total {ok} inconsistent with "
+             f"started {started}")
+    if hits <= 0:
+        fail(f"{path}: no plan-cache hits in a repeated-statement mix")
+    print(f"bench metrics OK: {started:.0f} started, {ok:.0f} ok, "
+          f"{hits:.0f} cache hits")
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_bench(sys.argv[1])
+    check_prometheus(sys.argv[2])
+    check_trace(sys.argv[3])
+    print("all observability artifacts OK")
+
+
+if __name__ == "__main__":
+    main()
