@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -268,12 +269,55 @@ void RunServiceExperiment(int n_clients, bool quick) {
   // standalone artifacts (CI uploads and validates them).
   if (bench::JsonReporter::Get().metrics()) {
     auto session = svc.OpenSession();
+    // Force the morsel pipeline to engage (driver extent >> morsel size) so
+    // the parallel counters (ldb_morsels_dispatched_total, worker busy time)
+    // land in the snapshot even at the quick scale. kTypeA's driver is the
+    // small Departments extent, hence the tiny morsel; kScan drives off
+    // Employees and covers the spine-reduce parallel mode.
     session->options().n_threads = 2;
+    session->options().morsel_size = 16;
     QueryProfiler prof;
     svc.Execute(*session, kTypeA.oql, nullptr, &prof);
+    svc.Execute(*session, kScan.oql);
+
+    // Live-introspection probe: run one query on a worker thread and
+    // snapshot ActiveQueries() from here while it is in flight. Polling is
+    // racy by nature, so keep whatever snapshot was captured — CI checks
+    // the field's shape, tests pin the semantics.
+    std::vector<obs::ActiveQueryInfo> seen;
+    {
+      std::thread worker([&] {
+        auto s2 = svc.OpenSession();
+        svc.Execute(*s2, kTypeJA.oql);
+      });
+      for (int spin = 0; spin < 200000 && seen.empty(); ++spin) {
+        seen = svc.ActiveQueries();
+        if (seen.empty()) std::this_thread::yield();
+      }
+      worker.join();
+    }
 
     obs::MetricsSnapshot snap = svc.metrics().Snapshot();
-    bench::JsonReporter::Get().SetMetricsJson(snap.ToJson());
+    std::string metrics_json = snap.ToJson();
+    {
+      // Splice the probe into the snapshot document:
+      // {"samples": [...], "active_queries": [...]}.
+      std::ostringstream aq;
+      aq << ", \"active_queries\": [";
+      for (size_t i = 0; i < seen.size(); ++i) {
+        const obs::ActiveQueryInfo& q = seen[i];
+        if (i > 0) aq << ", ";
+        aq << "{\"query_id\": " << q.query_id
+           << ", \"session\": " << q.session << ", \"phase\": \"" << q.phase
+           << "\", \"elapsed_ms\": " << q.elapsed_ms
+           << ", \"rows\": " << q.rows
+           << ", \"mem_in_use_bytes\": " << q.mem_in_use_bytes
+           << ", \"mem_peak_bytes\": " << q.mem_peak_bytes << "}";
+      }
+      aq << "]";
+      metrics_json.insert(metrics_json.rfind('}'), aq.str());
+    }
+    bench::JsonReporter::Get().SetMetricsJson(std::move(metrics_json));
     {
       std::ofstream prom("bench_metrics.prom");
       prom << snap.ToPrometheusText();

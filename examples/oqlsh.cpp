@@ -192,6 +192,25 @@ void TraceQuery(const Database& db, const std::string& file,
   PrintResult(result);
 }
 
+void ShowActiveQueries(const QueryService& service) {
+  std::vector<obs::ActiveQueryInfo> active = service.ActiveQueries();
+  if (active.empty()) {
+    std::printf("(no active queries)\n");
+    return;
+  }
+  for (const obs::ActiveQueryInfo& q : active) {
+    std::printf(
+        "#%llu session=%llu %s elapsed=%.2fms rows=%llu "
+        "mem=%lluB peak=%lluB hash=%016llx\n",
+        static_cast<unsigned long long>(q.query_id),
+        static_cast<unsigned long long>(q.session), q.phase.c_str(),
+        q.elapsed_ms, static_cast<unsigned long long>(q.rows),
+        static_cast<unsigned long long>(q.mem_in_use_bytes),
+        static_cast<unsigned long long>(q.mem_peak_bytes),
+        static_cast<unsigned long long>(q.query_hash));
+  }
+}
+
 void ShowQueryLog(const ldb::obs::QueryLog& log, size_t n) {
   std::vector<obs::QueryLogRecord> tail = log.Tail(n);
   if (tail.empty()) {
@@ -272,8 +291,9 @@ int main(int argc, char** argv) {
         std::printf(".schema | .plan <oql> | .explain <oql> | .profile <oql> "
                     "| .verify <oql> | .baseline <oql> | .time <oql> "
                     "| .prepare <name> <oql> | .exec <name> [args] "
-                    "| .timeout <ms> | .cache [clear] | .metrics "
-                    "| .querylog [n] | .trace <file> <oql> | .quit | <oql>\n"
+                    "| .timeout <ms> | .budget <bytes> | .cache [clear] "
+                    "| .metrics | .querylog [n] | .queries "
+                    "| .trace <file> <oql> | .quit | <oql>\n"
                     "(.explain prints the profiled plan inline; .trace writes "
                     "the same execution as a Perfetto timeline)\n");
       } else if (line == ".schema") {
@@ -325,6 +345,17 @@ int main(int argc, char** argv) {
         session->options().deadline_ms = std::atoll(line.substr(9).c_str());
         std::printf("per-query deadline: %lld ms\n",
                     static_cast<long long>(session->options().deadline_ms));
+      } else if (line.rfind(".budget ", 0) == 0) {
+        session->options().memory_budget_bytes =
+            std::strtoull(line.c_str() + 8, nullptr, 10);
+        std::printf("per-query memory budget: %llu bytes%s\n",
+                    static_cast<unsigned long long>(
+                        session->options().memory_budget_bytes),
+                    session->options().memory_budget_bytes == 0
+                        ? " (unlimited)"
+                        : "");
+      } else if (line == ".queries") {
+        ShowActiveQueries(service);
       } else if (line == ".cache") {
         PlanCacheStats cs = service.cache_stats();
         std::printf(

@@ -282,6 +282,7 @@ void ExplainWalk(const PhysPtr& op, int indent, int* next_id,
     if (s->build_rows > 0) a << "  build=" << s->build_rows;
     if (s->groups > 0) a << "  groups=" << s->groups;
     if (s->short_circuits > 0) a << "  short_circuit=" << s->short_circuits;
+    if (s->mem_bytes > 0) a << "  mem=" << s->mem_bytes << "B";
     a << "  time=" << FormatMs(static_cast<double>(s->open_ns + s->next_ns));
   } else {
     a << "(no stats)";

@@ -7,7 +7,7 @@ namespace ldb {
 namespace obs {
 
 std::string QueryLogRecord::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "#%llu session=%llu %s %s%s queue=%.2fms compile=%.2fms "
                 "exec=%.2fms rows=%llu engine=%s threads=%d hash=%016llx",
@@ -18,6 +18,15 @@ std::string QueryLogRecord::ToString() const {
                 static_cast<unsigned long long>(rows), engine.c_str(), threads,
                 static_cast<unsigned long long>(query_hash));
   std::string out = buf;
+  if (mem_peak_bytes > 0) {
+    std::snprintf(buf, sizeof buf, " mem_peak=%llu",
+                  static_cast<unsigned long long>(mem_peak_bytes));
+    out += buf;
+    if (!mem_op.empty()) {
+      out += " mem_op=";
+      out += mem_op;
+    }
+  }
   if (!error.empty()) {
     out += " error=\"";
     out += error;

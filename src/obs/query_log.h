@@ -19,10 +19,12 @@ namespace ldb {
 namespace obs {
 
 /// One finished query. `status` is one of:
-///   "ok"        — completed and returned a result
-///   "failed"    — threw (parse/type/eval/verify/internal error)
-///   "cancelled" — CancelToken fired or the session deadline expired
-///   "rejected"  — admission queue full or admission deadline exceeded
+///   "ok"          — completed and returned a result
+///   "failed"      — threw (parse/type/eval/verify/internal error)
+///   "cancelled"   — CancelToken fired or the session deadline expired
+///   "rejected"    — admission queue full or admission deadline exceeded
+///   "over_budget" — aborted (or refused at materialization) because the
+///                   query exceeded the session's memory budget
 struct QueryLogRecord {
   uint64_t id = 0;         ///< assigned by Append(); monotone across the log
   uint64_t session = 0;    ///< owning session id (0 = service-internal)
@@ -36,6 +38,9 @@ struct QueryLogRecord {
   double compile_ms = 0;
   double exec_ms = 0;
   uint64_t rows = 0;       ///< result rows (collection size; 1 for scalars)
+  uint64_t mem_peak_bytes = 0;  ///< peak tracked engine memory (0 untracked)
+  std::string mem_op;      ///< operator class holding the largest peak
+                           ///< ("" when nothing was charged)
   std::string engine;      ///< "slot" | "env" | "fallback"
   int threads = 1;
   std::string verify;      ///< "" (not run) | "ok" — a verifier rejection

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/monoid.h"
+#include "src/obs/resource.h"
 #include "src/runtime/cancel.h"
 #include "src/runtime/error.h"
 #include "src/runtime/profile.h"
@@ -25,6 +27,50 @@ namespace {
 inline void PollCancel(const CancelToken* cancel) {
   if (cancel != nullptr) cancel->ThrowIfCancelled();
 }
+
+// -- memory accounting helpers -----------------------------------------------
+//
+// The operators that hold state (join builds, nest groups, collection folds)
+// charge their buffered bytes through the owning evaluator's MemoryTracker
+// (src/obs/resource.h) and release them in Close() AND the destructor, so an
+// abort unwind (cancel, budget, error) leaves no reservation behind. Byte
+// sizing is gated on `tracker.armed() || stats != nullptr` at every site —
+// untracked unprofiled runs never walk a value.
+
+size_t EnvRowBytes(const Env& env) {
+  size_t b = 0;
+  for (const auto& [name, v] : env.bindings()) {
+    b += name.size() + EstimateValueBytes(v);
+  }
+  return b;
+}
+
+// Publishes root-fold rows into the resource context in batches of 1024
+// (the live rows-so-far of the active-query view; docs/OBSERVABILITY.md)
+// and flushes the remainder on scope exit, including unwinds.
+struct RowPulse {
+  obs::QueryResourceContext* rc;
+  uint64_t pending = 0;
+  void Tick() {
+    if (rc != nullptr && (++pending & 1023u) == 0) rc->AddRows(1024);
+  }
+  ~RowPulse() {
+    if (rc != nullptr) rc->AddRows(pending & 1023u);
+  }
+};
+
+// Releases a root fold's collection-element charges on scope exit: the
+// result Value leaves the engine when the fold finishes, so its bytes stop
+// being engine-held exactly then (and a fold abort must return them too).
+struct FoldChargeGuard {
+  obs::MemoryTracker* mem;
+  const size_t* charged;
+  ~FoldChargeGuard() {
+    if (*charged > 0) {
+      mem->Release(static_cast<int>(PhysKind::kReduce), *charged);
+    }
+  }
+};
 
 // -- profiling helpers -------------------------------------------------------
 //
@@ -277,15 +323,25 @@ class NLJoinIter : public RowIterator {
       : op_(op), outer_(op.kind == PhysKind::kNLOuterJoin),
         left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
 
+  ~NLJoinIter() override { ReleaseCharge(); }
+
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     left_->Open();
     right_->Open();
     buffer_.clear();
     Env env;
+    const bool sized = ev_->mem().armed() || stats_ != nullptr;
     while (right_->Next(&env)) {
       PollCancel(ev_->cancel());
+      if (sized) {
+        size_t b = EnvRowBytes(env);
+        if (stats_) stats_->mem_bytes += b;
+        charged_ += b;
+        ev_->mem().Charge(static_cast<int>(op_.kind), b);
+      }
       buffer_.push_back(env);
     }
     right_->Close();
@@ -319,14 +375,23 @@ class NLJoinIter : public RowIterator {
   void Close() override {
     left_->Close();
     buffer_.clear();
+    ReleaseCharge();
   }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      ev_->mem().Release(static_cast<int>(op_.kind), charged_);
+      charged_ = 0;
+    }
+  }
+
   const PhysOp& op_;
   bool outer_;
   std::unique_ptr<RowIterator> left_, right_;
   ExprEvaluator* ev_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   std::vector<Env> buffer_;
   Env current_;
   size_t pos_ = 0;
@@ -342,9 +407,12 @@ class HashJoinIter : public RowIterator {
       : op_(op), outer_(op.kind == PhysKind::kHashOuterJoin),
         left_(std::move(left)), right_(std::move(right)), ev_(ev) {}
 
+  ~HashJoinIter() override { ReleaseCharge(); }
+
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     // Probe side streams: for an outer join it is always the left child; for
     // inner joins the planner may have flipped the build side.
     RowIterator* build = op_.build_is_left ? left_.get() : right_.get();
@@ -354,10 +422,17 @@ class HashJoinIter : public RowIterator {
     table_.clear();
     Env env;
     size_t built = 0;
+    const bool sized = ev_->mem().armed() || stats_ != nullptr;
     while (build->Next(&env)) {
       PollCancel(ev_->cancel());
       Value key = EvalKey(op_.build_keys, env);
       if (!key.is_null()) {
+        if (sized) {
+          size_t b = EnvRowBytes(env);
+          if (stats_) stats_->mem_bytes += b;
+          charged_ += b;
+          ev_->mem().Charge(static_cast<int>(op_.kind), b);
+        }
         table_[key].push_back(env);
         ++built;
       }
@@ -405,9 +480,17 @@ class HashJoinIter : public RowIterator {
     left_->Close();
     right_->Close();
     table_.clear();
+    ReleaseCharge();
   }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      ev_->mem().Release(static_cast<int>(op_.kind), charged_);
+      charged_ = 0;
+    }
+  }
+
   Value EvalKey(const std::vector<ExprPtr>& keys, const Env& env) {
     Elems parts;
     parts.reserve(keys.size());
@@ -425,6 +508,7 @@ class HashJoinIter : public RowIterator {
   RowIterator* probe_ = nullptr;
   ExprEvaluator* ev_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   std::unordered_map<Value, std::vector<Env>, ValueHash> table_;
   Env current_;
   const std::vector<Env>* bucket_ = nullptr;
@@ -441,13 +525,19 @@ class HashNestIter : public RowIterator {
                ExprEvaluator* ev)
       : op_(op), child_(std::move(child)), ev_(ev) {}
 
+  ~HashNestIter() override { ReleaseCharge(); }
+
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     child_->Open();
     groups_.clear();
     index_.clear();
     Env env;
+    const bool sized = ev_->mem().armed() || stats_ != nullptr;
+    const bool coll = IsCollectionMonoid(op_.monoid);
+    const int cls = static_cast<int>(op_.kind);
     while (child_->Next(&env)) {
       PollCancel(ev_->cancel());
       Elems key;
@@ -457,7 +547,15 @@ class HashNestIter : public RowIterator {
       }
       Value key_value = Value::List(key);
       auto [it, inserted] = index_.emplace(key_value, groups_.size());
-      if (inserted) groups_.push_back(Group{std::move(key), Accumulator(op_.monoid)});
+      if (inserted) {
+        groups_.push_back(Group{std::move(key), Accumulator(op_.monoid)});
+        if (sized) {
+          size_t b = EstimateValueBytes(it->first);
+          if (stats_) stats_->mem_bytes += b;
+          charged_ += b;
+          ev_->mem().Charge(cls, b);
+        }
+      }
       Group& g = groups_[it->second];
       bool padded = false;
       for (const std::string& v : op_.null_vars) {
@@ -469,7 +567,16 @@ class HashNestIter : public RowIterator {
         }
       }
       if (!padded && ev_->EvalPred(op_.pred, env)) {
-        g.acc.Add(ev_->Eval(op_.head, env));
+        Value hv = ev_->Eval(op_.head, env);
+        // Scalar monoids fold into O(1) state; only collection monoids
+        // retain each head value, so only those bytes count as buffered.
+        if (sized && coll) {
+          size_t b = EstimateValueBytes(hv);
+          if (stats_) stats_->mem_bytes += b;
+          charged_ += b;
+          ev_->mem().Charge(cls, b);
+        }
+        g.acc.Add(std::move(hv));
       }
     }
     child_->Close();
@@ -495,9 +602,17 @@ class HashNestIter : public RowIterator {
   void Close() override {
     groups_.clear();
     index_.clear();
+    ReleaseCharge();
   }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      ev_->mem().Release(static_cast<int>(op_.kind), charged_);
+      charged_ = 0;
+    }
+  }
+
   struct Group {
     Elems key;
     Accumulator acc;
@@ -506,6 +621,7 @@ class HashNestIter : public RowIterator {
   std::unique_ptr<RowIterator> child_;
   ExprEvaluator* ev_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   std::vector<Group> groups_;
   std::unordered_map<Value, size_t, ValueHash> index_;
   size_t pos_ = 0;
@@ -582,18 +698,30 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
   ExprEvaluator ev(db);
   ev.SetParams(options.params);
   ev.SetCancel(options.cancel);
+  ev.SetResource(options.resource);
   Accumulator acc(plan->monoid);
   Env env;
   uint64_t folded = 0;
   SerialTotalsGuard totals_guard{options.totals, &folded};
+  RowPulse pulse{options.resource};
+  const bool fold_sized = ev.mem().armed() && IsCollectionMonoid(plan->monoid);
+  size_t fold_charged = 0;
+  FoldChargeGuard fold_guard{&ev.mem(), &fold_charged};
   if (prof == nullptr) {
     std::unique_ptr<RowIterator> input = MakeIterator(plan->left, &ev);
     input->Open();
     while (input->Next(&env)) {
       PollCancel(options.cancel);
       if (!ev.EvalPred(plan->pred, env)) continue;
-      acc.Add(ev.Eval(plan->head, env));
+      Value hv = ev.Eval(plan->head, env);
+      if (fold_sized) {
+        size_t b = EstimateValueBytes(hv);
+        fold_charged += b;
+        ev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+      }
+      acc.Add(std::move(hv));
       ++folded;
+      pulse.Tick();
       if (acc.Saturated()) break;  // the pipeline stops pulling here
     }
     input->Close();
@@ -613,9 +741,17 @@ Value ExecuteEnvPipeline(const PhysPtr& plan, const Database& db,
     PollCancel(options.cancel);
     ++rstats->next_calls;
     if (!ev.EvalPred(plan->pred, env)) continue;
-    acc.Add(ev.Eval(plan->head, env));
+    Value hv = ev.Eval(plan->head, env);
+    if (fold_sized) {
+      size_t b = EstimateValueBytes(hv);
+      rstats->mem_bytes += b;
+      fold_charged += b;
+      ev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+    }
+    acc.Add(std::move(hv));
     ++rstats->rows_out;
     ++folded;
+    pulse.Tick();
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;
@@ -642,6 +778,11 @@ using JoinTable = std::unordered_map<Value, std::vector<BufRow>, ValueHash>;
 struct SharedTables {
   std::unordered_map<int, JoinTable> join_tables;
   std::unordered_map<int, std::vector<BufRow>> buffers;
+  // (op class, bytes) charged per prebuilt table. Entries are pushed before
+  // the rows charge against them, so an over-budget throw mid-build still
+  // leaves every applied byte recorded; the parallel executor's scope guard
+  // releases them when the tables die.
+  std::vector<std::pair<int, size_t>> charges;
 };
 
 struct NestGroup {
@@ -653,6 +794,8 @@ struct NestGroup {
 struct PartialGroups {
   std::vector<NestGroup> groups;  // first-encounter order
   std::unordered_map<Value, size_t, ValueHash> index;
+  size_t charged = 0;  // bytes charged for this state, updated pre-Charge so
+                       // an over-budget throw still leaves it releasable
 };
 
 void LoadSpan(Frame& frame, int lo, const BufRow& row) {
@@ -665,6 +808,12 @@ void FillNullSpan(Frame& frame, int lo, int hi) {
 
 BufRow CopySpan(const Frame& frame, int lo, int hi) {
   return BufRow(frame.begin() + lo, frame.begin() + hi);
+}
+
+size_t SpanBytes(const BufRow& row) {
+  size_t b = 0;
+  for (const Value& v : row) b += EstimateValueBytes(v);
+  return b;
 }
 
 // Composite hash key; a single-key join uses the key value directly instead
@@ -710,25 +859,37 @@ void FillParams(const SlotPlan& sp, const ExecOptions& opt, Frame& frame) {
   }
 }
 
-// Routes the caller's parameter bindings (for fallback subterms) and
-// cancellation token onto a thread's frame evaluator.
+// Routes the caller's parameter bindings (for fallback subterms),
+// cancellation token, and resource context onto a thread's frame evaluator.
 void ArmEvaluator(FrameEvaluator* fev, const ExecOptions& opt) {
   fev->SetParams(opt.params);
   fev->SetCancel(opt.cancel);
+  fev->SetResource(opt.resource);
 }
 
 // Folds the current frame into the group table exactly the way the serial
 // HashNest does; shared by the serial iterator and the parallel workers so
-// grouping logic cannot drift between them.
+// grouping logic cannot drift between them. Buffered bytes (group keys, and
+// head values for collection monoids) are charged through the evaluator and
+// recorded in pg->charged; the caller owns the release.
 void AccumulateNestRow(const SlotOp& nest, FrameEvaluator* fev, Frame& frame,
-                       PartialGroups* pg) {
+                       PartialGroups* pg, OperatorStats* stats) {
+  const bool sized = fev->mem().armed() || stats != nullptr;
   Elems key;
   key.reserve(nest.group_slots.size());
   for (const auto& [slot, expr] : nest.group_slots) {
     key.push_back(fev->Eval(*expr, frame));
   }
   auto [it, inserted] = pg->index.emplace(Value::List(key), pg->groups.size());
-  if (inserted) pg->groups.push_back(NestGroup{std::move(key), Accumulator(nest.monoid)});
+  if (inserted) {
+    pg->groups.push_back(NestGroup{std::move(key), Accumulator(nest.monoid)});
+    if (sized) {
+      size_t b = EstimateValueBytes(it->first);
+      if (stats) stats->mem_bytes += b;
+      pg->charged += b;
+      fev->mem().Charge(static_cast<int>(PhysKind::kHashNest), b);
+    }
+  }
   NestGroup& g = pg->groups[it->second];
   bool padded = false;
   for (int s : nest.null_slots) {
@@ -739,7 +900,14 @@ void AccumulateNestRow(const SlotOp& nest, FrameEvaluator* fev, Frame& frame,
   }
   if (!padded && fev->EvalPred(*nest.pred, frame)) {
     Value scratch;
-    g.acc.Add(*fev->EvalPtr(*nest.head, frame, &scratch));
+    const Value* hv = fev->EvalPtr(*nest.head, frame, &scratch);
+    if (sized && IsCollectionMonoid(nest.monoid)) {
+      size_t b = EstimateValueBytes(*hv);
+      if (stats) stats->mem_bytes += b;
+      pg->charged += b;
+      fev->mem().Charge(static_cast<int>(PhysKind::kHashNest), b);
+    }
+    g.acc.Add(*hv);
   }
 }
 
@@ -945,18 +1113,28 @@ class FNLJoinIter : public FrameIter {
         left_(std::move(left)), right_(std::move(right)), fev_(fev),
         frame_(frame), shared_buffer_(shared_buffer) {}
 
+  ~FNLJoinIter() override { ReleaseCharge(); }
+
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     if (shared_buffer_ != nullptr) {
-      buffer_ = shared_buffer_;
+      buffer_ = shared_buffer_;  // prebuilt: the parallel executor owns the charge
     } else {
       own_buffer_.clear();
       right_->Open();
+      const bool sized = fev_->mem().armed() || stats_ != nullptr;
       while (right_->Next()) {
         PollCancel(fev_->cancel());
         own_buffer_.push_back(
             CopySpan(*frame_, op_.right->out_lo, op_.right->out_hi));
+        if (sized) {
+          size_t b = SpanBytes(own_buffer_.back());
+          if (stats_) stats_->mem_bytes += b;
+          charged_ += b;
+          fev_->mem().Charge(static_cast<int>(op_.kind), b);
+        }
       }
       right_->Close();
       if (stats_) stats_->build_rows += own_buffer_.size();
@@ -991,15 +1169,24 @@ class FNLJoinIter : public FrameIter {
   void Close() override {
     left_->Close();
     own_buffer_.clear();
+    ReleaseCharge();
   }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      fev_->mem().Release(static_cast<int>(op_.kind), charged_);
+      charged_ = 0;
+    }
+  }
+
   const SlotOp& op_;
   bool outer_;
   std::unique_ptr<FrameIter> left_, right_;
   FrameEvaluator* fev_;
   Frame* frame_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   const std::vector<BufRow>* shared_buffer_;
   std::vector<BufRow> own_buffer_;
   const std::vector<BufRow>* buffer_ = nullptr;
@@ -1019,23 +1206,33 @@ class FHashJoinIter : public FrameIter {
     build_op_ = (op_.build_is_left ? op_.left : op_.right).get();
   }
 
+  ~FHashJoinIter() override { ReleaseCharge(); }
+
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     FrameIter* build = op_.build_is_left ? left_.get() : right_.get();
     probe_ = op_.build_is_left ? right_.get() : left_.get();
     if (shared_table_ != nullptr) {
-      table_ = shared_table_;
+      table_ = shared_table_;  // prebuilt: the parallel executor owns the charge
     } else {
       own_table_.clear();
       size_t built = 0;
       build->Open();
+      const bool sized = fev_->mem().armed() || stats_ != nullptr;
       while (build->Next()) {
         PollCancel(fev_->cancel());
         Value key = EvalKeyTuple(fev_, *frame_, op_.build_keys);
         if (!key.is_null()) {
-          own_table_[std::move(key)].push_back(
-              CopySpan(*frame_, build_op_->out_lo, build_op_->out_hi));
+          BufRow row = CopySpan(*frame_, build_op_->out_lo, build_op_->out_hi);
+          if (sized) {
+            size_t b = SpanBytes(row);
+            if (stats_) stats_->mem_bytes += b;
+            charged_ += b;
+            fev_->mem().Charge(static_cast<int>(op_.kind), b);
+          }
+          own_table_[std::move(key)].push_back(std::move(row));
           ++built;
         }
       }
@@ -1084,15 +1281,24 @@ class FHashJoinIter : public FrameIter {
     if (left_) left_->Close();
     if (right_) right_->Close();
     own_table_.clear();
+    ReleaseCharge();
   }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      fev_->mem().Release(static_cast<int>(op_.kind), charged_);
+      charged_ = 0;
+    }
+  }
+
   const SlotOp& op_;
   bool outer_;
   std::unique_ptr<FrameIter> left_, right_;
   FrameEvaluator* fev_;
   Frame* frame_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   const SlotOp* build_op_;
   const JoinTable* shared_table_;
   JoinTable own_table_;
@@ -1112,25 +1318,40 @@ class FHashNestIter : public FrameIter {
                 FrameEvaluator* fev, Frame* frame)
       : op_(op), child_(std::move(child)), fev_(fev), frame_(frame) {}
 
+  // Prebuilt groups were charged by the parallel executor (which owns the
+  // release); `prebuilt_bytes` only feeds this operator's profile line.
   FHashNestIter(const SlotOp& op, std::vector<NestGroup> prebuilt,
-                FrameEvaluator* fev, Frame* frame)
+                size_t prebuilt_bytes, FrameEvaluator* fev, Frame* frame)
       : op_(op), fev_(fev), frame_(frame),
-        prebuilt_(std::move(prebuilt)), has_prebuilt_(true) {}
+        prebuilt_(std::move(prebuilt)), prebuilt_bytes_(prebuilt_bytes),
+        has_prebuilt_(true) {}
+
+  ~FHashNestIter() override { ReleaseCharge(); }
 
   void set_stats(OperatorStats* s) { stats_ = s; }
 
   void Open() override {
+    ReleaseCharge();
     if (has_prebuilt_) {
       groups_ = std::move(prebuilt_);
       has_prebuilt_ = false;
+      if (stats_) stats_->mem_bytes += prebuilt_bytes_;
     } else {
       PartialGroups pg;
       child_->Open();
-      while (child_->Next()) {
-        PollCancel(fev_->cancel());
-        AccumulateNestRow(op_, fev_, *frame_, &pg);
+      try {
+        while (child_->Next()) {
+          PollCancel(fev_->cancel());
+          AccumulateNestRow(op_, fev_, *frame_, &pg, stats_);
+        }
+      } catch (...) {
+        // pg dies with the unwind; its reservation must die with it.
+        charged_ = pg.charged;
+        ReleaseCharge();
+        throw;
       }
       child_->Close();
+      charged_ = pg.charged;
       groups_ = std::move(pg.groups);
     }
     // Scalar aggregation (no keys) always yields one row (see eval_algebra).
@@ -1150,15 +1371,27 @@ class FHashNestIter : public FrameIter {
     (*frame_)[op_.var_slot] = g.acc.Finish();
     return true;
   }
-  void Close() override { groups_.clear(); }
+  void Close() override {
+    groups_.clear();
+    ReleaseCharge();
+  }
 
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0) {
+      fev_->mem().Release(static_cast<int>(PhysKind::kHashNest), charged_);
+      charged_ = 0;
+    }
+  }
+
   const SlotOp& op_;
   std::unique_ptr<FrameIter> child_;
   FrameEvaluator* fev_;
   Frame* frame_;
   OperatorStats* stats_ = nullptr;
+  size_t charged_ = 0;
   std::vector<NestGroup> prebuilt_;
+  size_t prebuilt_bytes_ = 0;
   bool has_prebuilt_ = false;
   std::vector<NestGroup> groups_;
   size_t pos_ = 0;
@@ -1175,6 +1408,7 @@ struct FrameExecCtx {
   FTableScanIter* driver = nullptr;  // out: the driver scan, if driver_id hit
   int prebuilt_nest_id = -1;
   std::vector<NestGroup>* prebuilt_groups = nullptr;  // moved from when hit
+  size_t prebuilt_bytes = 0;  // bytes the executor charged for those groups
   QueryProfiler* profiler = nullptr;  // null = build the uninstrumented tree
 };
 
@@ -1250,7 +1484,8 @@ std::unique_ptr<FrameIter> MakeFrameIterator(const SlotOpPtr& op,
       std::unique_ptr<FHashNestIter> nest;
       if (op->id == ctx.prebuilt_nest_id) {
         nest = std::make_unique<FHashNestIter>(
-            *op, std::move(*ctx.prebuilt_groups), ctx.fev, ctx.frame);
+            *op, std::move(*ctx.prebuilt_groups), ctx.prebuilt_bytes,
+            ctx.fev, ctx.frame);
       } else {
         nest = std::make_unique<FHashNestIter>(
             *op, MakeFrameIterator(op->left, ctx), ctx.fev, ctx.frame);
@@ -1282,14 +1517,26 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
   Value scratch;
   uint64_t folded = 0;
   SerialTotalsGuard totals_guard{opt.totals, &folded};
+  RowPulse pulse{opt.resource};
+  const bool fold_sized =
+      fev.mem().armed() && IsCollectionMonoid(sp.root->monoid);
+  size_t fold_charged = 0;
+  FoldChargeGuard fold_guard{&fev.mem(), &fold_charged};
   if (prof == nullptr) {
     std::unique_ptr<FrameIter> input = MakeFrameIterator(sp.root->left, ctx);
     input->Open();
     while (input->Next()) {
       PollCancel(opt.cancel);
       if (!fev.EvalPred(*sp.root->pred, frame)) continue;
-      acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
+      const Value* hv = fev.EvalPtr(*sp.root->head, frame, &scratch);
+      if (fold_sized) {
+        size_t b = EstimateValueBytes(*hv);
+        fold_charged += b;
+        fev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+      }
+      acc.Add(*hv);
       ++folded;
+      pulse.Tick();
       if (acc.Saturated()) break;  // the pipeline stops pulling here
     }
     input->Close();
@@ -1306,9 +1553,17 @@ Value ExecuteSlotSerial(const SlotPlan& sp, const Database& db,
     PollCancel(opt.cancel);
     ++rstats->next_calls;
     if (!fev.EvalPred(*sp.root->pred, frame)) continue;
-    acc.Add(*fev.EvalPtr(*sp.root->head, frame, &scratch));
+    const Value* hv = fev.EvalPtr(*sp.root->head, frame, &scratch);
+    if (fold_sized) {
+      size_t b = EstimateValueBytes(*hv);
+      rstats->mem_bytes += b;
+      fold_charged += b;
+      fev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+    }
+    acc.Add(*hv);
     ++rstats->rows_out;
     ++folded;
+    pulse.Tick();
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;
@@ -1390,14 +1645,24 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         auto it = MakeFrameIterator(cur->right, ctx);
         it->Open();
         std::vector<BufRow> buf;
+        const bool sized = fev.mem().armed() || prof != nullptr;
+        shared->charges.emplace_back(static_cast<int>(cur->kind), 0);
+        size_t& bytes = shared->charges.back().second;
         while (it->Next()) {
           PollCancel(opt.cancel);
           buf.push_back(CopySpan(frame, cur->right->out_lo, cur->right->out_hi));
+          if (sized) {
+            size_t b = SpanBytes(buf.back());
+            bytes += b;
+            fev.mem().Charge(static_cast<int>(cur->kind), b);
+          }
         }
         it->Close();
         if (prof) {
-          prof->Register(cur->id, cur->kind, ProfLabel(cur->kind, cur->extent))
-              ->build_rows += buf.size();
+          OperatorStats* s = prof->Register(
+              cur->id, cur->kind, ProfLabel(cur->kind, cur->extent));
+          s->build_rows += buf.size();
+          s->mem_bytes += bytes;
         }
         shared->buffers.emplace(cur->id, std::move(buf));
         cur = cur->left;
@@ -1414,19 +1679,29 @@ void PrebuildSpineTables(const SlotOpPtr& sub_root, const Database& db,
         it->Open();
         JoinTable table;
         size_t built = 0;
+        const bool sized = fev.mem().armed() || prof != nullptr;
+        shared->charges.emplace_back(static_cast<int>(cur->kind), 0);
+        size_t& bytes = shared->charges.back().second;
         while (it->Next()) {
           PollCancel(opt.cancel);
           Value key = EvalKeyTuple(&fev, frame, cur->build_keys);
           if (!key.is_null()) {
-            table[std::move(key)].push_back(
-                CopySpan(frame, build->out_lo, build->out_hi));
+            BufRow row = CopySpan(frame, build->out_lo, build->out_hi);
+            if (sized) {
+              size_t b = SpanBytes(row);
+              bytes += b;
+              fev.mem().Charge(static_cast<int>(cur->kind), b);
+            }
+            table[std::move(key)].push_back(std::move(row));
             ++built;
           }
         }
         it->Close();
         if (prof) {
-          prof->Register(cur->id, cur->kind, ProfLabel(cur->kind, cur->extent))
-              ->build_rows += built;
+          OperatorStats* s = prof->Register(
+              cur->id, cur->kind, ProfLabel(cur->kind, cur->extent));
+          s->build_rows += built;
+          s->mem_bytes += bytes;
         }
         shared->join_tables.emplace(cur->id, std::move(table));
         cur = cur->build_is_left ? cur->right : cur->left;
@@ -1567,6 +1842,18 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   const SlotOpPtr sub_root = spine.lowest_nest ? spine.lowest_nest->left
                                                : root->left;
   SharedTables shared;
+  // The prebuilt tables' reservations live exactly as long as the tables:
+  // released here on every exit path (success, cancel, over-budget unwind).
+  struct SharedChargeGuard {
+    const ExecOptions* opt;
+    const SharedTables* shared;
+    ~SharedChargeGuard() {
+      if (opt->resource == nullptr) return;
+      for (const auto& [cls, b] : shared->charges) {
+        if (b > 0) opt->resource->Apply(cls, -static_cast<int64_t>(b));
+      }
+    }
+  } shared_guard{&opt, &shared};
   PrebuildSpineTables(sub_root, db, sp, opt, &shared, uprof);
 
   MorselQueue mq{extent.size(), morsel};
@@ -1655,6 +1942,24 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     // Mode A: workers run the whole spine including the root reduce; one
     // partial accumulator per morsel, merged in morsel order.
     std::vector<std::optional<Accumulator>> parts(n_morsels);
+    // Collection-monoid fold charges, recorded per morsel slot as they are
+    // applied (each slot is written by exactly one worker) and released when
+    // the partials die with this scope — merged or unwound alike.
+    std::vector<size_t> part_charged(n_morsels, 0);
+    const bool fold_coll = IsCollectionMonoid(root->monoid);
+    struct PartsChargeGuard {
+      const ExecOptions* opt;
+      const std::vector<size_t>* charged;
+      ~PartsChargeGuard() {
+        if (opt->resource == nullptr) return;
+        size_t total = 0;
+        for (size_t b : *charged) total += b;
+        if (total > 0) {
+          opt->resource->Apply(static_cast<int>(PhysKind::kReduce),
+                               -static_cast<int64_t>(total));
+        }
+      }
+    } parts_guard{&opt, &part_charged};
     auto run_a = [&] {
       RunMorsels(mq, n_workers, stop, make_state,
                [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
@@ -1663,11 +1968,21 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                  w.pipe->Open();
                  Accumulator acc(root->monoid);
                  Value scratch;
+                 const bool fold_sized = fold_coll && w.fev.mem().armed();
+                 size_t& pb = part_charged[idx];
                  if (!w.profiled) {
                    uint64_t plain_rows = 0;
                    while (w.pipe->Next()) {
                      if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
-                     acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                     const Value* hv =
+                         w.fev.EvalPtr(*root->head, w.frame, &scratch);
+                     if (fold_sized) {
+                       size_t b = EstimateValueBytes(*hv);
+                       pb += b;
+                       w.fev.mem().Charge(static_cast<int>(PhysKind::kReduce),
+                                          b);
+                     }
+                     acc.Add(*hv);
                      ++plain_rows;
                      if (acc.Saturated()) {
                        // The saturated value is the final result whichever
@@ -1677,7 +1992,12 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                      }
                    }
                    w.pipe->Close();
+                   // Land this morsel's pending deltas in the context now:
+                   // the fold-charge guard releases against the context
+                   // directly, so nothing may stay batched past the join.
+                   w.fev.mem().Flush();
                    parts[idx].emplace(std::move(acc));
+                   if (opt.resource != nullptr) opt.resource->AddRows(plain_rows);
                    if (track) record_morsel(w, idx, lo, hi, plain_rows, t0);
                    return;
                  }
@@ -1688,7 +2008,15 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                  while (w.pipe->Next()) {
                    ++rstats->next_calls;
                    if (!w.fev.EvalPred(*root->pred, w.frame)) continue;
-                   acc.Add(*w.fev.EvalPtr(*root->head, w.frame, &scratch));
+                   const Value* hv =
+                       w.fev.EvalPtr(*root->head, w.frame, &scratch);
+                   if (fold_sized) {
+                     size_t b = EstimateValueBytes(*hv);
+                     rstats->mem_bytes += b;
+                     pb += b;
+                     w.fev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+                   }
+                   acc.Add(*hv);
                    ++folded;
                    if (acc.Saturated()) {
                      ++rstats->short_circuits;
@@ -1698,7 +2026,9 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                  }
                  rstats->rows_out += folded;
                  w.pipe->Close();
+                 w.fev.mem().Flush();
                  parts[idx].emplace(std::move(acc));
+                 if (opt.resource != nullptr) opt.resource->AddRows(folded);
                  record_morsel(w, idx, lo, hi, folded, t0);
                });
     };
@@ -1725,6 +2055,21 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   // then the plan above the nest executes serially over the merged groups.
   const SlotOp& nest = *spine.lowest_nest;
   std::vector<std::optional<PartialGroups>> parts(n_morsels);
+  // Per-morsel nest charges stay reserved while the groups live on — through
+  // the merge and the prebuilt tail — and are released here when the merged
+  // groups die with this scope, or on the unwind after summing the partials'
+  // records below.
+  size_t nest_outstanding = 0;
+  struct NestChargeGuard {
+    const ExecOptions* opt;
+    const size_t* bytes;
+    ~NestChargeGuard() {
+      if (opt->resource != nullptr && *bytes > 0) {
+        opt->resource->Apply(static_cast<int>(PhysKind::kHashNest),
+                             -static_cast<int64_t>(*bytes));
+      }
+    }
+  } nest_guard{&opt, &nest_outstanding};
   try {
     RunMorsels(mq, n_workers, stop, make_state,
              [&](size_t idx, size_t lo, size_t hi, WorkerPipeline& w) {
@@ -1733,15 +2078,28 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
                w.pipe->Open();
                PartialGroups pg;
                uint64_t rows = 0;
-               while (w.pipe->Next()) {
-                 AccumulateNestRow(nest, &w.fev, w.frame, &pg);
-                 ++rows;
+               try {
+                 while (w.pipe->Next()) {
+                   AccumulateNestRow(nest, &w.fev, w.frame, &pg, nullptr);
+                   ++rows;
+                 }
+               } catch (...) {
+                 // pg dies with this morsel; return its reservation through
+                 // the worker's own tracker before the unwind continues.
+                 w.fev.mem().Release(static_cast<int>(PhysKind::kHashNest),
+                                     pg.charged);
+                 w.fev.mem().FlushNoThrow();
+                 throw;
                }
                w.pipe->Close();
+               w.fev.mem().Flush();
                parts[idx].emplace(std::move(pg));
                if (track) record_morsel(w, idx, lo, hi, rows, t0);
              });
   } catch (...) {
+    for (std::optional<PartialGroups>& p : parts) {
+      if (p) nest_outstanding += p->charged;
+    }
     finish("spine-nest", /*rows_are_root=*/false);
     throw;
   }
@@ -1749,6 +2107,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   PartialGroups merged;
   for (std::optional<PartialGroups>& p : parts) {
     if (!p) continue;
+    nest_outstanding += p->charged;
     for (NestGroup& g : p->groups) {
       auto [it, inserted] =
           merged.index.emplace(Value::List(g.key), merged.groups.size());
@@ -1774,6 +2133,7 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   ctx.frame = &frame;
   ctx.prebuilt_nest_id = nest.id;
   ctx.prebuilt_groups = &merged.groups;
+  ctx.prebuilt_bytes = nest_outstanding;
   ctx.profiler = uprof;
   Accumulator acc(root->monoid);
   Value scratch;
@@ -1785,14 +2145,26 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
       if (totals != nullptr) totals->root_rows += *rows;
     }
   } tail_guard{opt.totals, &tail_rows};
+  RowPulse pulse{opt.resource};
+  const bool fold_sized =
+      fev.mem().armed() && IsCollectionMonoid(root->monoid);
+  size_t fold_charged = 0;
+  FoldChargeGuard fold_guard{&fev.mem(), &fold_charged};
   if (!profiling) {
     std::unique_ptr<FrameIter> input = MakeFrameIterator(root->left, ctx);
     input->Open();
     while (input->Next()) {
       PollCancel(opt.cancel);
       if (!fev.EvalPred(*root->pred, frame)) continue;
-      acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
+      const Value* hv = fev.EvalPtr(*root->head, frame, &scratch);
+      if (fold_sized) {
+        size_t b = EstimateValueBytes(*hv);
+        fold_charged += b;
+        fev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+      }
+      acc.Add(*hv);
       ++tail_rows;
+      pulse.Tick();
       if (acc.Saturated()) break;
     }
     input->Close();
@@ -1809,9 +2181,17 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
     PollCancel(opt.cancel);
     ++rstats->next_calls;
     if (!fev.EvalPred(*root->pred, frame)) continue;
-    acc.Add(*fev.EvalPtr(*root->head, frame, &scratch));
+    const Value* hv = fev.EvalPtr(*root->head, frame, &scratch);
+    if (fold_sized) {
+      size_t b = EstimateValueBytes(*hv);
+      rstats->mem_bytes += b;
+      fold_charged += b;
+      fev.mem().Charge(static_cast<int>(PhysKind::kReduce), b);
+    }
+    acc.Add(*hv);
     ++rstats->rows_out;
     ++tail_rows;
+    pulse.Tick();
     if (acc.Saturated()) {
       ++rstats->short_circuits;
       break;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/expr.h"
+#include "src/obs/resource.h"
 #include "src/runtime/database.h"
 
 namespace ldb {
@@ -103,6 +104,12 @@ class ExprEvaluator {
   void SetCancel(const CancelToken* cancel) { cancel_ = cancel; }
   const CancelToken* cancel() const { return cancel_; }
 
+  /// Arms the evaluator's memory tracker against a query's resource context
+  /// (nullptr, the default, disarms it). The pipelined iterators that share
+  /// this evaluator charge their buffered state through mem().
+  void SetResource(obs::QueryResourceContext* rc) { mem_.Arm(rc); }
+  obs::MemoryTracker& mem() { return mem_; }
+
   const Database& db() const { return db_; }
 
  private:
@@ -113,6 +120,7 @@ class ExprEvaluator {
   const Database& db_;
   const std::map<std::string, Value>* params_ = nullptr;
   const CancelToken* cancel_ = nullptr;
+  obs::MemoryTracker mem_;
   std::map<std::string, Value> extent_cache_;
 };
 

@@ -107,6 +107,13 @@ class FrameEvaluator {
   }
   const CancelToken* cancel() const { return cancel_; }
 
+  /// Arms this evaluator's memory tracker against a query's resource
+  /// context (nullptr disarms). Iterators built over this evaluator charge
+  /// their buffered state through mem(); the fallback interpreter's tracker
+  /// stays disarmed (fallback subterms are transient per-row work).
+  void SetResource(obs::QueryResourceContext* rc) { mem_.Arm(rc); }
+  obs::MemoryTracker& mem() { return mem_; }
+
   const Database& db() const { return db_; }
 
  private:
@@ -127,6 +134,7 @@ class FrameEvaluator {
   const Database& db_;
   ExprEvaluator fallback_;
   const CancelToken* cancel_ = nullptr;
+  obs::MemoryTracker mem_;
   std::vector<ProjCache> proj_cache_;  // indexed by CExpr::proj_id
 };
 

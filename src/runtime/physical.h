@@ -24,6 +24,10 @@ namespace ldb {
 
 class CancelToken;  // fwd (src/runtime/cancel.h)
 
+namespace obs {
+class QueryResourceContext;  // fwd (src/obs/resource.h)
+}  // namespace obs
+
 /// Execution options for the algebra executor.
 struct PhysicalOptions {
   /// Use hash (outer-)joins when the predicate has equality conjuncts whose
@@ -85,6 +89,13 @@ struct ExecOptions {
   /// non-null: filled at pipeline end, including on a QueryCancelled unwind
   /// (partial totals), so service metrics count cancelled work too.
   ExecTotals* totals = nullptr;
+  /// Per-query resource context (src/obs/resource.h). Null (the default)
+  /// disarms the memory trackers entirely. Non-null: the engines charge
+  /// buffered operator state (join builds, nest groups, collection folds)
+  /// and publish rows-so-far against it, and abort with QueryMemoryExceeded
+  /// when a charge pushes the query past the context's budget. The context
+  /// must outlive the execution.
+  obs::QueryResourceContext* resource = nullptr;
 };
 
 /// The result of analysing a join predicate: `left_keys[i] == right_keys[i]`

@@ -21,6 +21,7 @@ void OperatorStats::MergeFrom(const OperatorStats& o) {
   build_rows += o.build_rows;
   groups += o.groups;
   short_circuits += o.short_circuits;
+  mem_bytes += o.mem_bytes;
 }
 
 OperatorStats* QueryProfiler::Register(int op_id, PhysKind kind,
@@ -263,7 +264,8 @@ std::string ProfileToJson(const QueryProfiler& prof) {
     os << ", \"next_ns\": ";
     JsonDouble(s->next_ns, os);
     os << ", \"build_rows\": " << s->build_rows << ", \"groups\": " << s->groups
-       << ", \"short_circuits\": " << s->short_circuits << "}";
+       << ", \"short_circuits\": " << s->short_circuits
+       << ", \"mem_bytes\": " << s->mem_bytes << "}";
   }
   os << "], \"workers\": [";
   first = true;
@@ -335,6 +337,7 @@ QueryProfiler ProfileFromJson(const std::string& json) {
           else if (f == "build_rows") tmp.build_rows = r.ParseUint();
           else if (f == "groups") tmp.groups = r.ParseUint();
           else if (f == "short_circuits") tmp.short_circuits = r.ParseUint();
+          else if (f == "mem_bytes") tmp.mem_bytes = r.ParseUint();
           else r.SkipValue();
         }
         OperatorStats* s = prof.Register(id, kind, label);

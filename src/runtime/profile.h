@@ -53,6 +53,8 @@ struct OperatorStats {
   uint64_t build_rows = 0;     ///< join build-side rows buffered/hashed
   uint64_t groups = 0;         ///< HashNest distinct groups
   uint64_t short_circuits = 0; ///< quantifier saturation stops (Reduce)
+  uint64_t mem_bytes = 0;      ///< estimated bytes this operator buffered
+                               ///< (join builds, nest state; 0 = stateless)
 
   /// Adds another run's (or worker's) counters for the same operator.
   void MergeFrom(const OperatorStats& o);

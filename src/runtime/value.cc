@@ -292,4 +292,25 @@ std::string Value::ToString() const {
   return os.str();
 }
 
+size_t EstimateValueBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  switch (v.kind()) {
+    case Value::Kind::kStr:
+      bytes += v.AsStr().size();
+      break;
+    case Value::Kind::kTuple:
+      for (const auto& [name, field] : v.AsTuple())
+        bytes += name.size() + EstimateValueBytes(field);
+      break;
+    case Value::Kind::kSet:
+    case Value::Kind::kBag:
+    case Value::Kind::kList:
+      for (const Value& elem : v.AsElems()) bytes += EstimateValueBytes(elem);
+      break;
+    default:
+      break;  // null / bool / int / real / ref fit in the Value header
+  }
+  return bytes;
+}
+
 }  // namespace ldb

@@ -127,6 +127,13 @@ struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
 
+/// Rough byte footprint of a materialized value: payload (strings, element
+/// headers, field names) rather than exact allocator overhead. Used by the
+/// session memory budget and the per-query memory tracker — a consistent
+/// estimate, not an accounting of malloc reality. Shared substructure is
+/// counted every time it appears (a budget should see the logical size).
+size_t EstimateValueBytes(const Value& v);
+
 }  // namespace ldb
 
 #endif  // LAMBDADB_RUNTIME_VALUE_H_

@@ -15,6 +15,15 @@
 #include "src/runtime/serialize.h"
 #include "src/runtime/slot_plan.h"
 
+// Build identity for ldb_build_info. The root CMakeLists.txt passes both;
+// the fallbacks cover builds that bypass it.
+#ifndef LDB_GIT_COMMIT
+#define LDB_GIT_COMMIT "unknown"
+#endif
+#ifndef LDB_BUILD_TYPE
+#define LDB_BUILD_TYPE "unknown"
+#endif
+
 namespace ldb {
 
 namespace {
@@ -23,31 +32,6 @@ using Clock = std::chrono::steady_clock;
 
 double MsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-/// Rough byte footprint of a materialized result, for the session memory
-/// budget. Counts payload (strings, element headers, field names) rather
-/// than exact allocator overhead — the budget is a serving-side guard, not
-/// an accounting tool.
-size_t EstimateValueBytes(const Value& v) {
-  size_t bytes = sizeof(Value);
-  switch (v.kind()) {
-    case Value::Kind::kStr:
-      bytes += v.AsStr().size();
-      break;
-    case Value::Kind::kTuple:
-      for (const auto& [name, field] : v.AsTuple())
-        bytes += name.size() + EstimateValueBytes(field);
-      break;
-    case Value::Kind::kSet:
-    case Value::Kind::kBag:
-    case Value::Kind::kList:
-      for (const Value& elem : v.AsElems()) bytes += EstimateValueBytes(elem);
-      break;
-    default:
-      break;  // null / bool / int / real / ref fit in the Value header
-  }
-  return bytes;
 }
 
 /// Fingerprint of everything outside the query text that shaped the plan:
@@ -146,6 +130,16 @@ QueryService::QueryService(const Database& db, ServiceOptions options)
 
 void QueryService::InitInstruments() {
   ins_.enabled = options_.enable_metrics && obs::MetricsRegistry::Enabled();
+  // Registered before the enabled gate so scrapes can always tell what build
+  // (and metrics mode) they are looking at, even on an OFF build where every
+  // other series is absent.
+  metrics_
+      .GetGauge("ldb_build_info",
+                "Build identity; value is constant 1, labels carry the info",
+                {{"commit", LDB_GIT_COMMIT},
+                 {"build_type", LDB_BUILD_TYPE},
+                 {"metrics", obs::MetricsRegistry::Enabled() ? "on" : "off"}})
+      ->Set(1);
   if (!ins_.enabled) return;
   obs::MetricsRegistry& m = metrics_;
   ins_.queries_started =
@@ -183,8 +177,7 @@ void QueryService::InitInstruments() {
   ins_.result_rows =
       m.GetHistogram("ldb_result_rows", "Rows in the materialized result");
   ins_.result_bytes = m.GetHistogram(
-      "ldb_result_bytes",
-      "Estimated result bytes (observed when a session budget is set)");
+      "ldb_result_bytes", "Estimated result bytes (every successful query)");
   ins_.result_bytes_peak = m.GetGauge(
       "ldb_result_bytes_peak",
       "Largest estimated result seen (sessions with a memory budget)");
@@ -196,6 +189,18 @@ void QueryService::InitInstruments() {
       "ldb_worker_busy_ns_total", "Nanoseconds workers spent executing morsels");
   ins_.parallel_execs = m.GetCounter("ldb_parallel_executions_total",
                                      "Queries that ran a parallel pipeline");
+  ins_.queries_over_budget =
+      m.GetCounter("ldb_queries_over_budget_total",
+                   "Queries aborted for exceeding the session memory budget");
+  ins_.query_mem_peak = m.GetHistogram(
+      "ldb_query_mem_peak_bytes",
+      "Peak tracked engine memory per query (joins, nests, folds)");
+  ins_.mem_in_use =
+      m.GetGauge("ldb_mem_in_use_bytes",
+                 "Tracked engine bytes currently held by active queries");
+  ins_.active_queries =
+      m.GetGauge("ldb_active_queries",
+                 "Queries accepted and not yet finished (any phase)");
   static constexpr PhysKind kKinds[] = {
       PhysKind::kUnitRow,      PhysKind::kTableScan, PhysKind::kIndexScan,
       PhysKind::kFilter,       PhysKind::kNLJoin,    PhysKind::kHashJoin,
@@ -208,6 +213,10 @@ void QueryService::InitInstruments() {
         m.GetCounter("ldb_operator_rows_total",
                      "Rows produced per operator class (profiled executions)",
                      {{"op", PhysKindName(k)}});
+    ins_.op_mem_peak[static_cast<int>(k)] = m.GetGauge(
+        "ldb_operator_mem_peak_bytes",
+        "Highest single-query memory peak per operator class",
+        {{"op", PhysKindName(k)}});
   }
   cache_.SetMetricHooks(PlanCache::MetricHooks{
       m.GetCounter("ldb_plan_cache_hits_total", "Plan-cache lookup hits"),
@@ -349,6 +358,13 @@ Value QueryService::Run(Session& session, const std::string& oql,
   rec.threads = session.options().n_threads;
   rec.engine = session.options().use_slot_frames ? "slot" : "env";
 
+  // One resource context per query, shared by every thread that executes it
+  // and by the active-query registry (which is why it is a shared_ptr: a
+  // `.queries` snapshot may still be reading it as the query finishes).
+  auto resource = std::make_shared<obs::QueryResourceContext>(
+      session.options().memory_budget_bytes);
+  uint64_t active_id = active_.Register(session.id(), rec.query_hash, resource);
+
   Clock::time_point t0 = Clock::now();
   std::shared_ptr<const PreparedPlan> plan;
 
@@ -360,8 +376,19 @@ Value QueryService::Run(Session& session, const std::string& oql,
     rec.status = status;
     rec.error = error;
     rec.slow = query_log_.IsSlow(total_ms);
+    rec.mem_peak_bytes = resource->PeakBytes();
+    int dominant = resource->DominantOp();
+    if (dominant >= 0) rec.mem_op = PhysKindName(static_cast<PhysKind>(dominant));
+    active_.Unregister(active_id);
     if (ins_.enabled) {
       ins_.total_ms->Observe(total_ms);
+      ins_.query_mem_peak->Observe(static_cast<double>(rec.mem_peak_bytes));
+      ins_.mem_in_use->Set(static_cast<int64_t>(active_.SumInUseBytes()));
+      ins_.active_queries->Set(static_cast<int64_t>(active_.Count()));
+      for (const auto& [cls, gauge] : ins_.op_mem_peak) {
+        uint64_t peak = resource->OpPeakBytes(cls);
+        if (peak > 0) gauge->SetMax(static_cast<int64_t>(peak));
+      }
       if (rec.slow) ins_.slow_queries->Inc();
       if (profiler != nullptr) {
         // Per-operator-class row totals come from the profiler, which the
@@ -384,7 +411,8 @@ Value QueryService::Run(Session& session, const std::string& oql,
   };
 
   try {
-    Value result = RunAdmitted(session, oql, stats, profiler, t0, &rec, &plan);
+    Value result = RunAdmitted(session, oql, stats, profiler, t0, &rec, &plan,
+                               resource.get(), active_id);
     if (ins_.enabled) ins_.queries_ok->Inc();
     finalize("ok", "");
     return result;
@@ -395,6 +423,10 @@ Value QueryService::Run(Session& session, const std::string& oql,
   } catch (const QueryCancelled& e) {
     if (ins_.enabled) ins_.queries_cancelled->Inc();
     finalize("cancelled", e.what());
+    throw;
+  } catch (const obs::QueryMemoryExceeded& e) {
+    if (ins_.enabled) ins_.queries_over_budget->Inc();
+    finalize("over_budget", e.what());
     throw;
   } catch (const Error& e) {
     if (ins_.enabled) ins_.queries_failed->Inc();
@@ -410,10 +442,13 @@ Value QueryService::Run(Session& session, const std::string& oql,
 Value QueryService::RunAdmitted(Session& session, const std::string& oql,
                                 QueryStats* stats, QueryProfiler* profiler,
                                 Clock::time_point t0, obs::QueryLogRecord* rec,
-                                std::shared_ptr<const PreparedPlan>* plan_out) {
+                                std::shared_ptr<const PreparedPlan>* plan_out,
+                                obs::QueryResourceContext* resource,
+                                uint64_t active_id) {
   CancelToken& token = session.token();
 
   AdmissionGuard guard(this, token);
+  active_.SetPhase(active_id, "compiling");
   Clock::time_point t1 = Clock::now();
   rec->queue_ms = MsBetween(t0, t1);
   if (ins_.enabled) ins_.admission_wait_ms->Observe(rec->queue_ms);
@@ -437,6 +472,7 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
   eo.profiler = profiler;
   eo.cancel = &token;
   eo.params = &session.bindings();
+  eo.resource = resource;
   ExecTotals totals;
   if (ins_.enabled) eo.totals = &totals;
 
@@ -451,6 +487,7 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
   };
 
   Value result;
+  active_.SetPhase(active_id, "executing");
   try {
     if (plan->fallback_run) {
       OptimizerOptions oo = options_.optimizer;
@@ -480,17 +517,25 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
     ins_.result_rows->Observe(static_cast<double>(rec->rows));
   }
 
-  if (session.options().memory_budget_bytes > 0) {
+  // Backstop: an executor path that released its reservations through a
+  // no-throw flush may have latched the over-budget verdict without ever
+  // surfacing it — refuse the result here rather than return it.
+  if (resource != nullptr && resource->OverBudget()) {
+    throw obs::QueryMemoryExceeded(resource->InUseBytes(),
+                                   session.options().memory_budget_bytes);
+  }
+
+  // Tracked engine memory (above) covers the build sides; the materialized
+  // result is the other large allocation, so it is budgeted too.
+  uint64_t budget = session.options().memory_budget_bytes;
+  if (ins_.enabled || budget > 0) {
     size_t estimate = EstimateValueBytes(result);
     if (ins_.enabled) {
       ins_.result_bytes->Observe(static_cast<double>(estimate));
       ins_.result_bytes_peak->SetMax(static_cast<int64_t>(estimate));
     }
-    if (estimate > session.options().memory_budget_bytes) {
-      throw EvalError("result (~" + std::to_string(estimate) +
-                      " bytes) exceeds the session memory budget of " +
-                      std::to_string(session.options().memory_budget_bytes) +
-                      " bytes");
+    if (budget > 0 && estimate > budget) {
+      throw obs::QueryMemoryExceeded(estimate, budget);
     }
   }
 

@@ -34,6 +34,7 @@
 #include "src/core/optimizer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
+#include "src/obs/resource.h"
 #include "src/runtime/database.h"
 #include "src/runtime/error.h"
 #include "src/runtime/profile.h"
@@ -129,6 +130,13 @@ class QueryService {
   /// profile snapshots).
   obs::QueryLog& query_log() const { return query_log_; }
 
+  /// Live snapshot of every accepted-but-unfinished query (session, query
+  /// hash, phase, elapsed, rows and bytes so far) — the service's
+  /// pg_stat_activity. Safe from any thread; works with metrics disabled.
+  std::vector<obs::ActiveQueryInfo> ActiveQueries() const {
+    return active_.Snapshot();
+  }
+
   const Database& db() const { return db_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -165,9 +173,15 @@ class QueryService {
     obs::Counter* morsels = nullptr;
     obs::Counter* worker_busy_ns = nullptr;
     obs::Counter* parallel_execs = nullptr;
+    obs::Counter* queries_over_budget = nullptr;
+    obs::Histogram* query_mem_peak = nullptr;
+    obs::Gauge* mem_in_use = nullptr;
+    obs::Gauge* active_queries = nullptr;
     /// rows_out per operator class, keyed by static_cast<int>(PhysKind);
     /// fed from the profiler, so only profiled executions contribute.
     std::map<int, obs::Counter*> op_rows;
+    /// Highest per-query peak per operator class (tracked executions).
+    std::map<int, obs::Gauge*> op_mem_peak;
   };
   void InitInstruments();
 
@@ -189,7 +203,8 @@ class QueryService {
                     QueryStats* stats, QueryProfiler* profiler,
                     std::chrono::steady_clock::time_point t0,
                     obs::QueryLogRecord* rec,
-                    std::shared_ptr<const PreparedPlan>* plan_out);
+                    std::shared_ptr<const PreparedPlan>* plan_out,
+                    obs::QueryResourceContext* resource, uint64_t active_id);
 
   const Database& db_;
   ServiceOptions options_;
@@ -198,6 +213,7 @@ class QueryService {
 
   mutable obs::MetricsRegistry metrics_;
   mutable obs::QueryLog query_log_;
+  mutable obs::ActiveQueryRegistry active_;
   Instruments ins_;
   std::atomic<uint64_t> next_session_id_{0};
 

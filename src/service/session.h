@@ -1,6 +1,6 @@
 // A Session is one client's execution context against a QueryService: its
-// parameter bindings, per-query deadline, result-memory budget, engine
-// knobs, and the CancelToken the executors poll (docs/SERVICE.md).
+// parameter bindings, per-query deadline, memory budget, engine knobs, and
+// the CancelToken the executors poll (docs/SERVICE.md).
 //
 // A session runs one query at a time (calls on the same session must not
 // overlap); Cancel() may be called from any other thread and aborts the
@@ -26,10 +26,17 @@ struct SessionOptions {
   /// Per-query deadline in milliseconds; 0 = none. Armed on the session's
   /// CancelToken when each execution starts, so queueing time counts.
   int64_t deadline_ms = 0;
-  /// Cap on the (estimated) byte footprint of a query's materialized
-  /// result; 0 = unlimited. The service measures the result after the fold
-  /// and fails the query rather than hand the row set to the client — a
-  /// serving-side guard against one session buffering the database.
+  /// Per-query memory budget in bytes; 0 = unlimited. Enforced at runtime:
+  /// the engines charge their tracked allocations (hash/nest build tables,
+  /// nested-loop buffers, collection folds) against the query's resource
+  /// context and a charge that crosses the budget aborts the query
+  /// mid-build with QueryMemoryExceeded (query-log status "over_budget") —
+  /// it does not wait for the result to materialize. The service also
+  /// measures the materialized result as a final check, so a query whose
+  /// bulk is the result itself (e.g. a plain scan) is still refused rather
+  /// than handed to the client. With metrics compiled out (-DLDB_METRICS=
+  /// OFF) the in-flight tracking is a no-op and only the result check
+  /// applies.
   size_t memory_budget_bytes = 0;
   /// Engine knobs, forwarded into ExecOptions per query.
   int n_threads = 1;

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compares two bench_unnesting JSON reports experiment by experiment.
+
+Usage:
+    bench_compare.py <baseline.json> <current.json> [--threshold PCT]
+
+Matches result records on (experiment, engine, scale, threads) and prints
+the wall-time delta for each pair. Pairs whose |delta| exceeds the
+threshold (default 25%) are flagged as WARN; pairs present on only one
+side are listed as unmatched. The exit code is always 0 — benchmark noise
+in shared CI runners makes regressions advisory, not blocking; the WARN
+lines are for a human reading the job log.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key_of(rec):
+    return (rec.get("experiment"), rec.get("engine"),
+            rec.get("scale"), rec.get("threads"))
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for rec in doc.get("results", []):
+        ms = rec.get("ms")
+        if ms is None or ms <= 0:
+            continue
+        # Duplicate keys (repeated experiments) keep the last record, which
+        # matches the report's own "latest run wins" reading.
+        out[key_of(rec)] = ms
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Per-experiment wall-time deltas between bench reports")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="warn when |delta| exceeds this percentage")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if not base or not cur:
+        print("bench_compare: one of the reports has no timed results; "
+              "nothing to compare")
+        return
+
+    shared = sorted(k for k in base if k in cur)
+    warns = 0
+    for k in shared:
+        experiment, engine, scale, threads = k
+        b, c = base[k], cur[k]
+        delta = (c - b) / b * 100.0
+        flag = ""
+        if abs(delta) > args.threshold:
+            flag = "  WARN" if delta > 0 else "  (faster)"
+            warns += delta > 0
+        label = f"{experiment}/{engine} scale={scale} threads={threads}"
+        print(f"{label:<55} {b:10.3f} ms -> {c:10.3f} ms  {delta:+7.1f}%"
+              f"{flag}")
+
+    only_base = sorted(k for k in base if k not in cur)
+    only_cur = sorted(k for k in cur if k not in base)
+    for k in only_base:
+        print(f"unmatched (baseline only): {k}")
+    for k in only_cur:
+        print(f"unmatched (current only):  {k}")
+
+    print(f"bench_compare: {len(shared)} pairs compared, {warns} regression "
+          f"warning(s) over {args.threshold:.0f}%, "
+          f"{len(only_base) + len(only_cur)} unmatched")
+    if warns:
+        print("bench_compare: WARN lines are advisory — shared-runner "
+              "timing noise regularly exceeds the threshold; investigate "
+              "only when a warning persists across runs", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

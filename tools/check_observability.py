@@ -144,11 +144,18 @@ def check_bench(path):
     if not metrics:
         fail(f"{path}: no top-level metrics block (run with --metrics)")
     by_name = defaultdict(float)
+    histograms = {}
     for s in metrics.get("samples", []):
         if "name" not in s or "type" not in s:
             fail(f"{path}: metrics sample missing name/type: {s}")
         if s["type"] == "counter":
             by_name[s["name"]] += s.get("value", 0)
+        elif s["type"] == "histogram":
+            histograms[s["name"]] = s
+        elif s["type"] == "gauge":
+            # gauges accumulate by max: ldb_operator_mem_peak_bytes has one
+            # series per operator class and only the peak matters here.
+            by_name[s["name"]] = max(by_name[s["name"]], s.get("value", 0))
     started = by_name.get("ldb_queries_started_total", 0)
     ok = by_name.get("ldb_queries_ok_total", 0)
     hits = by_name.get("ldb_plan_cache_hits_total", 0)
@@ -160,8 +167,55 @@ def check_bench(path):
              f"started {started}")
     if hits <= 0:
         fail(f"{path}: no plan-cache hits in a repeated-statement mix")
+
+    # Parallel-pipeline probe: the --metrics block runs morsel-parallel
+    # executions, so the dispatch/busy counters must have moved.
+    if by_name.get("ldb_morsels_dispatched_total", 0) <= 0:
+        fail(f"{path}: ldb_morsels_dispatched_total is zero — the parallel "
+             "probe did not engage")
+    if by_name.get("ldb_worker_busy_ns_total", 0) <= 0:
+        fail(f"{path}: ldb_worker_busy_ns_total is zero")
+
+    # Memory attribution: peak-bytes histogram populated, at least one
+    # operator class charged, and build identity present.
+    mem_peak = histograms.get("ldb_query_mem_peak_bytes")
+    if mem_peak is None or mem_peak.get("count", 0) <= 0:
+        fail(f"{path}: ldb_query_mem_peak_bytes histogram empty")
+    if mem_peak.get("sum", 0) <= 0:
+        fail(f"{path}: ldb_query_mem_peak_bytes sum is zero — no query "
+             "charged any tracked memory")
+    if by_name.get("ldb_operator_mem_peak_bytes", 0) <= 0:
+        fail(f"{path}: no operator class has a non-zero memory peak")
+    build_info = [s for s in metrics.get("samples", [])
+                  if s["name"] == "ldb_build_info"]
+    if not build_info:
+        fail(f"{path}: ldb_build_info gauge missing")
+    for key in ("commit", "build_type", "metrics"):
+        if key not in build_info[0].get("labels", {}):
+            fail(f"{path}: ldb_build_info missing label {key!r}")
+    rb = histograms.get("ldb_result_bytes")
+    if rb is None or rb.get("count", 0) <= 0:
+        fail(f"{path}: ldb_result_bytes histogram empty — it must be "
+             "recorded for every successful query")
+
+    # Live-introspection probe: the active_queries capture must be present
+    # and each entry shaped like an ActiveQueryInfo.
+    active = metrics.get("active_queries")
+    if active is None:
+        fail(f"{path}: metrics block has no active_queries capture")
+    for q in active:
+        for key in ("query_id", "session", "phase", "elapsed_ms", "rows",
+                    "mem_in_use_bytes", "mem_peak_bytes"):
+            if key not in q:
+                fail(f"{path}: active_queries entry missing {key!r}: {q}")
+        if q["phase"] not in ("queued", "compiling", "executing"):
+            fail(f"{path}: active_queries entry has bad phase: {q['phase']}")
+
     print(f"bench metrics OK: {started:.0f} started, {ok:.0f} ok, "
-          f"{hits:.0f} cache hits")
+          f"{hits:.0f} cache hits, "
+          f"{by_name['ldb_morsels_dispatched_total']:.0f} morsels, "
+          f"mem peak sum {mem_peak['sum']:.0f}B, "
+          f"{len(active)} active-query capture(s)")
 
 
 def main():
