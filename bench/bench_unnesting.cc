@@ -312,7 +312,8 @@ void RunServiceExperiment(int n_clients, bool quick) {
            << "\", \"elapsed_ms\": " << q.elapsed_ms
            << ", \"rows\": " << q.rows
            << ", \"mem_in_use_bytes\": " << q.mem_in_use_bytes
-           << ", \"mem_peak_bytes\": " << q.mem_peak_bytes << "}";
+           << ", \"mem_peak_bytes\": " << q.mem_peak_bytes
+           << ", \"remote\": \"" << q.remote << "\"}";
       }
       aq << "]";
       metrics_json.insert(metrics_json.rfind('}'), aq.str());

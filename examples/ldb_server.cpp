@@ -1,0 +1,177 @@
+// ldb_server — the network front end: serves a synthetic workload (or a
+// database dump) over the ldb wire protocol (docs/WIRE.md).
+//
+//   $ ./examples/ldb_server [options]
+//     --workload company|university|travel   synthetic dataset (default company)
+//     --scale N          workload scale (default 2000)
+//     --db FILE          serve a database dump instead (indexes rebuilt)
+//     --host A           listen address (default 127.0.0.1)
+//     --port P           listen port (default 4994; 0 = ephemeral)
+//     --workers N        network worker threads (default 8)
+//     --max-concurrent N admission: queries executing at once (default 4)
+//     --max-queue N      admission: waiters beyond that (default 16)
+//     --deadline-ms N    default per-query deadline (0 = none)
+//     --memory-budget N  default per-query memory budget in bytes (0 = none)
+//     --metrics-dump F   write the Prometheus metrics snapshot to F on exit
+//
+// Prints "listening on <host>:<port>" once ready (scripts wait for that
+// line). SIGTERM/SIGINT trigger a graceful drain — in-flight queries finish
+// (or are cancelled at the drain deadline), replies are flushed — then the
+// process exits 0 with a serving summary.
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/net/server.h"
+#include "src/service/query_service.h"
+#include "src/workload/company.h"
+#include "src/workload/travel.h"
+#include "src/workload/university.h"
+
+namespace {
+
+using namespace ldb;
+
+Database MakeDb(const std::string& which, int scale) {
+  if (which == "university") {
+    workload::UniversityParams p;
+    p.n_students = scale;
+    return workload::MakeUniversityDatabase(p);
+  }
+  if (which == "travel") {
+    workload::TravelParams p;
+    p.n_cities = std::max(2, scale / 10);
+    return workload::MakeTravelDatabase(p);
+  }
+  workload::CompanyParams p;
+  p.n_employees = scale;
+  p.n_departments = std::max(4, scale / 40);
+  p.n_managers = std::max(2, scale / 100);
+  return workload::MakeCompanyDatabase(p);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload company|university|travel] [--scale N] "
+               "[--db FILE]\n"
+               "          [--host A] [--port P] [--workers N] "
+               "[--max-concurrent N] [--max-queue N]\n"
+               "          [--deadline-ms N] [--memory-budget N] "
+               "[--metrics-dump FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "company";
+  std::string dump_file;
+  std::string metrics_dump;
+  int scale = 2000;
+  ldb::ServiceOptions svc_opts;
+  ldb::net::ServerOptions net_opts;
+  net_opts.port = 4994;
+  net_opts.n_workers = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--scale") {
+      scale = std::atoi(next());
+    } else if (arg == "--db") {
+      dump_file = next();
+    } else if (arg == "--host") {
+      net_opts.host = next();
+    } else if (arg == "--port") {
+      net_opts.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      net_opts.n_workers = std::atoi(next());
+    } else if (arg == "--max-concurrent") {
+      svc_opts.max_concurrent = std::atoi(next());
+    } else if (arg == "--max-queue") {
+      svc_opts.max_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--deadline-ms") {
+      net_opts.session.deadline_ms = std::atoll(next());
+    } else if (arg == "--memory-budget") {
+      net_opts.session.memory_budget_bytes =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--metrics-dump") {
+      metrics_dump = next();
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns, so every thread
+  // inherits the mask and sigwait below is the single delivery point.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    ldb::Database db = [&] {
+      if (!dump_file.empty()) {
+        std::ifstream in(dump_file);
+        if (!in) throw ldb::Error("cannot open dump: " + dump_file);
+        return ldb::QueryService::LoadWithIndexes(in);
+      }
+      return MakeDb(workload_name, scale);
+    }();
+    std::printf("ldb_server: %s (%zu objects), admission %d+%zu, %d workers\n",
+                dump_file.empty()
+                    ? (workload_name + " scale " + std::to_string(scale))
+                          .c_str()
+                    : dump_file.c_str(),
+                db.ObjectCount(), svc_opts.max_concurrent, svc_opts.max_queue,
+                net_opts.n_workers);
+
+    ldb::QueryService svc(db, svc_opts);
+    ldb::net::Server server(svc, net_opts);
+    server.Start();
+    std::printf("listening on %s:%u\n", net_opts.host.c_str(),
+                static_cast<unsigned>(server.bound_port()));
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::printf("ldb_server: received %s, draining...\n", strsignal(sig));
+    std::fflush(stdout);
+    server.Shutdown();
+
+    if (!metrics_dump.empty()) {
+      std::ofstream out(metrics_dump);
+      out << svc.metrics().Snapshot().ToPrometheusText();
+      std::printf("ldb_server: metrics written to %s\n", metrics_dump.c_str());
+    }
+
+    ldb::net::ServerStats st = server.stats();
+    std::printf(
+        "ldb_server: served %llu connections, %llu frames "
+        "(%llu B in, %llu B out, %llu protocol errors)\n",
+        static_cast<unsigned long long>(st.connections_total),
+        static_cast<unsigned long long>(st.frames_received),
+        static_cast<unsigned long long>(st.bytes_recv),
+        static_cast<unsigned long long>(st.bytes_sent),
+        static_cast<unsigned long long>(st.protocol_errors));
+    return 0;
+  } catch (const ldb::Error& e) {
+    std::fprintf(stderr, "ldb_server: %s\n", e.what());
+    return 1;
+  }
+}

@@ -24,12 +24,16 @@
 //                        additionally print their captured plan
 //   .trace <file> <oql>  execute with profiling and write a Chrome/Perfetto
 //                        trace (load via ui.perfetto.dev or chrome://tracing)
+//   .connect host:port   attach to an ldb_server; ad-hoc queries, .prepare,
+//                        and .exec then go over the wire (docs/WIRE.md)
+//   .disconnect          drop the server connection, back to in-process
 //   .quit                exit
 //   <oql>                execute through the query service + print
 //
 // Reads one query per line (no multi-line continuation). Ad-hoc queries and
 // prepared statements both run through a QueryService, so repeated queries
-// hit the plan cache and `.timeout` applies to everything.
+// hit the plan cache and `.timeout` applies to everything — including remote
+// execution, where it is sent as the per-request deadline.
 
 #include <chrono>
 #include <cstdio>
@@ -38,11 +42,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/lambdadb.h"
+#include "src/net/client.h"
 #include "src/workload/company.h"
 #include "src/workload/travel.h"
 #include "src/workload/university.h"
@@ -269,6 +275,23 @@ void PrintResult(const Value& v) {
   }
 }
 
+void PrintRemoteResult(const net::ClientResult& r) {
+  if (r.scalar() && r.rows.size() == 1) {
+    std::printf("  %s\n", r.rows[0].ToString().c_str());
+  } else {
+    size_t shown = 0;
+    for (const Value& row : r.rows) {
+      if (shown++ == 20) break;
+      std::printf("  %s\n", row.ToString().c_str());
+    }
+    if (r.rows.size() > 20) std::printf("  ... (%zu rows)\n", r.rows.size());
+  }
+  std::printf("(%s plan | queue %.2f ms | compile %.2f ms | exec %.2f ms | "
+              "remote)\n",
+              r.exec.plan_cached ? "cached" : "compiled", r.exec.queue_ms,
+              r.exec.compile_ms, r.exec.exec_ms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +303,14 @@ int main(int argc, char** argv) {
 
   QueryService service(db);
   std::shared_ptr<Session> session = service.OpenSession();
+
+  // `.connect` state: while attached, ad-hoc queries, .prepare, and .exec go
+  // through the wire protocol instead of the in-process service.
+  net::Client remote;
+  std::map<std::string, uint64_t> remote_prepared;
+  auto remote_deadline = [&session] {
+    return static_cast<uint64_t>(session->options().deadline_ms);
+  };
 
   std::string line;
   while (std::printf("oql> "), std::fflush(stdout),
@@ -293,7 +324,8 @@ int main(int argc, char** argv) {
                     "| .prepare <name> <oql> | .exec <name> [args] "
                     "| .timeout <ms> | .budget <bytes> | .cache [clear] "
                     "| .metrics | .querylog [n] | .queries "
-                    "| .trace <file> <oql> | .quit | <oql>\n"
+                    "| .trace <file> <oql> | .connect host:port "
+                    "| .disconnect | .quit | <oql>\n"
                     "(.explain prints the profiled plan inline; .trace writes "
                     "the same execution as a Perfetto timeline)\n");
       } else if (line == ".schema") {
@@ -324,6 +356,10 @@ int main(int argc, char** argv) {
         size_t start = oql.find_first_not_of(' ');
         if (name.empty() || start == std::string::npos) {
           std::printf("usage: .prepare <name> <oql>\n");
+        } else if (remote.connected()) {
+          remote_prepared[name] = remote.Prepare(oql.substr(start));
+          std::printf("prepared '%s' (remote handle %llu)\n", name.c_str(),
+                      static_cast<unsigned long long>(remote_prepared[name]));
         } else {
           service.Prepare(name, oql.substr(start));
           std::printf("prepared '%s'\n", name.c_str());
@@ -332,15 +368,29 @@ int main(int argc, char** argv) {
         std::istringstream in(line.substr(6));
         std::string name;
         in >> name;
-        session->ClearBindings();
+        std::vector<std::pair<std::string, Value>> args;
         std::string tok;
         int idx = 1;
         while (in >> tok) {
-          session->Bind(std::to_string(idx++), ParseArgValue(tok));
+          args.emplace_back(std::to_string(idx++), ParseArgValue(tok));
         }
-        QueryStats stats;
-        PrintResult(service.ExecutePrepared(*session, name, &stats));
-        PrintQueryStats(stats);
+        if (remote.connected()) {
+          auto it = remote_prepared.find(name);
+          if (it == remote_prepared.end()) {
+            std::printf("error: no remote prepared statement '%s'\n",
+                        name.c_str());
+          } else {
+            remote.Bind(args);
+            PrintRemoteResult(
+                remote.ExecutePrepared(it->second, remote_deadline()));
+          }
+        } else {
+          session->ClearBindings();
+          for (const auto& [pname, pval] : args) session->Bind(pname, pval);
+          QueryStats stats;
+          PrintResult(service.ExecutePrepared(*session, name, &stats));
+          PrintQueryStats(stats);
+        }
       } else if (line.rfind(".timeout ", 0) == 0) {
         session->options().deadline_ms = std::atoll(line.substr(9).c_str());
         std::printf("per-query deadline: %lld ms\n",
@@ -373,6 +423,34 @@ int main(int argc, char** argv) {
         size_t n = 10;
         if (line.size() > 10) n = std::strtoull(line.c_str() + 10, nullptr, 10);
         ShowQueryLog(service.query_log(), n == 0 ? 10 : n);
+      } else if (line.rfind(".connect ", 0) == 0) {
+        std::string target = line.substr(9);
+        size_t colon = target.rfind(':');
+        if (remote.connected()) {
+          std::printf("already connected; .disconnect first\n");
+        } else if (colon == std::string::npos || colon == 0 ||
+                   colon + 1 == target.size()) {
+          std::printf("usage: .connect host:port\n");
+        } else {
+          net::HelloRequest hello;
+          remote.Connect(target.substr(0, colon),
+                         static_cast<uint16_t>(
+                             std::atoi(target.c_str() + colon + 1)),
+                         hello);
+          remote_prepared.clear();
+          std::printf("connected: %s (session %llu, wire v%u)\n",
+                      remote.hello().server_info.c_str(),
+                      static_cast<unsigned long long>(remote.session_id()),
+                      remote.hello().version);
+        }
+      } else if (line == ".disconnect") {
+        if (!remote.connected()) {
+          std::printf("not connected\n");
+        } else {
+          remote.Close();
+          remote_prepared.clear();
+          std::printf("disconnected\n");
+        }
       } else if (line.rfind(".trace ", 0) == 0) {
         std::istringstream in(line.substr(7));
         std::string file;
@@ -385,6 +463,8 @@ int main(int argc, char** argv) {
         } else {
           TraceQuery(db, file, oql.substr(start));
         }
+      } else if (remote.connected()) {
+        PrintRemoteResult(remote.Execute(line, remote_deadline()));
       } else {
         QueryStats stats;
         PrintResult(service.Execute(*session, line, &stats));

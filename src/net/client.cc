@@ -1,0 +1,201 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/runtime/serialize.h"
+
+namespace ldb {
+namespace net {
+
+Client::~Client() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructor: the socket is closed either way.
+  }
+}
+
+void Client::Connect(const std::string& host, uint16_t port,
+                     const HelloRequest& hello, int recv_timeout_ms) {
+  if (fd_ >= 0) throw Error("client already connected");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string ip = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw Error("bad server address (IPv4 literal expected): " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string msg = std::string("connect ") + ip + ":" +
+                      std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    throw Error(msg);
+  }
+  fd_ = fd;
+  decoder_.Reset();
+
+  try {
+    SendRaw(hello.Encode());
+    Frame f = Await(Opcode::kHelloOk);
+    hello_ = HelloReply::Parse(f.payload);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  try {
+    SendFrame(Opcode::kGoodbye, std::string());
+    // Drain whatever precedes the GOODBYE_OK (stray CANCEL_OKs etc.).
+    for (int i = 0; i < 64; ++i) {
+      Frame f = ReadFrame();
+      if (f.opcode == Opcode::kGoodbyeOk) break;
+    }
+  } catch (...) {
+    // Best effort; fall through to close.
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::SendRaw(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) throw Error("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+void Client::SendFrame(Opcode op, const std::string& payload) {
+  SendRaw(EncodeFrame(op, payload));
+}
+
+Frame Client::ReadFrame() {
+  if (fd_ < 0) throw Error("client not connected");
+  Frame f;
+  char buf[65536];
+  while (!decoder_.Next(&f)) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) throw Error("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw Error("client receive timeout");
+    }
+    throw Error(std::string("recv: ") + std::strerror(errno));
+  }
+  return f;
+}
+
+Frame Client::Await(Opcode expected) {
+  for (;;) {
+    Frame f = ReadFrame();
+    if (f.opcode == expected) return f;
+    if (f.opcode == Opcode::kCancelOk) continue;  // out-of-band ack
+    if (f.opcode == Opcode::kError) {
+      ErrorReply err = ErrorReply::Parse(f.payload);
+      throw RemoteError(err.code, err.message);
+    }
+    throw WireError(std::string("expected ") + OpcodeName(expected) +
+                    ", got " + OpcodeName(f.opcode));
+  }
+}
+
+uint64_t Client::Prepare(const std::string& oql) {
+  PrepareRequest req;
+  req.oql = oql;
+  SendRaw(req.Encode());
+  return PrepareReply::Parse(Await(Opcode::kPrepareOk).payload).handle;
+}
+
+void Client::Bind(const std::vector<std::pair<std::string, Value>>& params,
+                  bool clear_first) {
+  BindRequest req;
+  req.clear_first = clear_first ? 1 : 0;
+  for (const auto& [name, v] : params) req.Add(name, v);
+  SendRaw(req.Encode());
+  Await(Opcode::kBindOk);
+}
+
+ClientResult Client::RunExecute(const ExecuteRequest& req) {
+  SendRaw(req.Encode());
+  ClientResult out;
+  out.exec = ExecReply::Parse(Await(Opcode::kExecOk).payload);
+
+  // The server appends one ROWS batch when fetch_hint > 0 (even if empty);
+  // keep FETCHing until has_more says the cursor is drained.
+  bool expect_rows = req.fetch_hint > 0;
+  bool more = true;
+  while (more) {
+    if (!expect_rows) {
+      FetchRequest fetch;
+      fetch.max_rows = req.fetch_hint;
+      SendRaw(fetch.Encode());
+    }
+    expect_rows = false;
+    RowsReply batch = RowsReply::Parse(Await(Opcode::kRows).payload);
+    for (const std::string& text : batch.rows) {
+      out.rows.push_back(ValueFromText(text));
+    }
+    more = batch.has_more != 0;
+  }
+  return out;
+}
+
+ClientResult Client::Execute(const std::string& oql, uint64_t deadline_ms,
+                             uint32_t fetch_batch) {
+  ExecuteRequest req;
+  req.mode = ExecuteRequest::kAdhoc;
+  req.oql = oql;
+  req.deadline_ms = deadline_ms;
+  req.fetch_hint = fetch_batch != 0 ? fetch_batch : 1024;
+  return RunExecute(req);
+}
+
+ClientResult Client::ExecutePrepared(uint64_t handle, uint64_t deadline_ms,
+                                     uint32_t fetch_batch) {
+  ExecuteRequest req;
+  req.mode = ExecuteRequest::kPrepared;
+  req.handle = handle;
+  req.deadline_ms = deadline_ms;
+  req.fetch_hint = fetch_batch != 0 ? fetch_batch : 1024;
+  return RunExecute(req);
+}
+
+void Client::Cancel() { SendFrame(Opcode::kCancel, std::string()); }
+
+}  // namespace net
+}  // namespace ldb

@@ -1,0 +1,108 @@
+// Blocking client for the ldb wire protocol (src/net/wire.h, docs/WIRE.md).
+// Used by oqlsh's .connect mode, tools/ldb_loadgen, and the e2e tests.
+//
+// One thread drives the request/response conversation; Cancel() is the only
+// member safe to call concurrently — it writes a CANCEL frame on the same
+// socket (sends are mutex-serialized), and the response reader transparently
+// skips the out-of-band CANCEL_OK acknowledgements, so a cancel can race an
+// EXECUTE without corrupting the conversation.
+
+#ifndef LAMBDADB_NET_CLIENT_H_
+#define LAMBDADB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/runtime/error.h"
+#include "src/runtime/value.h"
+
+namespace ldb {
+namespace net {
+
+/// An ERROR frame surfaced client-side, carrying the server's wire error
+/// code (the projection of the structured error taxonomy).
+class RemoteError : public Error {
+ public:
+  RemoteError(ErrorCode code, const std::string& message)
+      : Error(std::string("server error [") + ErrorCodeName(code) +
+              "]: " + message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One executed query: the server's EXEC_OK stats plus the decoded result.
+struct ClientResult {
+  ExecReply exec;
+  /// Decoded rows (collection elements, or the single scalar value).
+  std::vector<Value> rows;
+  bool scalar() const { return exec.scalar != 0; }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (IPv4 literal or "localhost") and runs the HELLO handshake.
+  /// `recv_timeout_ms` bounds every blocking read so a wedged server fails
+  /// the call instead of hanging the caller.
+  void Connect(const std::string& host, uint16_t port,
+               const HelloRequest& hello = {}, int recv_timeout_ms = 30000);
+  /// Best-effort GOODBYE handshake, then closes the socket. Idempotent.
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  const HelloReply& hello() const { return hello_; }
+  uint64_t session_id() const { return hello_.session_id; }
+
+  /// PREPARE: OQL -> connection-local handle.
+  uint64_t Prepare(const std::string& oql);
+  /// BIND: parameter values ($1 binds name "1").
+  void Bind(const std::vector<std::pair<std::string, Value>>& params,
+            bool clear_first = true);
+
+  /// Ad-hoc EXECUTE; FETCHes the whole result in bounded batches.
+  /// `fetch_batch` = rows per batch (0 = server default).
+  ClientResult Execute(const std::string& oql, uint64_t deadline_ms = 0,
+                       uint32_t fetch_batch = 0);
+  /// EXECUTE of a Prepare()d handle.
+  ClientResult ExecutePrepared(uint64_t handle, uint64_t deadline_ms = 0,
+                               uint32_t fetch_batch = 0);
+
+  /// Requests cancellation of the in-flight query. Safe from any thread.
+  void Cancel();
+
+  // -- low-level access (protocol tests) --------------------------------------
+
+  /// Sends raw bytes verbatim (not necessarily a well-formed frame).
+  void SendRaw(const std::string& bytes);
+  /// Sends one well-formed frame.
+  void SendFrame(Opcode op, const std::string& payload);
+  /// Blocks for the next frame, whatever it is (CANCEL_OK included).
+  Frame ReadFrame();
+
+ private:
+  /// Reads frames until one with `expected` arrives. Skips CANCEL_OK,
+  /// throws RemoteError on ERROR, WireError on anything else.
+  Frame Await(Opcode expected);
+  ClientResult RunExecute(const ExecuteRequest& req);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  HelloReply hello_;
+  std::mutex send_mu_;  ///< serializes socket writes (Cancel vs requests)
+};
+
+}  // namespace net
+}  // namespace ldb
+
+#endif  // LAMBDADB_NET_CLIENT_H_

@@ -18,6 +18,10 @@ std::string QueryLogRecord::ToString() const {
                 static_cast<unsigned long long>(rows), engine.c_str(), threads,
                 static_cast<unsigned long long>(query_hash));
   std::string out = buf;
+  if (!remote.empty()) {
+    out += " remote=";
+    out += remote;
+  }
   if (mem_peak_bytes > 0) {
     std::snprintf(buf, sizeof buf, " mem_peak=%llu",
                   static_cast<unsigned long long>(mem_peak_bytes));

@@ -28,6 +28,8 @@ namespace obs {
 struct QueryLogRecord {
   uint64_t id = 0;         ///< assigned by Append(); monotone across the log
   uint64_t session = 0;    ///< owning session id (0 = service-internal)
+  std::string remote;      ///< client address ("ip:port") for queries that
+                           ///< arrived over the wire protocol; "" in-process
   uint64_t query_hash = 0; ///< std::hash of the raw OQL text
   std::string cache_key;   ///< normalized calculus + version stamp ("" if
                            ///< the query failed before compilation)

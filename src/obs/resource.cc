@@ -34,11 +34,12 @@ void MemoryTracker::FlushNoThrow() {
 
 uint64_t ActiveQueryRegistry::Register(
     uint64_t session, uint64_t query_hash,
-    std::shared_ptr<const QueryResourceContext> ctx) {
+    std::shared_ptr<const QueryResourceContext> ctx, std::string remote) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t id = ++next_id_;
   Entry& e = entries_[id];
   e.session = session;
+  e.remote = std::move(remote);
   e.query_hash = query_hash;
   e.start = std::chrono::steady_clock::now();
   e.phase = "queued";
@@ -66,6 +67,7 @@ std::vector<ActiveQueryInfo> ActiveQueryRegistry::Snapshot() const {
     ActiveQueryInfo info;
     info.query_id = id;
     info.session = e.session;
+    info.remote = e.remote;
     info.query_hash = e.query_hash;
     info.phase = e.phase;
     info.elapsed_ms =

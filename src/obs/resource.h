@@ -272,6 +272,8 @@ class MemoryTracker {
 struct ActiveQueryInfo {
   uint64_t query_id = 0;    ///< registry-assigned, monotone per service
   uint64_t session = 0;
+  std::string remote;       ///< client address ("ip:port") for wire-protocol
+                            ///< sessions; "" for in-process ones
   uint64_t query_hash = 0;  ///< std::hash of the raw OQL text
   std::string phase;        ///< "queued" | "compiling" | "executing"
   double elapsed_ms = 0;    ///< since the service accepted the query
@@ -291,8 +293,10 @@ class ActiveQueryRegistry {
   ActiveQueryRegistry& operator=(const ActiveQueryRegistry&) = delete;
 
   /// Registers an accepted query in phase "queued"; returns its id.
+  /// `remote` is the owning session's client address ("" in-process).
   uint64_t Register(uint64_t session, uint64_t query_hash,
-                    std::shared_ptr<const QueryResourceContext> ctx);
+                    std::shared_ptr<const QueryResourceContext> ctx,
+                    std::string remote = {});
   /// `phase` must be a string with static storage duration.
   void SetPhase(uint64_t id, const char* phase);
   void Unregister(uint64_t id);
@@ -306,6 +310,7 @@ class ActiveQueryRegistry {
  private:
   struct Entry {
     uint64_t session = 0;
+    std::string remote;
     uint64_t query_hash = 0;
     std::chrono::steady_clock::time_point start;
     const char* phase = "queued";

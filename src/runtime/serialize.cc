@@ -383,4 +383,20 @@ Database LoadDatabaseFromString(const std::string& dump) {
   return LoadDatabase(is);
 }
 
+std::string ValueToText(const Value& v) {
+  std::ostringstream os;
+  WriteValue(os, v);
+  return os.str();
+}
+
+Value ValueFromText(const std::string& text) {
+  std::istringstream is(text);
+  Reader r(is);
+  Value v = r.ReadValue();
+  if (is.peek() != EOF) {
+    throw ParseError("value: trailing bytes after a complete value");
+  }
+  return v;
+}
+
 }  // namespace ldb

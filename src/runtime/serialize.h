@@ -44,6 +44,16 @@ Database LoadDatabase(std::istream& is);
 std::string DumpDatabaseToString(const Database& db);
 Database LoadDatabaseFromString(const std::string& dump);
 
+/// Serializes one value in the dump's value syntax (see the format comment
+/// above). The encoding is self-delimiting, so values can be concatenated
+/// and read back one at a time — the wire protocol (src/net/) uses it to
+/// ship result rows and parameter bindings.
+std::string ValueToText(const Value& v);
+
+/// Parses one value in the dump syntax; the whole string must be consumed.
+/// Throws ParseError on malformed input.
+Value ValueFromText(const std::string& text);
+
 }  // namespace ldb
 
 #endif  // LAMBDADB_RUNTIME_SERIALIZE_H_

@@ -354,6 +354,7 @@ Value QueryService::Run(Session& session, const std::string& oql,
 
   obs::QueryLogRecord rec;
   rec.session = session.id();
+  rec.remote = session.peer();
   rec.query_hash = std::hash<std::string>{}(oql);
   rec.threads = session.options().n_threads;
   rec.engine = session.options().use_slot_frames ? "slot" : "env";
@@ -363,7 +364,8 @@ Value QueryService::Run(Session& session, const std::string& oql,
   // `.queries` snapshot may still be reading it as the query finishes).
   auto resource = std::make_shared<obs::QueryResourceContext>(
       session.options().memory_budget_bytes);
-  uint64_t active_id = active_.Register(session.id(), rec.query_hash, resource);
+  uint64_t active_id = active_.Register(session.id(), rec.query_hash, resource,
+                                        session.peer());
 
   Clock::time_point t0 = Clock::now();
   std::shared_ptr<const PreparedPlan> plan;

@@ -71,11 +71,19 @@ class Session {
   const SessionOptions& options() const { return options_; }
   SessionOptions& options() { return options_; }
 
+  /// Remote client address ("ip:port") when this session fronts a network
+  /// connection; empty for in-process sessions. Flows into the query log and
+  /// ActiveQueries() so an operator can tell who is running what. Set once
+  /// at connection setup, before any query runs.
+  void set_peer(std::string peer) { peer_ = std::move(peer); }
+  const std::string& peer() const { return peer_; }
+
  private:
   SessionOptions options_;
   std::map<std::string, Value> bindings_;
   CancelToken token_;
   uint64_t id_ = 0;
+  std::string peer_;
 };
 
 }  // namespace ldb

@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Compares two bench_unnesting JSON reports experiment by experiment.
+"""Compares two bench_unnesting JSON reports section by section.
 
 Usage:
     bench_compare.py <baseline.json> <current.json> [--threshold PCT]
 
-Matches result records on (experiment, engine, scale, threads) and prints
-the wall-time delta for each pair. Pairs whose |delta| exceeds the
-threshold (default 25%) are flagged as WARN; pairs present on only one
-side are listed as unmatched. The exit code is always 0 — benchmark noise
-in shared CI runners makes regressions advisory, not blocking; the WARN
-lines are for a human reading the job log.
+"results" records are matched on (experiment, engine, scale, threads) and
+printed with their wall-time delta; "serving" records (the ldb_loadgen /
+ldb_server numbers, see docs/WIRE.md) are matched on their label and
+printed with achieved-qps and tail-latency deltas. Records or whole
+sections present on only one side are reported as added/removed rather
+than being an error — a report from before a section existed must still
+compare cleanly against one from after.
+
+Pairs whose |delta| exceeds the threshold (default 25%) are flagged as
+WARN. The exit code is always 0 — benchmark noise in shared CI runners
+makes regressions advisory, not blocking; the WARN lines are for a human
+reading the job log.
 """
 
 import argparse
@@ -22,9 +28,18 @@ def key_of(rec):
             rec.get("scale"), rec.get("threads"))
 
 
+def sort_key(k):
+    # Keys may mix None/str/int across malformed or partial records; compare
+    # by stringified fields so sorting never raises TypeError.
+    return tuple(str(x) for x in k)
+
+
 def load(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def timed_results(doc):
     out = {}
     for rec in doc.get("results", []):
         ms = rec.get("ms")
@@ -36,46 +51,112 @@ def load(path):
     return out
 
 
+def serving_records(doc):
+    out = {}
+    for rec in doc.get("serving", []):
+        out[rec.get("label", "?")] = rec
+    return out
+
+
+def pct_delta(base, cur):
+    if not base:
+        return 0.0
+    return (cur - base) / base * 100.0
+
+
+def compare_results(base_doc, cur_doc, threshold):
+    base = timed_results(base_doc)
+    cur = timed_results(cur_doc)
+    if not base and not cur:
+        return 0, 0
+    warns = 0
+    shared = sorted((k for k in base if k in cur), key=sort_key)
+    for k in shared:
+        experiment, engine, scale, threads = k
+        b, c = base[k], cur[k]
+        delta = pct_delta(b, c)
+        flag = ""
+        if abs(delta) > threshold:
+            flag = "  WARN" if delta > 0 else "  (faster)"
+            warns += delta > 0
+        label = f"{experiment}/{engine} scale={scale} threads={threads}"
+        print(f"{label:<55} {b:10.3f} ms -> {c:10.3f} ms  {delta:+7.1f}%"
+              f"{flag}")
+    only_base = sorted((k for k in base if k not in cur), key=sort_key)
+    only_cur = sorted((k for k in cur if k not in base), key=sort_key)
+    for k in only_base:
+        print(f"results: removed (baseline only): {k}")
+    for k in only_cur:
+        print(f"results: added (current only):    {k}")
+    return len(shared), warns
+
+
+def compare_serving(base_doc, cur_doc, threshold):
+    base = serving_records(base_doc)
+    cur = serving_records(cur_doc)
+    if not base and not cur:
+        return 0, 0
+    if not base:
+        print(f"serving: section added (current only, "
+              f"{len(cur)} record(s))")
+    if not cur:
+        print(f"serving: section removed (baseline only, "
+              f"{len(base)} record(s))")
+    warns = 0
+    shared = sorted(label for label in base if label in cur)
+    for label in shared:
+        b, c = base[label], cur[label]
+        qps_b = b.get("achieved_qps", 0) or 0
+        qps_c = c.get("achieved_qps", 0) or 0
+        p95_b = b.get("p95_ms", 0) or 0
+        p95_c = c.get("p95_ms", 0) or 0
+        qps_delta = pct_delta(qps_b, qps_c)
+        p95_delta = pct_delta(p95_b, p95_c)
+        # Throughput dropping or tail latency rising is the regression side.
+        flag = ""
+        if qps_delta < -threshold or p95_delta > threshold:
+            flag = "  WARN"
+            warns += 1
+        elif qps_delta > threshold or p95_delta < -threshold:
+            flag = "  (faster)"
+        print(f"serving/{label:<46} {qps_b:8.1f} -> {qps_c:8.1f} q/s "
+              f"({qps_delta:+6.1f}%) | p95 {p95_b:8.2f} -> {p95_c:8.2f} ms "
+              f"({p95_delta:+6.1f}%){flag}")
+        rej_b, rej_c = b.get("rejected", 0), c.get("rejected", 0)
+        if rej_b != rej_c:
+            print(f"serving/{label}: rejected {rej_b} -> {rej_c}")
+    for label in sorted(label for label in base if label not in cur):
+        print(f"serving: removed (baseline only): {label}")
+    for label in sorted(label for label in cur if label not in base):
+        print(f"serving: added (current only):    {label}")
+    return len(shared), warns
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="Per-experiment wall-time deltas between bench reports")
+        description="Per-experiment deltas between bench reports")
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=25.0,
                     help="warn when |delta| exceeds this percentage")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
-    if not base or not cur:
-        print("bench_compare: one of the reports has no timed results; "
-              "nothing to compare")
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+
+    n_results, warns_results = compare_results(base_doc, cur_doc,
+                                               args.threshold)
+    n_serving, warns_serving = compare_serving(base_doc, cur_doc,
+                                               args.threshold)
+    pairs = n_results + n_serving
+    warns = warns_results + warns_serving
+    if pairs == 0:
+        print("bench_compare: no shared records; nothing to compare")
         return
 
-    shared = sorted(k for k in base if k in cur)
-    warns = 0
-    for k in shared:
-        experiment, engine, scale, threads = k
-        b, c = base[k], cur[k]
-        delta = (c - b) / b * 100.0
-        flag = ""
-        if abs(delta) > args.threshold:
-            flag = "  WARN" if delta > 0 else "  (faster)"
-            warns += delta > 0
-        label = f"{experiment}/{engine} scale={scale} threads={threads}"
-        print(f"{label:<55} {b:10.3f} ms -> {c:10.3f} ms  {delta:+7.1f}%"
-              f"{flag}")
-
-    only_base = sorted(k for k in base if k not in cur)
-    only_cur = sorted(k for k in cur if k not in base)
-    for k in only_base:
-        print(f"unmatched (baseline only): {k}")
-    for k in only_cur:
-        print(f"unmatched (current only):  {k}")
-
-    print(f"bench_compare: {len(shared)} pairs compared, {warns} regression "
-          f"warning(s) over {args.threshold:.0f}%, "
-          f"{len(only_base) + len(only_cur)} unmatched")
+    print(f"bench_compare: {pairs} pairs compared "
+          f"({n_results} results, {n_serving} serving), {warns} regression "
+          f"warning(s) over {args.threshold:.0f}%")
     if warns:
         print("bench_compare: WARN lines are advisory — shared-runner "
               "timing noise regularly exceeds the threshold; investigate "

@@ -2,7 +2,8 @@
 """Validates the observability artifacts bench_unnesting --metrics emits.
 
 Usage:
-    check_observability.py <bench.json> <metrics.prom> <trace.json>
+    check_observability.py <bench.json> <metrics.prom> <trace.json> \
+        [server.prom]
 
 Checks three things:
   * the benchmark report embeds a metrics snapshot with sane counters;
@@ -12,6 +13,11 @@ Checks three things:
     non-negative monotone-sortable timestamps, and spans within one
     (pid, tid) lane nest properly (a worker lane never has two morsels
     overlapping halfway).
+
+With the optional fourth argument — a Prometheus dump from an ldb_server
+run (--metrics-dump) — it additionally validates the network-front-end
+instruments: connection and byte counters moved, per-opcode frame counters
+are present, and everything the server accepted was counted.
 
 Exits non-zero with a message on the first violation.
 """
@@ -205,11 +211,14 @@ def check_bench(path):
         fail(f"{path}: metrics block has no active_queries capture")
     for q in active:
         for key in ("query_id", "session", "phase", "elapsed_ms", "rows",
-                    "mem_in_use_bytes", "mem_peak_bytes"):
+                    "mem_in_use_bytes", "mem_peak_bytes", "remote"):
             if key not in q:
                 fail(f"{path}: active_queries entry missing {key!r}: {q}")
         if q["phase"] not in ("queued", "compiling", "executing"):
             fail(f"{path}: active_queries entry has bad phase: {q['phase']}")
+        # In-process bench queries have no peer; over TCP this is "ip:port".
+        if not isinstance(q["remote"], str):
+            fail(f"{path}: active_queries 'remote' is not a string: {q}")
 
     print(f"bench metrics OK: {started:.0f} started, {ok:.0f} ok, "
           f"{hits:.0f} cache hits, "
@@ -218,13 +227,72 @@ def check_bench(path):
           f"{len(active)} active-query capture(s)")
 
 
+def parse_prom_samples(path):
+    """name -> [(labels-dict, value)] for every non-comment sample line."""
+    out = defaultdict(list)
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: malformed sample line: {line}")
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            out[name].append((dict(label_re.findall(labels)),
+                              float(value.replace("+Inf", "inf"))))
+    return out
+
+
+def check_server(path):
+    """Validates the network instruments in an ldb_server --metrics-dump."""
+    check_prometheus(path)  # structural pass first
+    samples = parse_prom_samples(path)
+
+    def total(name):
+        if name not in samples:
+            fail(f"{path}: server metric {name} missing")
+        return sum(v for _, v in samples[name])
+
+    conns_total = total("ldb_connections_total")
+    if conns_total <= 0:
+        fail(f"{path}: ldb_connections_total is zero after a server run")
+    conns_open = total("ldb_connections_open")
+    if conns_open < 0 or conns_open > conns_total:
+        fail(f"{path}: ldb_connections_open {conns_open} inconsistent with "
+             f"total {conns_total}")
+    sent = total("ldb_net_bytes_sent_total")
+    recv = total("ldb_net_bytes_recv_total")
+    if sent <= 0 or recv <= 0:
+        fail(f"{path}: ldb_net_bytes_{{sent,recv}}_total did not move "
+             f"(sent {sent}, recv {recv})")
+
+    frames = {labels.get("op", "?"): v
+              for labels, v in samples.get("ldb_net_frames_total", [])}
+    if not frames:
+        fail(f"{path}: ldb_net_frames_total has no per-opcode series")
+    for op in ("HELLO", "EXECUTE"):
+        if frames.get(op, 0) <= 0:
+            fail(f"{path}: ldb_net_frames_total{{op=\"{op}\"}} is zero — "
+                 "the serving run issued no such frames?")
+    if frames.get("HELLO", 0) > conns_total:
+        fail(f"{path}: more HELLO frames ({frames['HELLO']}) than "
+             f"connections ({conns_total})")
+    print(f"server metrics OK: {conns_total:.0f} connections, "
+          f"{sent:.0f}B sent, {recv:.0f}B received, "
+          f"frames {sorted(frames.items())}")
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_bench(sys.argv[1])
     check_prometheus(sys.argv[2])
     check_trace(sys.argv[3])
+    if len(sys.argv) == 5:
+        check_server(sys.argv[4])
     print("all observability artifacts OK")
 
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Fold an ldb_loadgen --json report into a bench JSON report.
+
+    tools/merge_serving.py BENCH_unnesting.json serving.json
+
+Replaces (or adds) the top-level "serving" section of the bench report with
+the loadgen run's records, so the committed BENCH_unnesting.json carries the
+measured-over-TCP serving numbers and tools/bench_compare.py can diff them
+across commits.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path, serving_path = sys.argv[1], sys.argv[2]
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(serving_path) as f:
+        serving = json.load(f)
+
+    records = serving.get("serving")
+    if not isinstance(records, list) or not records:
+        print(f"{serving_path}: no 'serving' records", file=sys.stderr)
+        return 1
+
+    bench["serving"] = records
+    with open(bench_path, "w") as f:
+        json.dump(bench, f, indent=1)
+        f.write("\n")
+    print(f"{bench_path}: serving section updated "
+          f"({len(records)} record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
