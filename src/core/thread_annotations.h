@@ -1,0 +1,150 @@
+// Compile-time concurrency proofs: Clang thread-safety (capability)
+// annotations plus annotated mutex wrappers (DESIGN.md, "Locking
+// discipline").
+//
+// Every lock-protected member in the concurrent subsystems (src/service,
+// src/obs, src/net, the morsel scheduler in src/runtime/exec_pipeline.cc)
+// carries LDB_GUARDED_BY(<mutex>), every function with a locking contract
+// carries LDB_REQUIRES / LDB_EXCLUDES, and CI builds the tree with
+// `clang++ -Werror=thread-safety`, so an unlocked read of a guarded field
+// or a call that re-enters a non-recursive lock is a compile error, not a
+// TSan lottery ticket. Under GCC (which has no such analysis) the macros
+// expand to nothing and ldb::Mutex is a zero-overhead veneer over
+// std::mutex.
+//
+// Conventions:
+//  * Use ldb::Mutex + ldb::MutexLock, never bare std::mutex, for any lock
+//    whose protected state outlives a single function (members). The
+//    analysis cannot see through std::lock_guard/std::unique_lock.
+//  * Prefer whole-method MutexLock scopes. When a method must run both
+//    locked and unlocked paths, split the locked core into a private
+//    `...Locked()` method annotated LDB_REQUIRES(mu_).
+//  * Reads that are safe without the lock for a structural reason the
+//    analysis cannot express (single-threaded phase, all writers joined)
+//    get a narrowly-scoped accessor annotated LDB_NO_THREAD_SAFETY_ANALYSIS
+//    with a comment stating the reason — never a blanket opt-out on the
+//    hot function.
+//  * The analysis does not check constructors/destructors (objects are
+//    assumed unshared there), so init-before-threads writes need no
+//    annotation escape.
+
+#ifndef LAMBDADB_CORE_THREAD_ANNOTATIONS_H_
+#define LAMBDADB_CORE_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LDB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (lockable) with the given name.
+#define LDB_CAPABILITY(x) LDB_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define LDB_SCOPED_CAPABILITY LDB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define LDB_GUARDED_BY(x) LDB_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is protected by the given capability.
+#define LDB_PT_GUARDED_BY(x) LDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define LDB_REQUIRES(...) \
+  LDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (it must not be held on entry).
+#define LDB_ACQUIRE(...) LDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (it must be held on entry).
+#define LDB_RELEASE(...) LDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define LDB_TRY_ACQUIRE(...) \
+  LDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard for
+/// non-recursive locks).
+#define LDB_EXCLUDES(...) LDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Declares a documented lock-ordering edge, checked by the analysis.
+#define LDB_ACQUIRED_BEFORE(...) \
+  LDB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LDB_ACQUIRED_AFTER(...) \
+  LDB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define LDB_ASSERT_CAPABILITY(x) LDB_THREAD_ANNOTATION(assert_capability(x))
+/// Accessor returns a reference to the given capability.
+#define LDB_RETURN_CAPABILITY(x) LDB_THREAD_ANNOTATION(lock_returned(x))
+/// Last resort: disables the analysis for one function. Every use must
+/// carry a comment stating the structural reason it is safe.
+#define LDB_NO_THREAD_SAFETY_ANALYSIS \
+  LDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ldb {
+
+/// std::mutex with a capability identity the analysis can track. Same
+/// storage, same codegen; Lock/Unlock simply forward.
+class LDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() LDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() LDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over ldb::Mutex — the annotated analogue of std::lock_guard.
+/// Constructing one acquires the capability for the enclosing scope as far
+/// as the analysis is concerned.
+class LDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) LDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() LDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with ldb::Mutex. Wait/WaitForMs require the
+/// mutex to be held (the analysis enforces it); internally they adopt the
+/// already-held std::mutex for the duration of the wait and release the
+/// adoption before returning, so the capability state seen by the caller
+/// is unchanged: held on entry, held on return.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) LDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Returns true on timeout, false when notified (either way the mutex is
+  /// held again on return — re-check the predicate).
+  bool WaitForMs(Mutex& mu, int64_t ms) LDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lk, std::chrono::milliseconds(ms));
+    lk.release();
+    return st == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ldb
+
+#endif  // LAMBDADB_CORE_THREAD_ANNOTATIONS_H_

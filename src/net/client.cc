@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/net/net_util.h"
 #include "src/runtime/serialize.h"
 
 namespace ldb {
@@ -35,7 +36,7 @@ void Client::Connect(const std::string& host, uint16_t port,
   }
 
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) throw Error(std::string("socket: ") + ErrnoMessage(errno));
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (recv_timeout_ms > 0) {
@@ -46,7 +47,7 @@ void Client::Connect(const std::string& host, uint16_t port,
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     std::string msg = std::string("connect ") + ip + ":" +
-                      std::to_string(port) + ": " + std::strerror(errno);
+                      std::to_string(port) + ": " + ErrnoMessage(errno);
     ::close(fd);
     throw Error(msg);
   }
@@ -81,7 +82,7 @@ void Client::Close() {
 }
 
 void Client::SendRaw(const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(send_mu_);
+  MutexLock lock(&send_mu_);
   if (fd_ < 0) throw Error("client not connected");
   size_t off = 0;
   while (off < bytes.size()) {
@@ -92,7 +93,7 @@ void Client::SendRaw(const std::string& bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    throw Error(std::string("send: ") + std::strerror(errno));
+    throw Error(std::string("send: ") + ErrnoMessage(errno));
   }
 }
 
@@ -115,7 +116,7 @@ Frame Client::ReadFrame() {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       throw Error("client receive timeout");
     }
-    throw Error(std::string("recv: ") + std::strerror(errno));
+    throw Error(std::string("recv: ") + ErrnoMessage(errno));
   }
   return f;
 }

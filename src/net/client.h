@@ -10,12 +10,13 @@
 #ifndef LAMBDADB_NET_CLIENT_H_
 #define LAMBDADB_NET_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/net/wire.h"
 #include "src/runtime/error.h"
 #include "src/runtime/value.h"
@@ -84,7 +85,7 @@ class Client {
   // -- low-level access (protocol tests) --------------------------------------
 
   /// Sends raw bytes verbatim (not necessarily a well-formed frame).
-  void SendRaw(const std::string& bytes);
+  void SendRaw(const std::string& bytes) LDB_EXCLUDES(send_mu_);
   /// Sends one well-formed frame.
   void SendFrame(Opcode op, const std::string& payload);
   /// Blocks for the next frame, whatever it is (CANCEL_OK included).
@@ -96,10 +97,14 @@ class Client {
   Frame Await(Opcode expected);
   ClientResult RunExecute(const ExecuteRequest& req);
 
-  int fd_ = -1;
-  FrameDecoder decoder_;
-  HelloReply hello_;
-  std::mutex send_mu_;  ///< serializes socket writes (Cancel vs requests)
+  /// Atomic because Cancel() (any thread) sends on the socket while the
+  /// driving thread may be inside Connect()/Close() assigning it; the fd
+  /// value itself is the entire shared state, so an atomic load/store is
+  /// the right-sized fix (a torn read of a plain int would be UB).
+  std::atomic<int> fd_{-1};
+  FrameDecoder decoder_;  ///< driving thread only
+  HelloReply hello_;      ///< written by Connect, read-only afterwards
+  Mutex send_mu_;  ///< serializes socket writes (Cancel vs requests)
 };
 
 }  // namespace net

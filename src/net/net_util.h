@@ -1,0 +1,34 @@
+// Small shared helpers for the network layer.
+
+#ifndef LAMBDADB_NET_NET_UTIL_H_
+#define LAMBDADB_NET_NET_UTIL_H_
+
+#include <cstring>
+#include <string>
+
+namespace ldb {
+namespace net {
+
+/// Thread-safe strerror: renders `err` via strerror_r into a local buffer
+/// (std::strerror shares one static buffer and is flagged by
+/// clang-tidy's concurrency-mt-unsafe for good reason — the server
+/// formats errno from both the IO thread and workers).
+inline std::string ErrnoMessage(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU variant: returns a char* that is either buf or a static immutable
+  // string; either way the result is safe to copy.
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  // XSI variant: fills buf, returns an error code.
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return std::string(buf);
+#endif
+}
+
+}  // namespace net
+}  // namespace ldb
+
+#endif  // LAMBDADB_NET_NET_UTIL_H_

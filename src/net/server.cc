@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/net/net_util.h"
 #include "src/obs/resource.h"
 #include "src/oql/parser.h"
 #include "src/runtime/serialize.h"
@@ -25,7 +26,7 @@ namespace net {
 namespace {
 
 std::string ErrnoString(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  return std::string(what) + ": " + ErrnoMessage(errno);
 }
 
 void SetNonBlocking(int fd) {
@@ -78,19 +79,22 @@ struct Server::Conn {
   /// is pending or being processed. Set by either thread.
   std::atomic<bool> close_after_flush{false};
 
-  /// Guards pending/busy/closed/session.
-  std::mutex mu;
-  std::deque<Frame> pending;
-  bool busy = false;    ///< a worker is processing this connection
-  bool closed = false;  ///< socket gone; workers drop remaining frames
-  std::shared_ptr<Session> session;
+  /// Guards the IO-thread/worker handoff state.
+  Mutex mu;
+  std::deque<Frame> pending LDB_GUARDED_BY(mu);
+  bool busy LDB_GUARDED_BY(mu) = false;    ///< a worker is processing this
+  bool closed LDB_GUARDED_BY(mu) = false;  ///< socket gone; workers drop
+                                           ///< remaining frames
+  std::shared_ptr<Session> session LDB_GUARDED_BY(mu);
 
   /// Guards the outbox. Workers append; the IO thread flushes.
-  std::mutex out_mu;
-  std::string out;
-  size_t out_off = 0;
+  Mutex out_mu;
+  std::string out LDB_GUARDED_BY(out_mu);
+  size_t out_off LDB_GUARDED_BY(out_mu) = 0;
 
-  // Worker-only state (serialized by `busy`).
+  // Worker-only state, deliberately NOT guarded: exactly one worker holds
+  // the connection at a time (the `busy` flag is set/cleared under `mu`,
+  // whose acquire/release edges order these fields between workers).
   bool hello_done = false;
   std::map<uint64_t, std::string> prepared;  ///< handle -> OQL text
   uint64_t next_handle = 0;
@@ -99,8 +103,8 @@ struct Server::Conn {
   Value result;
   size_t next_row = 0;
 
-  size_t OutBytes() {
-    std::lock_guard<std::mutex> lock(out_mu);
+  size_t OutBytes() LDB_EXCLUDES(out_mu) {
+    MutexLock lock(&out_mu);
     return out.size() - out_off;
   }
 };
@@ -185,7 +189,7 @@ void Server::Start() {
 
 void Server::Shutdown() {
   if (!started_.load()) return;
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(&shutdown_mu_);
   if (stopped_.load()) return;
   stopping_.store(true);
   uint64_t one = 1;
@@ -194,10 +198,10 @@ void Server::Shutdown() {
   }
   if (io_thread_.joinable()) io_thread_.join();
   {
-    std::lock_guard<std::mutex> qlock(queue_mu_);
+    MutexLock qlock(&queue_mu_);
     workers_stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -209,7 +213,7 @@ void Server::Shutdown() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
@@ -280,7 +284,7 @@ void Server::IoLoop() {
     // Outboxes touched by workers since the last pass.
     std::vector<std::weak_ptr<Conn>> dirty;
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      MutexLock lock(&dirty_mu_);
       dirty.swap(dirty_);
     }
     for (std::weak_ptr<Conn>& w : dirty) {
@@ -328,7 +332,7 @@ void Server::AcceptAll() {
     conns_[fd] = std::move(c);
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++stats_.connections_total;
       ++stats_.connections_open;
     }
@@ -353,7 +357,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& c) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       stats_.bytes_recv += static_cast<uint64_t>(n);
     }
     m_bytes_recv_->Inc(static_cast<uint64_t>(n));
@@ -363,14 +367,14 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& c) {
       Frame f;
       while (c->decoder.Next(&f)) {
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(&stats_mu_);
           ++stats_.frames_received;
         }
         OnFrame(c, std::move(f));
         if (c->fd < 0) return;
         size_t pending;
         {
-          std::lock_guard<std::mutex> lock(c->mu);
+          MutexLock lock(&c->mu);
           pending = c->pending.size();
         }
         if (pending >= options_.max_pipeline ||
@@ -383,7 +387,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& c) {
       // Bad length prefix: the decoder is poisoned; report and close once
       // the error frame is flushed.
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         ++stats_.protocol_errors;
       }
       m_protocol_errors_->Inc();
@@ -410,7 +414,7 @@ void Server::FlushOutbox(const std::shared_ptr<Conn>& c) {
   bool dead = false;
   bool empty;
   {
-    std::lock_guard<std::mutex> lock(c->out_mu);
+    MutexLock lock(&c->out_mu);
     while (c->out_off < c->out.size()) {
       ssize_t n = ::send(c->fd, c->out.data() + c->out_off,
                          c->out.size() - c->out_off, MSG_NOSIGNAL);
@@ -431,7 +435,7 @@ void Server::FlushOutbox(const std::shared_ptr<Conn>& c) {
     }
   }
   if (sent > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_.bytes_sent += sent;
   }
   if (sent > 0) m_bytes_sent_->Inc(sent);
@@ -442,7 +446,7 @@ void Server::FlushOutbox(const std::shared_ptr<Conn>& c) {
   if (empty && c->close_after_flush.load()) {
     bool idle;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(&c->mu);
       idle = !c->busy && c->pending.empty();
     }
     if (idle) CloseConn(c);
@@ -453,7 +457,7 @@ void Server::UpdateInterest(const std::shared_ptr<Conn>& c) {
   if (c->fd < 0) return;
   size_t pending;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(&c->mu);
     pending = c->pending.size();
   }
   size_t out_bytes = c->OutBytes();
@@ -480,7 +484,7 @@ void Server::CloseConn(const std::shared_ptr<Conn>& c) {
   c->fd = -1;
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(&c->mu);
     c->closed = true;
     c->pending.clear();
     session = c->session;
@@ -488,7 +492,7 @@ void Server::CloseConn(const std::shared_ptr<Conn>& c) {
   // A vanished client aborts whatever its session is running.
   if (session != nullptr) session->Cancel();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     --stats_.connections_open;
   }
   m_conns_open_->Add(-1);
@@ -504,7 +508,7 @@ void Server::OnFrame(const std::shared_ptr<Conn>& c, Frame frame) {
       // not stuck in line behind the very query it aborts.
       std::shared_ptr<Session> session;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(&c->mu);
         session = c->session;
       }
       if (session != nullptr) session->Cancel();
@@ -519,7 +523,7 @@ void Server::OnFrame(const std::shared_ptr<Conn>& c, Frame frame) {
     case Opcode::kGoodbye: {
       bool schedule = false;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(&c->mu);
         c->pending.push_back(std::move(frame));
         if (!c->busy) {
           c->busy = true;
@@ -532,7 +536,7 @@ void Server::OnFrame(const std::shared_ptr<Conn>& c, Frame frame) {
     default: {
       // Unknown opcode: an error frame, not a connection drop.
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         ++stats_.protocol_errors;
       }
       m_protocol_errors_->Inc();
@@ -548,7 +552,7 @@ void Server::OnFrame(const std::shared_ptr<Conn>& c, Frame frame) {
 bool Server::AllConnsIdle() {
   for (auto& [fd, c] : conns_) {
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(&c->mu);
       if (c->busy || !c->pending.empty()) return false;
     }
     if (c->OutBytes() > 0) return false;
@@ -560,7 +564,7 @@ void Server::CancelAllSessions() {
   for (auto& [fd, c] : conns_) {
     std::shared_ptr<Session> session;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(&c->mu);
       session = c->session;
     }
     if (session != nullptr) session->Cancel();
@@ -571,15 +575,15 @@ void Server::CancelAllSessions() {
 
 void Server::ScheduleConn(const std::shared_ptr<Conn>& c) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     queue_.push_back(c);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void Server::NotifyIo(const std::shared_ptr<Conn>& c) {
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    MutexLock lock(&dirty_mu_);
     dirty_.push_back(c);
   }
   uint64_t one = 1;
@@ -588,7 +592,7 @@ void Server::NotifyIo(const std::shared_ptr<Conn>& c) {
 
 void Server::EnqueueReply(const std::shared_ptr<Conn>& c, std::string bytes) {
   {
-    std::lock_guard<std::mutex> lock(c->out_mu);
+    MutexLock lock(&c->out_mu);
     c->out += bytes;
   }
   NotifyIo(c);
@@ -606,8 +610,8 @@ void Server::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Conn> c;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return workers_stop_ || !queue_.empty(); });
+      MutexLock lock(&queue_mu_);
+      while (!workers_stop_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // workers_stop_ and nothing left
       c = std::move(queue_.front());
       queue_.pop_front();
@@ -615,7 +619,7 @@ void Server::WorkerLoop() {
     for (;;) {
       Frame f;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(&c->mu);
         if (c->closed) c->pending.clear();
         if (c->pending.empty()) {
           c->busy = false;
@@ -696,7 +700,7 @@ void Server::DoHello(const std::shared_ptr<Conn>& c, const Frame& f) {
   std::shared_ptr<Session> session = svc_.OpenSession(so);
   session->set_peer(c->peer);
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(&c->mu);
     c->session = session;
   }
   c->hello_done = true;
@@ -725,7 +729,7 @@ void Server::DoBind(const std::shared_ptr<Conn>& c, const Frame& f) {
   BindRequest req = BindRequest::Parse(f.payload);
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(&c->mu);
     session = c->session;
   }
   if (req.clear_first != 0) session->ClearBindings();
@@ -757,7 +761,7 @@ void Server::DoExecute(const std::shared_ptr<Conn>& c, const Frame& f) {
 
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(&c->mu);
     session = c->session;
   }
 

@@ -42,16 +42,15 @@
 #define LAMBDADB_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/net/wire.h"
 #include "src/service/query_service.h"
 #include "src/service/session.h"
@@ -118,7 +117,7 @@ class Server {
   void Shutdown();
 
   bool running() const { return started_ && !stopped_; }
-  ServerStats stats() const;
+  ServerStats stats() const LDB_EXCLUDES(stats_mu_);
 
  private:
   struct Conn;
@@ -136,13 +135,13 @@ class Server {
   void CancelAllSessions();
 
   // Worker side.
-  void WorkerLoop();
+  void WorkerLoop() LDB_EXCLUDES(queue_mu_);
   void ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame);
   void EnqueueReply(const std::shared_ptr<Conn>& c, std::string bytes);
   void EnqueueError(const std::shared_ptr<Conn>& c, ErrorCode code,
                     const std::string& message);
-  void ScheduleConn(const std::shared_ptr<Conn>& c);
-  void NotifyIo(const std::shared_ptr<Conn>& c);
+  void ScheduleConn(const std::shared_ptr<Conn>& c) LDB_EXCLUDES(queue_mu_);
+  void NotifyIo(const std::shared_ptr<Conn>& c) LDB_EXCLUDES(dirty_mu_);
 
   // Frame handlers (worker thread).
   void DoHello(const std::shared_ptr<Conn>& c, const Frame& f);
@@ -165,7 +164,7 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
-  std::mutex shutdown_mu_;  ///< serializes concurrent Shutdown() calls
+  Mutex shutdown_mu_;  ///< serializes concurrent Shutdown() calls
 
   std::thread io_thread_;
   std::vector<std::thread> workers_;
@@ -174,18 +173,18 @@ class Server {
   std::map<int, std::shared_ptr<Conn>> conns_;
 
   /// Worker queue: connections with pending frames.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Conn>> queue_;
-  bool workers_stop_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::shared_ptr<Conn>> queue_ LDB_GUARDED_BY(queue_mu_);
+  bool workers_stop_ LDB_GUARDED_BY(queue_mu_) = false;
 
   /// Connections whose outbox changed since the IO thread last looked.
-  std::mutex dirty_mu_;
-  std::vector<std::weak_ptr<Conn>> dirty_;
+  Mutex dirty_mu_;
+  std::vector<std::weak_ptr<Conn>> dirty_ LDB_GUARDED_BY(dirty_mu_);
 
   /// Raw counters mirrored into the metrics registry.
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable Mutex stats_mu_;
+  ServerStats stats_ LDB_GUARDED_BY(stats_mu_);
 
   /// Cached metric instruments (no-ops when metrics are compiled out).
   obs::Gauge* m_conns_open_ = nullptr;

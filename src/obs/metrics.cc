@@ -130,7 +130,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      std::map<std::string, std::string> labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = FindOrCreate(name, help, std::move(labels), "counter");
   if (e->counter == nullptr) {
     counters_.emplace_back();
@@ -142,7 +142,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  std::map<std::string, std::string> labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = FindOrCreate(name, help, std::move(labels), "gauge");
   if (e->gauge == nullptr) {
     gauges_.emplace_back();
@@ -154,7 +154,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(
     const std::string& name, const std::string& help,
     std::map<std::string, std::string> labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = FindOrCreate(name, help, std::move(labels), "histogram");
   if (e->histogram == nullptr) {
     histograms_.emplace_back();
@@ -165,7 +165,7 @@ Histogram* MetricsRegistry::GetHistogram(
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.samples.reserve(by_key_.size());
   for (const auto& [key, e] : by_key_) {  // map order => sorted, deterministic
     (void)key;

@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/core/thread_annotations.h"
 
 #ifndef LDB_METRICS_ENABLED
 #define LDB_METRICS_ENABLED 1
@@ -184,13 +185,16 @@ class MetricsRegistry {
   static constexpr bool Enabled() { return LDB_METRICS_ENABLED != 0; }
 
   Counter* GetCounter(const std::string& name, const std::string& help,
-                      std::map<std::string, std::string> labels = {});
+                      std::map<std::string, std::string> labels = {})
+      LDB_EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, const std::string& help,
-                  std::map<std::string, std::string> labels = {});
+                  std::map<std::string, std::string> labels = {})
+      LDB_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, const std::string& help,
-                          std::map<std::string, std::string> labels = {});
+                          std::map<std::string, std::string> labels = {})
+      LDB_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const LDB_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -206,14 +210,17 @@ class MetricsRegistry {
   /// series returns the existing instrument; a kind mismatch throws.
   Entry* FindOrCreate(const std::string& name, const std::string& help,
                       std::map<std::string, std::string> labels,
-                      const std::string& type);
+                      const std::string& type) LDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::deque<Entry> entries_;
-  std::map<std::string, Entry*> by_key_;
+  mutable Mutex mu_;
+  // Instrument storage is deques so handed-out pointers stay stable; the
+  // instruments themselves are lock-free — mu_ guards only registration
+  // state (the containers' structure), never instrument reads/writes.
+  std::deque<Counter> counters_ LDB_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ LDB_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ LDB_GUARDED_BY(mu_);
+  std::deque<Entry> entries_ LDB_GUARDED_BY(mu_);
+  std::map<std::string, Entry*> by_key_ LDB_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -40,7 +40,7 @@ std::string QueryLogRecord::ToString() const {
 }
 
 uint64_t QueryLog::Append(QueryLogRecord rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rec.id = ++appended_;
   if (rec.slow) ++slow_;
   uint64_t id = rec.id;
@@ -49,7 +49,7 @@ uint64_t QueryLog::Append(QueryLogRecord rec) {
 }
 
 std::vector<QueryLogRecord> QueryLog::Tail(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t live = static_cast<size_t>(std::min<uint64_t>(appended_, capacity_));
   n = std::min(n, live);
   std::vector<QueryLogRecord> out;
@@ -62,17 +62,17 @@ std::vector<QueryLogRecord> QueryLog::Tail(size_t n) const {
 }
 
 uint64_t QueryLog::appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return appended_;
 }
 
 uint64_t QueryLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return appended_ > capacity_ ? appended_ - capacity_ : 0;
 }
 
 uint64_t QueryLog::slow_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slow_;
 }
 

@@ -11,9 +11,10 @@
 #define LAMBDADB_OBS_QUERY_LOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/core/thread_annotations.h"
 
 namespace ldb {
 namespace obs {
@@ -75,22 +76,22 @@ class QueryLog {
 
   /// Assigns the record's id and stores it, overwriting the oldest record
   /// when the ring is full. Returns the assigned id.
-  uint64_t Append(QueryLogRecord rec);
+  uint64_t Append(QueryLogRecord rec) LDB_EXCLUDES(mu_);
 
   /// The most recent `n` records, oldest-first.
-  std::vector<QueryLogRecord> Tail(size_t n) const;
+  std::vector<QueryLogRecord> Tail(size_t n) const LDB_EXCLUDES(mu_);
 
-  uint64_t appended() const;  ///< total records ever appended
-  uint64_t dropped() const;   ///< records overwritten by ring wraparound
-  uint64_t slow_count() const;
+  uint64_t appended() const LDB_EXCLUDES(mu_);  ///< records ever appended
+  uint64_t dropped() const LDB_EXCLUDES(mu_);   ///< overwritten by wraparound
+  uint64_t slow_count() const LDB_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const double slow_ms_;
-  mutable std::mutex mu_;
-  std::vector<QueryLogRecord> ring_;
-  uint64_t appended_ = 0;
-  uint64_t slow_ = 0;
+  mutable Mutex mu_;
+  std::vector<QueryLogRecord> ring_ LDB_GUARDED_BY(mu_);
+  uint64_t appended_ LDB_GUARDED_BY(mu_) = 0;
+  uint64_t slow_ LDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -35,7 +35,7 @@ void MemoryTracker::FlushNoThrow() {
 uint64_t ActiveQueryRegistry::Register(
     uint64_t session, uint64_t query_hash,
     std::shared_ptr<const QueryResourceContext> ctx, std::string remote) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t id = ++next_id_;
   Entry& e = entries_[id];
   e.session = session;
@@ -48,19 +48,19 @@ uint64_t ActiveQueryRegistry::Register(
 }
 
 void ActiveQueryRegistry::SetPhase(uint64_t id, const char* phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(id);
   if (it != entries_.end()) it->second.phase = phase;
 }
 
 void ActiveQueryRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.erase(id);
 }
 
 std::vector<ActiveQueryInfo> ActiveQueryRegistry::Snapshot() const {
   auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ActiveQueryInfo> out;
   out.reserve(entries_.size());
   for (const auto& [id, e] : entries_) {
@@ -83,7 +83,7 @@ std::vector<ActiveQueryInfo> ActiveQueryRegistry::Snapshot() const {
 }
 
 uint64_t ActiveQueryRegistry::SumInUseBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [id, e] : entries_) {
     if (e.ctx != nullptr) total += e.ctx->InUseBytes();
@@ -92,7 +92,7 @@ uint64_t ActiveQueryRegistry::SumInUseBytes() const {
 }
 
 size_t ActiveQueryRegistry::Count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -41,10 +41,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/runtime/error.h"
 
 #ifndef LDB_METRICS_ENABLED
@@ -296,16 +296,16 @@ class ActiveQueryRegistry {
   /// `remote` is the owning session's client address ("" in-process).
   uint64_t Register(uint64_t session, uint64_t query_hash,
                     std::shared_ptr<const QueryResourceContext> ctx,
-                    std::string remote = {});
+                    std::string remote = {}) LDB_EXCLUDES(mu_);
   /// `phase` must be a string with static storage duration.
-  void SetPhase(uint64_t id, const char* phase);
-  void Unregister(uint64_t id);
+  void SetPhase(uint64_t id, const char* phase) LDB_EXCLUDES(mu_);
+  void Unregister(uint64_t id) LDB_EXCLUDES(mu_);
 
-  std::vector<ActiveQueryInfo> Snapshot() const;
+  std::vector<ActiveQueryInfo> Snapshot() const LDB_EXCLUDES(mu_);
   /// Sum of in-use bytes across every registered query (the service's
   /// ldb_mem_in_use_bytes gauge).
-  uint64_t SumInUseBytes() const;
-  size_t Count() const;
+  uint64_t SumInUseBytes() const LDB_EXCLUDES(mu_);
+  size_t Count() const LDB_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -317,9 +317,9 @@ class ActiveQueryRegistry {
     std::shared_ptr<const QueryResourceContext> ctx;
   };
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Entry> entries_;
-  uint64_t next_id_ = 0;
+  mutable Mutex mu_;
+  std::map<uint64_t, Entry> entries_ LDB_GUARDED_BY(mu_);
+  uint64_t next_id_ LDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include <vector>
 
 #include "src/core/monoid.h"
+#include "src/core/thread_annotations.h"
 #include "src/obs/resource.h"
 #include "src/runtime/cancel.h"
 #include "src/runtime/error.h"
@@ -1731,6 +1731,24 @@ struct MorselQueue {
   }
 };
 
+// First-writer-wins exception slot shared by the morsel workers. The
+// annotated struct (rather than a local mutex + local exception_ptr, which
+// the thread-safety analysis cannot guard) makes the scheduler's merge
+// state checkable: Record is the only concurrent entry point.
+struct GuardedFirstError {
+  Mutex mu;
+  std::exception_ptr error LDB_GUARDED_BY(mu);
+
+  void Record(std::exception_ptr e) LDB_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    if (!error) error = std::move(e);
+  }
+  /// Safe unguarded: called only after every writer thread has joined.
+  std::exception_ptr TakeAfterJoin() LDB_NO_THREAD_SAFETY_ANALYSIS {
+    return error;
+  }
+};
+
 // Runs `body(idx, lo, hi, worker_state)` over all morsels on `n_workers`
 // threads; per-morsel exceptions are captured and the lowest-indexed one
 // recorded rethrown (the closest parallel analogue of where the serial
@@ -1739,8 +1757,7 @@ template <typename MakeState, typename Body>
 void RunMorsels(MorselQueue& mq, int n_workers, std::atomic<bool>& stop,
                 MakeState make_state, Body body) {
   std::vector<std::exception_ptr> errors(mq.count());
-  std::mutex setup_mu;
-  std::exception_ptr setup_error;
+  GuardedFirstError setup_error;
   auto work = [&]() {
     // The state is heap-allocated: iterators keep pointers into it, so its
     // address must be stable.
@@ -1763,14 +1780,15 @@ void RunMorsels(MorselQueue& mq, int n_workers, std::atomic<bool>& stop,
         work();
       } catch (...) {
         // Worker setup failures surface after join.
-        std::lock_guard<std::mutex> lock(setup_mu);
-        if (!setup_error) setup_error = std::current_exception();
+        setup_error.Record(std::current_exception());
         stop.store(true, std::memory_order_relaxed);
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  if (setup_error) std::rethrow_exception(setup_error);
+  if (std::exception_ptr e = setup_error.TakeAfterJoin()) {
+    std::rethrow_exception(e);
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -1807,6 +1825,25 @@ struct WorkerPipeline {
     pipe = MakeFrameIterator(sub_root, ctx);
     driver = ctx.driver;
     LDB_INTERNAL_CHECK(driver != nullptr, "parallel driver scan not found");
+  }
+};
+
+// Collects the per-worker pipeline states created during a parallel run so
+// their private profilers / utilization counters survive the join and can
+// be merged. Add races between workers (hence the annotated mutex); the
+// merge side only runs once every worker thread has joined.
+struct WorkerStateRegistry {
+  Mutex mu;
+  std::vector<std::shared_ptr<WorkerPipeline>> states LDB_GUARDED_BY(mu);
+
+  void Add(std::shared_ptr<WorkerPipeline> state) LDB_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    states.push_back(std::move(state));
+  }
+  /// Safe unguarded: called only after every writer thread has joined.
+  std::vector<std::shared_ptr<WorkerPipeline>>& AfterJoin()
+      LDB_NO_THREAD_SAFETY_ANALYSIS {
+    return states;
   }
 };
 
@@ -1865,18 +1902,14 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   // Worker states are kept alive past RunMorsels (which drops its own
   // reference at thread exit) so their private profilers can be harvested.
   std::atomic<int> worker_seq{0};
-  std::mutex states_mu;
-  std::vector<std::shared_ptr<WorkerPipeline>> states;
+  WorkerStateRegistry registry;
   std::vector<MorselStats> morsel_stats(profiling ? n_morsels : 0);
 
   auto make_state = [&]() {
     auto state = std::make_shared<WorkerPipeline>(
         db, sp, opt, sub_root, shared, spine.driver->id,
         worker_seq.fetch_add(1, std::memory_order_relaxed), profiling);
-    if (track) {
-      std::lock_guard<std::mutex> lock(states_mu);
-      states.push_back(state);
-    }
+    if (track) registry.Add(state);
     return state;
   };
 
@@ -1911,6 +1944,9 @@ bool TryExecuteParallel(const SlotPlan& sp, const Database& db,
   auto finish = [&](const char* mode, bool rows_are_root) {
     if (finished) return;
     finished = true;
+    // Workers are joined on every path that reaches here; AfterJoin is the
+    // registry's single-threaded view.
+    std::vector<std::shared_ptr<WorkerPipeline>>& states = registry.AfterJoin();
     std::sort(states.begin(), states.end(),
               [](const auto& a, const auto& b) {
                 return a->wstats.worker < b->wstats.worker;

@@ -2,8 +2,13 @@
 
 namespace ldb {
 
+void PlanCache::SetMetricHooks(MetricHooks hooks) {
+  MutexLock lock(&mu_);
+  hooks_ = hooks;
+}
+
 std::shared_ptr<const PreparedPlan> PlanCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++misses_;
@@ -18,7 +23,7 @@ std::shared_ptr<const PreparedPlan> PlanCache::Lookup(const std::string& key) {
 
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const PreparedPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     it->second->second = std::move(plan);
@@ -38,7 +43,7 @@ void PlanCache::Insert(const std::string& key,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   evictions_invalidated_ += lru_.size();
   if (hooks_.evictions_invalidated != nullptr)
     hooks_.evictions_invalidated->Inc(lru_.size());
@@ -48,7 +53,7 @@ void PlanCache::Clear() {
 }
 
 size_t PlanCache::EvictNotMatching(const std::string& stamp_fragment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.find(stamp_fragment) == std::string::npos) {
@@ -68,7 +73,7 @@ size_t PlanCache::EvictNotMatching(const std::string& stamp_fragment) {
 }
 
 PlanCacheStats PlanCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PlanCacheStats out;
   out.hits = hits_;
   out.misses = misses_;

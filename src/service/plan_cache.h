@@ -20,13 +20,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/optimizer.h"
+#include "src/core/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/physical_plan.h"
 #include "src/runtime/slot_plan.h"
@@ -79,45 +79,48 @@ class PlanCache {
 
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Installs metric instruments. Call before concurrent use (the service
-  /// does it at construction).
-  void SetMetricHooks(MetricHooks hooks) { hooks_ = hooks; }
+  /// Installs metric instruments. Takes the cache mutex, so installing late
+  /// (after concurrent use began) is merely pointless, not a data race.
+  void SetMetricHooks(MetricHooks hooks) LDB_EXCLUDES(mu_);
 
   /// Returns the cached plan and counts a hit (moving the entry to the
   /// front), or nullptr and counts a miss.
-  std::shared_ptr<const PreparedPlan> Lookup(const std::string& key);
+  std::shared_ptr<const PreparedPlan> Lookup(const std::string& key)
+      LDB_EXCLUDES(mu_);
 
   /// Inserts a freshly compiled plan, evicting the least-recently-used
   /// entry when over capacity. Inserting an existing key refreshes it.
-  void Insert(const std::string& key,
-              std::shared_ptr<const PreparedPlan> plan);
+  void Insert(const std::string& key, std::shared_ptr<const PreparedPlan> plan)
+      LDB_EXCLUDES(mu_);
 
   /// Drops every entry (counters are kept — they are lifetime totals).
   /// Dropped entries count as invalidation evictions.
-  void Clear();
+  void Clear() LDB_EXCLUDES(mu_);
 
   /// Drops every entry whose key does not contain `stamp_fragment` (the
   /// "\n@<version-stamp>" suffix the service builds into each key). Used
   /// when the catalog/schema changes: surviving entries were compiled under
   /// the current stamp. Returns the number of entries dropped; each counts
   /// as an invalidation eviction.
-  size_t EvictNotMatching(const std::string& stamp_fragment);
+  size_t EvictNotMatching(const std::string& stamp_fragment)
+      LDB_EXCLUDES(mu_);
 
-  PlanCacheStats Stats() const;
+  PlanCacheStats Stats() const LDB_EXCLUDES(mu_);
 
  private:
   using LruList =
       std::list<std::pair<std::string, std::shared_ptr<const PreparedPlan>>>;
 
-  mutable std::mutex mu_;
-  MetricHooks hooks_;
-  size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> by_key_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_capacity_ = 0;
-  uint64_t evictions_invalidated_ = 0;
+  mutable Mutex mu_;
+  MetricHooks hooks_ LDB_GUARDED_BY(mu_);
+  const size_t capacity_;  ///< immutable after construction
+  LruList lru_ LDB_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_
+      LDB_GUARDED_BY(mu_);
+  uint64_t hits_ LDB_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ LDB_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_capacity_ LDB_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_invalidated_ LDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ldb

@@ -68,7 +68,7 @@ class QueryService::AdmissionGuard {
  public:
   AdmissionGuard(QueryService* svc, const CancelToken& token) : svc_(svc) {
     const Instruments& ins = svc_->ins_;
-    std::unique_lock<std::mutex> lock(svc_->admission_mu_);
+    MutexLock lock(&svc_->admission_mu_);
     if (svc_->running_ < svc_->options_.max_concurrent) {
       ++svc_->running_;
       if (ins.enabled) ins.queries_running->Set(svc_->running_);
@@ -86,7 +86,7 @@ class QueryService::AdmissionGuard {
       ins.admission_queue_depth->Set(static_cast<int64_t>(svc_->waiting_));
     }
     while (svc_->running_ >= svc_->options_.max_concurrent) {
-      svc_->admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      svc_->admission_cv_.WaitForMs(svc_->admission_mu_, 5);
       if (token.Expired()) {
         --svc_->waiting_;
         if (ins.enabled) {
@@ -105,10 +105,10 @@ class QueryService::AdmissionGuard {
   }
 
   ~AdmissionGuard() {
-    std::lock_guard<std::mutex> lock(svc_->admission_mu_);
+    MutexLock lock(&svc_->admission_mu_);
     --svc_->running_;
     if (svc_->ins_.enabled) svc_->ins_.queries_running->Set(svc_->running_);
-    svc_->admission_cv_.notify_one();
+    svc_->admission_cv_.NotifyOne();
   }
 
   AdmissionGuard(const AdmissionGuard&) = delete;
@@ -124,7 +124,8 @@ QueryService::QueryService(const Database& db, ServiceOptions options)
       cache_(options_.plan_cache_capacity),
       query_log_(options_.query_log_capacity, options_.slow_query_ms) {
   if (options_.max_concurrent < 1) options_.max_concurrent = 1;
-  version_stamp_ = ComputeVersionStamp(db_.schema(), options_.optimizer);
+  optimizer_ = options_.optimizer;
+  version_stamp_ = ComputeVersionStamp(db_.schema(), optimizer_);
   InitInstruments();
 }
 
@@ -244,12 +245,12 @@ std::shared_ptr<Session> QueryService::OpenSession(SessionOptions options) {
 
 void QueryService::Prepare(const std::string& name, const std::string& oql) {
   oql::Parse(oql);  // surface syntax errors at prepare time
-  std::lock_guard<std::mutex> lock(prepared_mu_);
+  MutexLock lock(&prepared_mu_);
   prepared_[name] = oql;
 }
 
 bool QueryService::HasPrepared(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(prepared_mu_);
+  MutexLock lock(&prepared_mu_);
   return prepared_.count(name) > 0;
 }
 
@@ -258,7 +259,7 @@ Value QueryService::ExecutePrepared(Session& session, const std::string& name,
                                     QueryProfiler* profiler) {
   std::string oql;
   {
-    std::lock_guard<std::mutex> lock(prepared_mu_);
+    MutexLock lock(&prepared_mu_);
     auto it = prepared_.find(name);
     if (it == prepared_.end())
       throw EvalError("unknown prepared statement '" + name + "'");
@@ -273,30 +274,43 @@ Value QueryService::Execute(Session& session, const std::string& oql,
 }
 
 int QueryService::running() const {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   return running_;
 }
 
+QueryService::PlanningConfig QueryService::PlanningSnapshot() const {
+  MutexLock lock(&config_mu_);
+  return PlanningConfig{optimizer_, version_stamp_};
+}
+
 void QueryService::UpdateCatalog(const Catalog& catalog) {
-  options_.optimizer.catalog = catalog;
-  version_stamp_ = ComputeVersionStamp(db_.schema(), options_.optimizer);
+  std::string stamp;
+  {
+    MutexLock lock(&config_mu_);
+    optimizer_.catalog = catalog;
+    version_stamp_ = ComputeVersionStamp(db_.schema(), optimizer_);
+    stamp = version_stamp_;
+  }
   // Plans compiled under the old stamp can never be looked up again (every
   // new key carries the new stamp) — drop them now so the eviction is
   // attributed to invalidation rather than to later capacity pressure.
-  cache_.EvictNotMatching("\n@" + version_stamp_);
+  // (Outside config_mu_: the cache has its own lock and a racing compile
+  // that re-inserts an old-stamp plan merely leaves an unreachable entry
+  // for LRU pressure to reclaim.)
+  cache_.EvictNotMatching("\n@" + stamp);
 }
 
 std::shared_ptr<const PreparedPlan> QueryService::GetOrCompile(
     const std::string& oql, bool* cached) {
+  const PlanningConfig cfg = PlanningSnapshot();
   oql::OrderedQuery q = oql::TranslateWithOrdering(oql::Parse(oql));
   // Normalization is strongly normalizing, so the printed normal form is a
   // canonical name for the query; two texts with the same normal form share
   // one cache entry (docs/SERVICE.md).
-  ExprPtr normalized =
-      options_.optimizer.normalize ? Normalize(q.comp) : q.comp;
+  ExprPtr normalized = cfg.optimizer.normalize ? Normalize(q.comp) : q.comp;
   std::string key = PrintExpr(normalized);
   key += "\n@";
-  key += version_stamp_;
+  key += cfg.stamp;
   if (q.ordered) {
     // The ordering direction lives outside the calculus term, so it must be
     // part of the key: `order by x asc` and `order by x desc` wrap to the

@@ -24,14 +24,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <istream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/core/optimizer.h"
+#include "src/core/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
 #include "src/obs/resource.h"
@@ -119,9 +118,12 @@ class QueryService {
 
   /// Swaps in new catalog statistics, recomputes the version stamp, and
   /// drops every cached plan compiled under the old stamp (they count as
-  /// invalidation evictions, not capacity evictions). Not safe against
-  /// concurrent Execute calls — a maintenance-window operation.
-  void UpdateCatalog(const Catalog& catalog);
+  /// invalidation evictions, not capacity evictions). Safe against
+  /// concurrent Execute calls: each query snapshots the planning config
+  /// (catalog + stamp) under config_mu_, so an in-flight compile finishes
+  /// under the world it started in and its plan simply becomes
+  /// unreachable under the new stamp.
+  void UpdateCatalog(const Catalog& catalog) LDB_EXCLUDES(config_mu_);
 
   /// Service-wide metrics (docs/OBSERVABILITY.md has the catalog). The
   /// registry exists even with metrics disabled; it then renders zeros.
@@ -138,10 +140,12 @@ class QueryService {
   }
 
   const Database& db() const { return db_; }
+  /// Construction-time options. `optimizer.catalog` reflects construction;
+  /// the live planning catalog (which UpdateCatalog swaps) is internal.
   const ServiceOptions& options() const { return options_; }
 
   /// Queries currently executing (not queued); for tests and monitoring.
-  int running() const;
+  int running() const LDB_EXCLUDES(admission_mu_);
 
  private:
   class AdmissionGuard;
@@ -185,6 +189,16 @@ class QueryService {
   };
   void InitInstruments();
 
+  /// Point-in-time copy of the mutable planning state: the optimizer
+  /// options whose catalog UpdateCatalog swaps, plus the version stamp
+  /// derived from them. Every query takes one snapshot and plans entirely
+  /// against it.
+  struct PlanningConfig {
+    OptimizerOptions optimizer;
+    std::string stamp;
+  };
+  PlanningConfig PlanningSnapshot() const LDB_EXCLUDES(config_mu_);
+
   /// Cache lookup by normalized-form key; compiles and inserts on a miss.
   /// Sets *cached to whether the lookup hit.
   std::shared_ptr<const PreparedPlan> GetOrCompile(const std::string& oql,
@@ -207,9 +221,15 @@ class QueryService {
                     obs::QueryResourceContext* resource, uint64_t active_id);
 
   const Database& db_;
-  ServiceOptions options_;
-  std::string version_stamp_;  ///< schema/catalog/flags fingerprint
+  ServiceOptions options_;  ///< immutable after construction
   mutable PlanCache cache_;
+
+  /// Guards the mutable planning state. Never held across a compile or an
+  /// execution — only long enough to copy the config in or out.
+  mutable Mutex config_mu_;
+  OptimizerOptions optimizer_ LDB_GUARDED_BY(config_mu_);
+  /// Schema/catalog/flags fingerprint derived from optimizer_.
+  std::string version_stamp_ LDB_GUARDED_BY(config_mu_);
 
   mutable obs::MetricsRegistry metrics_;
   mutable obs::QueryLog query_log_;
@@ -217,13 +237,14 @@ class QueryService {
   Instruments ins_;
   std::atomic<uint64_t> next_session_id_{0};
 
-  mutable std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  int running_ = 0;
-  size_t waiting_ = 0;
+  mutable Mutex admission_mu_;
+  CondVar admission_cv_;
+  int running_ LDB_GUARDED_BY(admission_mu_) = 0;
+  size_t waiting_ LDB_GUARDED_BY(admission_mu_) = 0;
 
-  mutable std::mutex prepared_mu_;
-  std::map<std::string, std::string> prepared_;  ///< name -> OQL text
+  mutable Mutex prepared_mu_;
+  std::map<std::string, std::string> prepared_
+      LDB_GUARDED_BY(prepared_mu_);  ///< name -> OQL text
 };
 
 }  // namespace ldb

@@ -1,0 +1,30 @@
+// Negative-compile probe for the clang thread-safety analysis (DESIGN.md,
+// "Locking discipline"). This file MUST NOT compile under
+// `clang++ -Werror=thread-safety`: it reads and writes a LDB_GUARDED_BY
+// field without holding its mutex. The configure step (tests/CMakeLists.txt)
+// try_compiles it and FAILS THE BUILD if it compiles cleanly — proving the
+// analysis that the `thread-safety` CI job relies on actually fires, rather
+// than silently no-opping (e.g. a macro-definition regression in
+// src/core/thread_annotations.h).
+
+#include "src/core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (intentional): touches balance_ without acquiring mu_.
+  void UnlockedDeposit(long amount) { balance_ += amount; }
+
+ private:
+  ldb::Mutex mu_;
+  long balance_ LDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.UnlockedDeposit(1);
+  return 0;
+}

@@ -4,6 +4,7 @@
 Usage:
     check_observability.py <bench.json> <metrics.prom> <trace.json> \
         [server.prom]
+    check_observability.py --metrics-off <serving.json> [server.prom]
 
 Checks three things:
   * the benchmark report embeds a metrics snapshot with sane counters;
@@ -18,6 +19,14 @@ With the optional fourth argument — a Prometheus dump from an ldb_server
 run (--metrics-dump) — it additionally validates the network-front-end
 instruments: connection and byte counters moved, per-opcode frame counters
 are present, and everything the server accepted was counted.
+
+The --metrics-off mode validates the opposite build: an ldb_server compiled
+with -DLDB_METRICS=OFF must still *serve* (the loadgen report shows
+successful requests at non-zero qps with no transport errors) while its
+metrics dump proves the instruments are genuinely compiled out (every
+query/connection counter pinned at zero). This guards the include seam
+tools/lint_layering.py enforces: runtime sees obs only through
+obs/resource.h, so turning metrics off must never take the server with it.
 
 Exits non-zero with a message on the first violation.
 """
@@ -284,7 +293,53 @@ def check_server(path):
           f"frames {sorted(frames.items())}")
 
 
+def check_metrics_off(serving_path, prom_path=None):
+    """Asserts a -DLDB_METRICS=OFF server served real traffic with every
+    instrument compiled out."""
+    with open(serving_path) as f:
+        doc = json.load(f)
+    recs = doc.get("serving")
+    if not recs:
+        fail(f"{serving_path}: no serving records — did ldb_loadgen run?")
+    rec = recs[0]
+    if rec.get("ok", 0) <= 0:
+        fail(f"{serving_path}: metrics-off server completed no requests: "
+             f"{rec}")
+    if rec.get("achieved_qps", 0) <= 0:
+        fail(f"{serving_path}: metrics-off server achieved zero qps: {rec}")
+    if rec.get("transport_errors", 0) != 0:
+        fail(f"{serving_path}: transport errors against the metrics-off "
+             f"server: {rec}")
+    print(f"metrics-off serving OK: {rec['ok']} ok requests at "
+          f"{rec['achieved_qps']:.1f} q/s")
+
+    if prom_path is None:
+        return
+    # The registry still exists when compiled out (call sites stay
+    # #ifdef-free), so the dump is well-formed — but nothing may have
+    # counted. A moving counter here means some instrument escaped the
+    # LDB_METRICS_ENABLED gate.
+    check_prometheus(prom_path)
+    samples = parse_prom_samples(prom_path)
+    for name in ("ldb_queries_started_total", "ldb_queries_ok_total",
+                 "ldb_connections_total", "ldb_net_bytes_recv_total",
+                 "ldb_plan_cache_hits_total", "ldb_plan_cache_misses_total",
+                 "ldb_morsels_dispatched_total"):
+        moved = sum(v for _, v in samples.get(name, []))
+        if moved != 0:
+            fail(f"{prom_path}: {name} = {moved} in a -DLDB_METRICS=OFF "
+                 "build — an instrument escaped the compile-out gate")
+    print(f"metrics-off dump OK: all instruments pinned at zero")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--metrics-off":
+        if len(sys.argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_metrics_off(*sys.argv[2:])
+        print("metrics-off build OK")
+        return
     if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         sys.exit(2)

@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# Reproducible auxiliary build trees (DESIGN.md, "Locking discipline").
+#
+# The repo's CI and local workflows use three configure variants beyond the
+# default `build/` tree:
+#
+#   nometrics   build-nometrics/   -DLDB_METRICS=OFF, Release — the
+#               "metrics compiled out" baseline the layering lint protects
+#               (obs/resource.h is the only obs header runtime sees, so
+#               this tree must configure, build, and serve cleanly).
+#   prof        build-prof/        RelWithDebInfo + frame pointers — what
+#               perf/flamegraph sessions and the bench profile artifacts
+#               should be collected from.
+#   tsafe       build-tsafe/       clang++ -Werror=thread-safety — the
+#               static lock-discipline gate (requires clang; the configure
+#               step also runs the negative-compile check in
+#               tests/CMakeLists.txt).
+#
+# The failure mode this script exists for: a stale build directory whose
+# CMakeCache.txt still carries last month's flags, silently giving you a
+# metrics-ON "nometrics" tree. Each invocation stamps the exact configure
+# arguments into <dir>/.ldb_config and wipes the tree whenever the stamp
+# does not match, so the named configurations are reproducible from any
+# checkout state.
+#
+# Usage:  tools/dev_builds.sh <nometrics|prof|tsafe|all> [--build]
+#         --build additionally compiles the tree (-j nproc).
+
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+usage() {
+    sed -n '2,28p' "$0" | sed 's/^# \{0,1\}//'
+    exit 2
+}
+
+configure() {
+    # configure <dir> <stamp> [cmake args...]
+    dir="$ROOT/$1"
+    stamp="$2"
+    shift 2
+    if [ -f "$dir/.ldb_config" ] && [ "$(cat "$dir/.ldb_config")" = "$stamp" ]
+    then
+        echo "== $dir: configuration unchanged ($stamp)"
+    else
+        if [ -d "$dir" ]; then
+            echo "== $dir: stale or unstamped tree, wiping"
+            rm -rf "$dir"
+        fi
+        echo "== $dir: configuring: $stamp"
+        cmake -B "$dir" -S "$ROOT" "$@"
+        printf '%s' "$stamp" > "$dir/.ldb_config"
+    fi
+    if [ "$DO_BUILD" = yes ]; then
+        cmake --build "$dir" -j"$(nproc)"
+    fi
+}
+
+nometrics() {
+    configure build-nometrics \
+        "Release LDB_METRICS=OFF" \
+        -DCMAKE_BUILD_TYPE=Release -DLDB_METRICS=OFF
+}
+
+prof() {
+    configure build-prof \
+        "RelWithDebInfo frame-pointers" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS=-fno-omit-frame-pointer
+}
+
+tsafe() {
+    command -v clang++ >/dev/null 2>&1 || {
+        echo "dev_builds.sh: tsafe needs clang++ (the thread-safety" \
+             "analysis is clang-only)" >&2
+        exit 1
+    }
+    CC=clang CXX=clang++ configure build-tsafe \
+        "clang Werror=thread-safety" \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_CXX_FLAGS=-Werror=thread-safety
+}
+
+[ $# -ge 1 ] || usage
+TARGET="$1"
+DO_BUILD=no
+[ "${2:-}" = "--build" ] && DO_BUILD=yes
+
+case "$TARGET" in
+    nometrics) nometrics ;;
+    prof)      prof ;;
+    tsafe)     tsafe ;;
+    all)       nometrics; prof; tsafe ;;
+    *)         usage ;;
+esac

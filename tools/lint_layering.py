@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Architecture-layering lint: enforce the #include dependency DAG.
+
+The repo's module graph (DESIGN.md, "Locking discipline" / "Layering"):
+
+    +--------------- engine ring ---------------+
+    |  core  <-------------------------->  runtime  |
+    +-------------------------------------------+
+         ^            ^             ^
+         |            |             |
+        oql         verify         obs        (peer layers over the engine)
+         ^            ^             ^
+         +------------+-------------+
+                      |
+                   service                    (sees both engine and obs)
+                      |
+                     net                      (the wire front end)
+
+  * `core` and `runtime` form one engine ring: the algebra/optimizer and
+    the executors are mutually recursive by design (physical plans carry
+    calculus fragments; the optimizer consults runtime catalogs), so the
+    lint treats them as a single layer rather than pretending otherwise.
+  * `oql`, `verify`, and `obs` sit directly on the engine ring and must
+    not know about each other, the service, or the network.
+  * `service` may use everything below it; `net` may additionally use
+    `service`. Nothing below `net` may include it.
+  * `workload` (generators for the load harness) sees only the engine.
+  * THE SEAM: `runtime` may include from `obs` ONLY `obs/resource.h`
+    (per-query accounting, metrics-free by construction). Engines report
+    through plain ExecTotals; the service flushes totals into the
+    MetricsRegistry. This is what keeps LDB_METRICS=OFF builds
+    include-clean: `obs/resource.h` itself is checked to stay free of
+    `obs/metrics.h` / `obs/query_log.h`.
+  * Named exception: `src/core/optimizer.cc` includes `verify/verify.h`
+    (the optimizer self-checks plans when verify_plans is set). It is the
+    only engine file allowed to, and only from the .cc.
+  * `src/lambdadb.h` is the public umbrella header: it may include any
+    library module except `net` and `workload` (embedding the library
+    must not pull in the server).
+
+Run:  python3 tools/lint_layering.py [--root DIR] [-v]
+Exit: 0 when the tree conforms; 1 with `file:line: error: ...` lines
+otherwise (the format editors and CI annotate).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Module -> modules it may include from (itself always allowed).
+ALLOWED = {
+    "core": {"core", "runtime"},
+    "runtime": {"runtime", "core", "obs"},  # obs: seam header only, see below
+    "oql": {"oql", "core", "runtime"},
+    "verify": {"verify", "core", "runtime"},
+    "obs": {"obs", "core", "runtime"},
+    "service": {"service", "core", "runtime", "oql", "verify", "obs"},
+    "net": {"net", "core", "runtime", "oql", "verify", "obs", "service"},
+    "workload": {"workload", "core", "runtime"},
+}
+
+# The only obs/ header the runtime layer may include (the ExecTotals /
+# resource-accounting seam).
+RUNTIME_OBS_SEAM = {"resource.h"}
+
+# Files (repo-relative, forward slashes) allowed the core -> verify edge.
+CORE_VERIFY_EXCEPTIONS = {"src/core/optimizer.cc"}
+
+# Headers obs/resource.h must never include, or the LDB_METRICS=OFF build
+# (and the runtime layer with it) silently grows a metrics dependency.
+SEAM_FORBIDDEN = {"src/obs/metrics.h", "src/obs/query_log.h"}
+
+# The public umbrella: everything except the server and the load harness.
+UMBRELLA = "src/lambdadb.h"
+UMBRELLA_ALLOWED = {"core", "runtime", "oql", "verify", "obs", "service"}
+
+INCLUDE_RE = re.compile(r'\s*#\s*include\s+"src/([^/"]+)/([^"]+)"')
+
+
+def iter_source_files(root):
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc", ".cpp")):
+                yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def lint_file(root, path, errors, edges):
+    rel = relpath(root, path)
+    parts = rel.split("/")
+    if rel == UMBRELLA:
+        module = None  # umbrella: special-cased below
+    elif len(parts) >= 3 and parts[0] == "src":
+        module = parts[1]
+    else:
+        module = None  # other files directly under src/: treated like umbrella
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target_mod, target_rest = m.group(1), m.group(2)
+            if "/" not in target_rest and "." not in target_rest:
+                # "src/<file>" with no module dir (e.g. src/lambdadb.h):
+                continue
+
+            def err(msg):
+                errors.append(f"{rel}:{lineno}: error: {msg}")
+
+            # Seam-cleanliness for the one obs header runtime may see.
+            if rel == "src/obs/resource.h":
+                full = f"src/{target_mod}/{target_rest}"
+                if full in SEAM_FORBIDDEN:
+                    err(
+                        f'seam header obs/resource.h must not include "{full}" '
+                        "(it is the only obs/ header the runtime layer sees; "
+                        "keeping it metrics-free keeps LDB_METRICS=OFF builds "
+                        "include-clean)"
+                    )
+
+            if module is None:
+                if target_mod not in UMBRELLA_ALLOWED:
+                    err(
+                        f'"{rel}" may not include module "{target_mod}" '
+                        f"(umbrella header exposes the embedding API only: "
+                        f"{', '.join(sorted(UMBRELLA_ALLOWED))})"
+                    )
+                edges.add(("<umbrella>", target_mod))
+                continue
+
+            edges.add((module, target_mod))
+            if target_mod == module:
+                continue
+
+            if module == "core" and target_mod == "verify":
+                if rel in CORE_VERIFY_EXCEPTIONS:
+                    continue
+                err(
+                    f'module "core" may include "verify" only from '
+                    f"{sorted(CORE_VERIFY_EXCEPTIONS)} (the optimizer's "
+                    "self-check); move the dependency or extend the "
+                    "documented exception list"
+                )
+                continue
+
+            allowed = ALLOWED.get(module)
+            if allowed is None:
+                err(
+                    f'unknown module "{module}" — add it to ALLOWED in '
+                    "tools/lint_layering.py with its permitted dependencies"
+                )
+                continue
+            if target_mod not in allowed:
+                err(
+                    f'module "{module}" may not include module '
+                    f'"{target_mod}" (allowed: '
+                    f"{', '.join(sorted(allowed - {module}))})"
+                )
+                continue
+
+            if module == "runtime" and target_mod == "obs":
+                if target_rest not in RUNTIME_OBS_SEAM:
+                    err(
+                        f'runtime may include from obs only '
+                        f"{sorted(RUNTIME_OBS_SEAM)} (the resource-accounting "
+                        f'seam), not "obs/{target_rest}" — engines report '
+                        "via ExecTotals; the service flushes metrics"
+                    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)",
+    )
+    ap.add_argument(
+        "-v", "--verbose", action="store_true", help="print the observed edges"
+    )
+    args = ap.parse_args()
+
+    errors = []
+    edges = set()
+    n_files = 0
+    for path in iter_source_files(args.root):
+        n_files += 1
+        lint_file(args.root, path, errors, edges)
+
+    if args.verbose:
+        by_mod = {}
+        for a, b in edges:
+            if a != b:
+                by_mod.setdefault(a, set()).add(b)
+        for a in sorted(by_mod):
+            print(f"{a} -> {', '.join(sorted(by_mod[a]))}")
+        print(f"({n_files} files scanned)")
+
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"lint_layering: {len(errors)} violation(s) in {n_files} files")
+        return 1
+    print(f"lint_layering: OK ({n_files} files, {len(edges)} module edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
