@@ -13,11 +13,16 @@
 //     --deadline-ms N    default per-query deadline (0 = none)
 //     --memory-budget N  default per-query memory budget in bytes (0 = none)
 //     --metrics-dump F   write the Prometheus metrics snapshot to F on exit
+//                        (and on every SIGUSR1)
+//     --trace-dump F     write the trace-ring JSON snapshot to F on exit
+//                        (and on every SIGUSR1)
 //
 // Prints "listening on <host>:<port>" once ready (scripts wait for that
 // line). SIGTERM/SIGINT trigger a graceful drain — in-flight queries finish
 // (or are cancelled at the drain deadline), replies are flushed — then the
-// process exits 0 with a serving summary.
+// process exits 0 with a serving summary. SIGUSR1 dumps the observability
+// snapshots (--metrics-dump / --trace-dump targets) without stopping —
+// "kill -USR1" is the zero-downtime way to grab server state.
 
 #include <algorithm>
 #include <csignal>
@@ -62,9 +67,22 @@ int Usage(const char* argv0) {
                "          [--host A] [--port P] [--workers N] "
                "[--max-concurrent N] [--max-queue N]\n"
                "          [--deadline-ms N] [--memory-budget N] "
-               "[--metrics-dump FILE]\n",
+               "[--metrics-dump FILE] [--trace-dump FILE]\n",
                argv0);
   return 2;
+}
+
+// Writes one observability snapshot to `path` (no-op when empty). Returns
+// whether the file was written, so the caller can log it.
+bool DumpTo(const std::string& path, const std::string& body) {
+  if (path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "ldb_server: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return true;
 }
 
 }  // namespace
@@ -73,6 +91,7 @@ int main(int argc, char** argv) {
   std::string workload_name = "company";
   std::string dump_file;
   std::string metrics_dump;
+  std::string trace_dump;
   int scale = 2000;
   ldb::ServiceOptions svc_opts;
   ldb::net::ServerOptions net_opts;
@@ -111,17 +130,21 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--metrics-dump") {
       metrics_dump = next();
+    } else if (arg == "--trace-dump") {
+      trace_dump = next();
     } else {
       return Usage(argv[0]);
     }
   }
 
-  // Block the shutdown signals before any thread spawns, so every thread
+  // Block the handled signals before any thread spawns, so every thread
   // inherits the mask and sigwait below is the single delivery point.
+  // SIGUSR1 is the live snapshot trigger; INT/TERM drain and exit.
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGINT);
   sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   try {
@@ -148,17 +171,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(server.bound_port()));
     std::fflush(stdout);
 
-    int sig = 0;
-    sigwait(&sigs, &sig);
-    std::printf("ldb_server: received %s, draining...\n", strsignal(sig));
-    std::fflush(stdout);
+    for (;;) {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      if (sig == SIGUSR1) {
+        // Live snapshot: dump without disturbing serving, keep waiting.
+        if (DumpTo(metrics_dump, svc.metrics().Snapshot().ToPrometheusText()))
+          std::printf("ldb_server: SIGUSR1, metrics written to %s\n",
+                      metrics_dump.c_str());
+        if (DumpTo(trace_dump, svc.trace_ring().ToJson()))
+          std::printf("ldb_server: SIGUSR1, trace ring written to %s\n",
+                      trace_dump.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      std::printf("ldb_server: received %s, draining...\n", strsignal(sig));
+      std::fflush(stdout);
+      break;
+    }
     server.Shutdown();
 
-    if (!metrics_dump.empty()) {
-      std::ofstream out(metrics_dump);
-      out << svc.metrics().Snapshot().ToPrometheusText();
+    if (DumpTo(metrics_dump, svc.metrics().Snapshot().ToPrometheusText()))
       std::printf("ldb_server: metrics written to %s\n", metrics_dump.c_str());
-    }
+    if (DumpTo(trace_dump, svc.trace_ring().ToJson()))
+      std::printf("ldb_server: trace ring written to %s\n", trace_dump.c_str());
 
     ldb::net::ServerStats st = server.stats();
     std::printf(

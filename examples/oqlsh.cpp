@@ -25,7 +25,15 @@
 //   .trace <file> <oql>  execute with profiling and write a Chrome/Perfetto
 //                        trace (load via ui.perfetto.dev or chrome://tracing)
 //   .connect host:port   attach to an ldb_server; ad-hoc queries, .prepare,
-//                        and .exec then go over the wire (docs/WIRE.md)
+//                        and .exec then go over the wire (docs/WIRE.md).
+//                        .metrics then reads the SERVER registry (INTROSPECT)
+//   .stats               remote only: server active queries + query-log tail
+//                        fetched over INTROSPECT
+//   .fetch-trace [id] [file]  remote only: fetch a server-side trace from the
+//                        tail-sampling ring as Perfetto JSON. `id` is 16-hex
+//                        (default: the last executed query's trace id;
+//                        "slowest" = the slowest kept trace). Prints to the
+//                        terminal unless a file is given
 //   .disconnect          drop the server connection, back to in-process
 //   .quit                exit
 //   <oql>                execute through the query service + print
@@ -286,10 +294,11 @@ void PrintRemoteResult(const net::ClientResult& r) {
     }
     if (r.rows.size() > 20) std::printf("  ... (%zu rows)\n", r.rows.size());
   }
-  std::printf("(%s plan | queue %.2f ms | compile %.2f ms | exec %.2f ms | "
-              "remote)\n",
-              r.exec.plan_cached ? "cached" : "compiled", r.exec.queue_ms,
-              r.exec.compile_ms, r.exec.exec_ms);
+  std::printf("(%s plan | wait %.2f ms | queue %.2f ms | compile %.2f ms | "
+              "exec %.2f ms | serialize %.2f ms | trace %s | remote)\n",
+              r.exec.plan_cached ? "cached" : "compiled", r.exec.queue_wait_ms,
+              r.exec.queue_ms, r.exec.compile_ms, r.exec.exec_ms,
+              r.exec.serialize_ms, obs::TraceIdHex(r.exec.trace_id).c_str());
 }
 
 }  // namespace
@@ -325,9 +334,12 @@ int main(int argc, char** argv) {
                     "| .timeout <ms> | .budget <bytes> | .cache [clear] "
                     "| .metrics | .querylog [n] | .queries "
                     "| .trace <file> <oql> | .connect host:port "
+                    "| .stats | .fetch-trace [id] [file] "
                     "| .disconnect | .quit | <oql>\n"
                     "(.explain prints the profiled plan inline; .trace writes "
-                    "the same execution as a Perfetto timeline)\n");
+                    "the same execution as a Perfetto timeline; while "
+                    ".connect'ed, .metrics/.stats/.fetch-trace read the "
+                    "server over INTROSPECT)\n");
       } else if (line == ".schema") {
         ShowSchema(db.schema());
       } else if (line.rfind(".plan ", 0) == 0) {
@@ -418,7 +430,62 @@ int main(int argc, char** argv) {
         service.ClearCache();
         std::printf("plan cache cleared\n");
       } else if (line == ".metrics") {
-        std::printf("%s", service.metrics().Snapshot().ToPrometheusText().c_str());
+        if (remote.connected()) {
+          std::printf("%s\n",
+                      remote.Introspect(net::IntrospectRequest::kMetrics)
+                          .c_str());
+        } else {
+          std::printf("%s",
+                      service.metrics().Snapshot().ToPrometheusText().c_str());
+        }
+      } else if (line == ".stats") {
+        if (!remote.connected()) {
+          std::printf("not connected (.stats reads the server over "
+                      "INTROSPECT; use .queries/.querylog in-process)\n");
+        } else {
+          std::printf(
+              "-- server active queries --\n%s\n"
+              "-- server query log (last 10) --\n%s\n",
+              remote.Introspect(net::IntrospectRequest::kActiveQueries)
+                  .c_str(),
+              remote.Introspect(net::IntrospectRequest::kQueryLog, 10)
+                  .c_str());
+        }
+      } else if (line == ".fetch-trace" ||
+                 line.rfind(".fetch-trace ", 0) == 0) {
+        if (!remote.connected()) {
+          std::printf("not connected (.fetch-trace reads the server's trace "
+                      "ring over INTROSPECT)\n");
+        } else {
+          std::istringstream in(
+              line.size() > 12 ? line.substr(13) : std::string());
+          std::string id_tok, file;
+          in >> id_tok >> file;
+          uint64_t id = remote.last_trace_id();
+          if (id_tok == "slowest") {
+            id = 0;  // the server resolves 0 to its slowest kept trace
+          } else if (!id_tok.empty()) {
+            id = obs::TraceIdFromHex(id_tok);
+            if (id == 0) {
+              std::printf("usage: .fetch-trace [16-hex-id|slowest] [file]\n");
+              continue;
+            }
+          }
+          std::string json =
+              remote.Introspect(net::IntrospectRequest::kTrace, 0, id);
+          if (file.empty()) {
+            std::printf("%s\n", json.c_str());
+          } else {
+            std::ofstream out(file);
+            if (!out) {
+              std::printf("error: cannot write '%s'\n", file.c_str());
+            } else {
+              out << json;
+              std::printf("wrote %s (load via ui.perfetto.dev)\n",
+                          file.c_str());
+            }
+          }
+        }
       } else if (line == ".querylog" || line.rfind(".querylog ", 0) == 0) {
         size_t n = 10;
         if (line.size() > 10) n = std::strtoull(line.c_str() + 10, nullptr, 10);

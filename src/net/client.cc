@@ -155,6 +155,8 @@ ClientResult Client::RunExecute(const ExecuteRequest& req) {
   SendRaw(req.Encode());
   ClientResult out;
   out.exec = ExecReply::Parse(Await(Opcode::kExecOk).payload);
+  last_trace_id_ =
+      out.exec.trace_id != 0 ? out.exec.trace_id : req.trace_id;
 
   // The server appends one ROWS batch when fetch_hint > 0 (even if empty);
   // keep FETCHing until has_more says the cursor is drained.
@@ -183,6 +185,10 @@ ClientResult Client::Execute(const std::string& oql, uint64_t deadline_ms,
   req.oql = oql;
   req.deadline_ms = deadline_ms;
   req.fetch_hint = fetch_batch != 0 ? fetch_batch : 1024;
+  if (trace_requests_) {
+    req.trace_id = obs::MintTraceId();
+    req.trace_flags = trace_flags_;
+  }
   return RunExecute(req);
 }
 
@@ -193,10 +199,26 @@ ClientResult Client::ExecutePrepared(uint64_t handle, uint64_t deadline_ms,
   req.handle = handle;
   req.deadline_ms = deadline_ms;
   req.fetch_hint = fetch_batch != 0 ? fetch_batch : 1024;
+  if (trace_requests_) {
+    req.trace_id = obs::MintTraceId();
+    req.trace_flags = trace_flags_;
+  }
   return RunExecute(req);
 }
 
 void Client::Cancel() { SendFrame(Opcode::kCancel, std::string()); }
+
+std::string Client::Introspect(uint8_t kind, uint32_t arg,
+                               uint64_t trace_id) {
+  IntrospectRequest req;
+  req.kind = kind;
+  req.arg = arg;
+  req.trace_id = trace_id;
+  SendRaw(req.Encode());
+  IntrospectReply rep =
+      IntrospectReply::Parse(Await(Opcode::kIntrospectOk).payload);
+  return std::move(rep.json);
+}
 
 }  // namespace net
 }  // namespace ldb

@@ -18,6 +18,7 @@
 
 #include "src/core/thread_annotations.h"
 #include "src/net/wire.h"
+#include "src/obs/trace.h"
 #include "src/runtime/error.h"
 #include "src/runtime/value.h"
 
@@ -82,6 +83,25 @@ class Client {
   /// Requests cancellation of the in-flight query. Safe from any thread.
   void Cancel();
 
+  /// INTROSPECT (v2): fetches one observability JSON document off the
+  /// server — IntrospectRequest::kMetrics / kActiveQueries / kQueryLog /
+  /// kTrace (docs/WIRE.md). For kTrace, `trace_id` 0 means "the slowest
+  /// kept trace". Throws RemoteError when the server cannot answer (v1
+  /// server, unknown kind, trace sampled out).
+  std::string Introspect(uint8_t kind, uint32_t arg = 0,
+                         uint64_t trace_id = 0);
+
+  /// Whether every EXECUTE mints and sends a trace context (default on).
+  /// A traced request's server-side trace is fetchable by id while the
+  /// tail-sampling ring keeps it; untraced requests still get server-minted
+  /// ids, just not known to the client in advance.
+  void set_trace_requests(bool on) { trace_requests_ = on; }
+  /// Extra TraceContext flags for minted contexts (e.g. kForceSample).
+  void set_trace_flags(uint8_t flags) { trace_flags_ = flags; }
+  /// Trace id of the most recent EXECUTE: the server-reported id when the
+  /// reply carried one (v2), else the minted id (0 when tracing is off).
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   // -- low-level access (protocol tests) --------------------------------------
 
   /// Sends raw bytes verbatim (not necessarily a well-formed frame).
@@ -105,6 +125,9 @@ class Client {
   FrameDecoder decoder_;  ///< driving thread only
   HelloReply hello_;      ///< written by Connect, read-only afterwards
   Mutex send_mu_;  ///< serializes socket writes (Cancel vs requests)
+  bool trace_requests_ = true;   ///< driving thread only
+  uint8_t trace_flags_ = 0;      ///< driving thread only
+  uint64_t last_trace_id_ = 0;   ///< driving thread only
 };
 
 }  // namespace net

@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "src/net/net_util.h"
+#include "src/obs/introspect.h"
 #include "src/obs/resource.h"
 #include "src/oql/parser.h"
 #include "src/runtime/serialize.h"
@@ -24,6 +25,12 @@ namespace ldb {
 namespace net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
 
 std::string ErrnoString(const char* what) {
   return std::string(what) + ": " + ErrnoMessage(errno);
@@ -79,9 +86,16 @@ struct Server::Conn {
   /// is pending or being processed. Set by either thread.
   std::atomic<bool> close_after_flush{false};
 
+  /// One decoded frame plus the moment the IO thread read it off the socket
+  /// — the trace origin; DoExecute's queue_wait_ms is measured from it.
+  struct PendingFrame {
+    Frame frame;
+    Clock::time_point recv;
+  };
+
   /// Guards the IO-thread/worker handoff state.
   Mutex mu;
-  std::deque<Frame> pending LDB_GUARDED_BY(mu);
+  std::deque<PendingFrame> pending LDB_GUARDED_BY(mu);
   bool busy LDB_GUARDED_BY(mu) = false;    ///< a worker is processing this
   bool closed LDB_GUARDED_BY(mu) = false;  ///< socket gone; workers drop
                                            ///< remaining frames
@@ -98,6 +112,10 @@ struct Server::Conn {
   bool hello_done = false;
   std::map<uint64_t, std::string> prepared;  ///< handle -> OQL text
   uint64_t next_handle = 0;
+  /// Connection-default trace context from a PREPARE extension: later
+  /// EXECUTEs without their own context inherit parent/flags with a fresh
+  /// per-query id (valid() gates the inheritance).
+  obs::TraceContext default_trace;
   bool has_cursor = false;
   bool cursor_scalar = false;
   Value result;
@@ -123,7 +141,7 @@ Server::Server(QueryService& svc, ServerOptions options)
                                     "Malformed frames and unknown opcodes");
   for (Opcode op : {Opcode::kHello, Opcode::kPrepare, Opcode::kBind,
                     Opcode::kExecute, Opcode::kFetch, Opcode::kCancel,
-                    Opcode::kGoodbye}) {
+                    Opcode::kGoodbye, Opcode::kIntrospect}) {
     m_frames_[static_cast<uint8_t>(op)] =
         m.GetCounter("ldb_net_frames_total", "Frames received by type",
                      {{"op", OpcodeName(op)}});
@@ -520,11 +538,12 @@ void Server::OnFrame(const std::shared_ptr<Conn>& c, Frame frame) {
     case Opcode::kBind:
     case Opcode::kExecute:
     case Opcode::kFetch:
+    case Opcode::kIntrospect:
     case Opcode::kGoodbye: {
       bool schedule = false;
       {
         MutexLock lock(&c->mu);
-        c->pending.push_back(std::move(frame));
+        c->pending.push_back(Conn::PendingFrame{std::move(frame), Clock::now()});
         if (!c->busy) {
           c->busy = true;
           schedule = true;
@@ -617,7 +636,7 @@ void Server::WorkerLoop() {
       queue_.pop_front();
     }
     for (;;) {
-      Frame f;
+      Conn::PendingFrame f;
       {
         MutexLock lock(&c->mu);
         if (c->closed) c->pending.clear();
@@ -628,13 +647,14 @@ void Server::WorkerLoop() {
         f = std::move(c->pending.front());
         c->pending.pop_front();
       }
-      ProcessFrame(c, f);
+      ProcessFrame(c, f.frame, f.recv);
     }
     NotifyIo(c);  // pending drained: flush replies, maybe re-enable reads
   }
 }
 
-void Server::ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame) {
+void Server::ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame,
+                          Clock::time_point recv) {
   try {
     if (!c->hello_done && frame.opcode != Opcode::kHello) {
       EnqueueError(c, ErrorCode::kProtocol, "HELLO must be the first frame");
@@ -652,10 +672,13 @@ void Server::ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame) {
         DoBind(c, frame);
         break;
       case Opcode::kExecute:
-        DoExecute(c, frame);
+        DoExecute(c, frame, recv);
         break;
       case Opcode::kFetch:
         DoFetch(c, frame);
+        break;
+      case Opcode::kIntrospect:
+        DoIntrospect(c, frame);
         break;
       case Opcode::kGoodbye:
         EnqueueReply(c, EncodeFrame(Opcode::kGoodbyeOk, std::string()));
@@ -720,6 +743,11 @@ void Server::DoPrepare(const std::shared_ptr<Conn>& c, const Frame& f) {
   oql::Parse(req.oql);
   uint64_t handle = ++c->next_handle;
   c->prepared[handle] = req.oql;
+  if (req.trace_id != 0) {
+    c->default_trace.trace_id = req.trace_id;
+    c->default_trace.parent_span_id = req.parent_span_id;
+    c->default_trace.flags = req.trace_flags;
+  }
   PrepareReply rep;
   rep.handle = handle;
   EnqueueReply(c, rep.Encode());
@@ -739,7 +767,8 @@ void Server::DoBind(const std::shared_ptr<Conn>& c, const Frame& f) {
   EnqueueReply(c, EncodeFrame(Opcode::kBindOk, std::string()));
 }
 
-void Server::DoExecute(const std::shared_ptr<Conn>& c, const Frame& f) {
+void Server::DoExecute(const std::shared_ptr<Conn>& c, const Frame& f,
+                       Clock::time_point recv) {
   ExecuteRequest req = ExecuteRequest::Parse(f.payload);
   if (stopping_.load()) {
     EnqueueError(c, ErrorCode::kShuttingDown, "server is draining");
@@ -774,6 +803,22 @@ void Server::DoExecute(const std::shared_ptr<Conn>& c, const Frame& f) {
   if (req.deadline_ms != 0) {
     session->options().deadline_ms = static_cast<int64_t>(req.deadline_ms);
   }
+
+  // The request's own trace context, else the connection default from
+  // PREPARE (fresh id per query). Set on the session even when empty: the
+  // pre-wait (wire read -> here) feeds queue_wait_ms either way, and the
+  // service mints an id itself for tail sampling.
+  obs::TraceContext tctx;
+  tctx.trace_id = req.trace_id;
+  tctx.parent_span_id = req.parent_span_id;
+  tctx.flags = req.trace_flags;
+  if (!tctx.valid() && c->default_trace.valid()) {
+    tctx.trace_id = obs::MintTraceId();
+    tctx.parent_span_id = c->default_trace.parent_span_id;
+    tctx.flags = c->default_trace.flags;
+  }
+  session->set_trace(tctx, MsBetween(recv, Clock::now()));
+
   QueryStats stats;
   Value result;
   try {
@@ -798,10 +843,22 @@ void Server::DoExecute(const std::shared_ptr<Conn>& c, const Frame& f) {
   rep.queue_ms = stats.queue_ms;
   rep.compile_ms = stats.compile_ms;
   rep.exec_ms = stats.exec_ms;
-  EnqueueReply(c, rep.Encode());
+  rep.queue_wait_ms = stats.queue_wait_ms;
+  rep.trace_id = stats.trace_id;
 
   if (req.fetch_hint > 0 && c->has_cursor) {
-    EnqueueReply(c, NextBatch(c, req.fetch_hint));
+    // Serialize the immediate batch BEFORE encoding EXEC_OK so its timing
+    // rides the reply (and lands in the query log + trace post-hoc); the
+    // frames still go out in EXEC_OK-then-ROWS order.
+    Clock::time_point ser0 = Clock::now();
+    std::string batch = NextBatch(c, req.fetch_hint);
+    rep.serialize_ms = MsBetween(ser0, Clock::now());
+    svc_.RecordSerialize(stats.log_id, stats.trace_id, MsBetween(recv, ser0),
+                         rep.serialize_ms);
+    EnqueueReply(c, rep.Encode());
+    EnqueueReply(c, std::move(batch));
+  } else {
+    EnqueueReply(c, rep.Encode());
   }
 }
 
@@ -813,6 +870,43 @@ void Server::DoFetch(const std::shared_ptr<Conn>& c, const Frame& f) {
   }
   uint32_t n = req.max_rows != 0 ? req.max_rows : options_.default_batch_rows;
   EnqueueReply(c, NextBatch(c, n));
+}
+
+void Server::DoIntrospect(const std::shared_ptr<Conn>& c, const Frame& f) {
+  IntrospectRequest req = IntrospectRequest::Parse(f.payload);
+  IntrospectReply rep;
+  rep.kind = req.kind;
+  switch (req.kind) {
+    case IntrospectRequest::kMetrics:
+      rep.json = svc_.metrics().Snapshot().ToJson();
+      break;
+    case IntrospectRequest::kActiveQueries:
+      rep.json = obs::ActiveQueriesToJson(svc_.ActiveQueries());
+      break;
+    case IntrospectRequest::kQueryLog: {
+      size_t n = req.arg != 0 ? req.arg : 32;
+      rep.json = obs::QueryLogToJson(svc_.query_log().Tail(n));
+      break;
+    }
+    case IntrospectRequest::kTrace: {
+      obs::RequestTrace t;
+      if (!svc_.trace_ring().Find(req.trace_id, &t)) {
+        EnqueueError(c, ErrorCode::kState,
+                     req.trace_id == 0
+                         ? "trace ring is empty"
+                         : "trace " + obs::TraceIdHex(req.trace_id) +
+                               " is not in the ring (sampled out or evicted)");
+        return;
+      }
+      rep.json = obs::TraceToChromeJson(t);
+      break;
+    }
+    default:
+      EnqueueError(c, ErrorCode::kState,
+                   "unknown INTROSPECT kind " + std::to_string(req.kind));
+      return;
+  }
+  EnqueueReply(c, rep.Encode());
 }
 
 std::string Server::NextBatch(const std::shared_ptr<Conn>& c,

@@ -42,6 +42,7 @@
 #define LAMBDADB_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -134,9 +135,12 @@ class Server {
   bool AllConnsIdle();
   void CancelAllSessions();
 
-  // Worker side.
+  // Worker side. `recv` is the IO thread's wire-read timestamp for the
+  // frame — the request-trace origin, and what queue_wait_ms (wire read ->
+  // worker pickup) is measured from.
   void WorkerLoop() LDB_EXCLUDES(queue_mu_);
-  void ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame);
+  void ProcessFrame(const std::shared_ptr<Conn>& c, const Frame& frame,
+                    std::chrono::steady_clock::time_point recv);
   void EnqueueReply(const std::shared_ptr<Conn>& c, std::string bytes);
   void EnqueueError(const std::shared_ptr<Conn>& c, ErrorCode code,
                     const std::string& message);
@@ -147,8 +151,10 @@ class Server {
   void DoHello(const std::shared_ptr<Conn>& c, const Frame& f);
   void DoPrepare(const std::shared_ptr<Conn>& c, const Frame& f);
   void DoBind(const std::shared_ptr<Conn>& c, const Frame& f);
-  void DoExecute(const std::shared_ptr<Conn>& c, const Frame& f);
+  void DoExecute(const std::shared_ptr<Conn>& c, const Frame& f,
+                 std::chrono::steady_clock::time_point recv);
   void DoFetch(const std::shared_ptr<Conn>& c, const Frame& f);
+  void DoIntrospect(const std::shared_ptr<Conn>& c, const Frame& f);
 
   /// Builds one bounded ROWS frame from the connection's cursor.
   std::string NextBatch(const std::shared_ptr<Conn>& c, uint32_t max_rows);

@@ -16,6 +16,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kFetch: return "FETCH";
     case Opcode::kCancel: return "CANCEL";
     case Opcode::kGoodbye: return "GOODBYE";
+    case Opcode::kIntrospect: return "INTROSPECT";
     case Opcode::kHelloOk: return "HELLO_OK";
     case Opcode::kPrepareOk: return "PREPARE_OK";
     case Opcode::kBindOk: return "BIND_OK";
@@ -23,6 +24,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kRows: return "ROWS";
     case Opcode::kCancelOk: return "CANCEL_OK";
     case Opcode::kGoodbyeOk: return "GOODBYE_OK";
+    case Opcode::kIntrospectOk: return "INTROSPECT_OK";
     case Opcode::kError: return "ERROR";
   }
   return "OP_??";
@@ -227,9 +229,33 @@ HelloReply HelloReply::Parse(const std::string& payload) {
   return m;
 }
 
+namespace {
+
+/// The 17-byte v2 trace-context extension shared by EXECUTE and PREPARE.
+/// Emitted only when a context is present; parsed only when the trailing
+/// bytes are actually there (a v1 peer's payload ends before them).
+void WriteTraceContext(PayloadWriter* w, uint64_t trace_id,
+                       uint64_t parent_span_id, uint8_t flags) {
+  if (trace_id == 0) return;
+  w->U64(trace_id);
+  w->U64(parent_span_id);
+  w->U8(flags);
+}
+
+void ReadTraceContext(PayloadReader* r, uint64_t* trace_id,
+                      uint64_t* parent_span_id, uint8_t* flags) {
+  if (r->remaining() < 17) return;
+  *trace_id = r->U64();
+  *parent_span_id = r->U64();
+  *flags = r->U8();
+}
+
+}  // namespace
+
 std::string PrepareRequest::Encode() const {
   PayloadWriter w;
   w.Str(oql);
+  WriteTraceContext(&w, trace_id, parent_span_id, trace_flags);
   return EncodeFrame(Opcode::kPrepare, w.Take());
 }
 
@@ -237,6 +263,7 @@ PrepareRequest PrepareRequest::Parse(const std::string& payload) {
   PayloadReader r(payload);
   PrepareRequest m;
   m.oql = r.Str();
+  ReadTraceContext(&r, &m.trace_id, &m.parent_span_id, &m.trace_flags);
   return m;
 }
 
@@ -298,6 +325,7 @@ std::string ExecuteRequest::Encode() const {
   }
   w.U64(deadline_ms);
   w.U32(fetch_hint);
+  WriteTraceContext(&w, trace_id, parent_span_id, trace_flags);
   return EncodeFrame(Opcode::kExecute, w.Take());
 }
 
@@ -315,6 +343,7 @@ ExecuteRequest ExecuteRequest::Parse(const std::string& payload) {
   }
   m.deadline_ms = r.U64();
   m.fetch_hint = r.U32();
+  ReadTraceContext(&r, &m.trace_id, &m.parent_span_id, &m.trace_flags);
   return m;
 }
 
@@ -326,6 +355,10 @@ std::string ExecReply::Encode() const {
   w.F64(queue_ms);
   w.F64(compile_ms);
   w.F64(exec_ms);
+  // v2 trailing extension (always emitted; a v1 client ignores it).
+  w.F64(queue_wait_ms);
+  w.F64(serialize_ms);
+  w.U64(trace_id);
   return EncodeFrame(Opcode::kExecOk, w.Take());
 }
 
@@ -338,6 +371,11 @@ ExecReply ExecReply::Parse(const std::string& payload) {
   m.queue_ms = r.F64();
   m.compile_ms = r.F64();
   m.exec_ms = r.F64();
+  if (r.remaining() >= 24) {
+    m.queue_wait_ms = r.F64();
+    m.serialize_ms = r.F64();
+    m.trace_id = r.U64();
+  }
   return m;
 }
 
@@ -373,6 +411,38 @@ RowsReply RowsReply::Parse(const std::string& payload) {
   }
   m.rows.reserve(n);
   for (uint32_t i = 0; i < n; ++i) m.rows.push_back(r.Str());
+  return m;
+}
+
+std::string IntrospectRequest::Encode() const {
+  PayloadWriter w;
+  w.U8(kind);
+  w.U32(arg);
+  w.U64(trace_id);
+  return EncodeFrame(Opcode::kIntrospect, w.Take());
+}
+
+IntrospectRequest IntrospectRequest::Parse(const std::string& payload) {
+  PayloadReader r(payload);
+  IntrospectRequest m;
+  m.kind = r.U8();
+  m.arg = r.U32();
+  m.trace_id = r.U64();
+  return m;
+}
+
+std::string IntrospectReply::Encode() const {
+  PayloadWriter w;
+  w.U8(kind);
+  w.Str(json);
+  return EncodeFrame(Opcode::kIntrospectOk, w.Take());
+}
+
+IntrospectReply IntrospectReply::Parse(const std::string& payload) {
+  PayloadReader r(payload);
+  IntrospectReply m;
+  m.kind = r.U8();
+  m.json = r.Str();
   return m;
 }
 

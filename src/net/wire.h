@@ -38,8 +38,12 @@ namespace ldb {
 namespace net {
 
 /// Protocol version spoken by this build. HELLO negotiates
-/// min(client, server); v1 is the only version so far.
-constexpr uint32_t kProtocolVersion = 1;
+/// min(client, server). v2 added the INTROSPECT opcode and the trailing
+/// trace-context / timing extensions on EXECUTE, PREPARE, and EXEC_OK —
+/// the extensions themselves are plain trailing bytes (a v1 peer ignores
+/// them); the version exists so a client knows whether INTROSPECT is
+/// answerable before sending it.
+constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on `length` (opcode + payload). The decoder rejects a larger
 /// prefix before allocating anything; the encoder refuses to build one.
@@ -54,6 +58,8 @@ enum class Opcode : uint8_t {
   kFetch = 0x05,    ///< next batch of rows from the connection's cursor
   kCancel = 0x06,   ///< abort the in-flight query (handled out-of-band)
   kGoodbye = 0x07,  ///< orderly close
+  kIntrospect = 0x08,  ///< v2: remote observability snapshot (metrics /
+                       ///< active queries / query-log tail / trace-by-id)
 
   // server -> client
   kHelloOk = 0x81,
@@ -63,6 +69,7 @@ enum class Opcode : uint8_t {
   kRows = 0x85,
   kCancelOk = 0x86,
   kGoodbyeOk = 0x87,
+  kIntrospectOk = 0x88,
   kError = 0x8F,
 };
 
@@ -217,6 +224,13 @@ struct HelloReply {
 
 struct PrepareRequest {
   std::string oql;
+  /// v2 trailing trace-context extension, same layout as ExecuteRequest's.
+  /// A context sent on PREPARE becomes the connection's default: later
+  /// EXECUTEs without their own context inherit it (fresh ids are still
+  /// minted per query server-side; only parent/flags carry over).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t trace_flags = 0;
 
   std::string Encode() const;
   static PrepareRequest Parse(const std::string& payload);
@@ -253,6 +267,13 @@ struct ExecuteRequest {
   /// Rows the server may append as an immediate ROWS frame after EXEC_OK
   /// (0 = none; the client then FETCHes explicitly).
   uint32_t fetch_hint = 0;
+  /// v2 trailing trace-context extension (docs/WIRE.md): 17 bytes — u64
+  /// trace_id, u64 parent_span_id, u8 flags (obs::TraceContext::kForceSample).
+  /// trace_id == 0 means untraced; a v1 peer simply never emits the bytes
+  /// (Encode omits them when trace_id is 0) and ignores them on receipt.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t trace_flags = 0;
 
   std::string Encode() const;
   static ExecuteRequest Parse(const std::string& payload);
@@ -265,6 +286,13 @@ struct ExecReply {
   double queue_ms = 0;
   double compile_ms = 0;
   double exec_ms = 0;
+  /// v2 trailing extension: the server-side phase timings a client cannot
+  /// measure itself, plus the request's trace id (the INTROSPECT key).
+  /// Always emitted by a v2 server; zero when parsed from a v1 peer.
+  double queue_wait_ms = 0;  ///< wire-read -> worker pickup
+  double serialize_ms = 0;   ///< first ROWS batch serialization (0 when the
+                             ///< request asked for no immediate batch)
+  uint64_t trace_id = 0;     ///< 0 = server built without tracing
 
   std::string Encode() const;
   static ExecReply Parse(const std::string& payload);
@@ -287,6 +315,35 @@ struct RowsReply {
 
   std::string Encode() const;
   static RowsReply Parse(const std::string& payload);
+};
+
+/// INTROSPECT (v2): pull one observability artifact off the server without
+/// shelling into the host — the remote twin of oqlsh's local `.metrics` /
+/// `.querylog` and the bench harness's in-process snapshots. The reply is a
+/// JSON document whose schema depends on `kind`.
+struct IntrospectRequest {
+  static constexpr uint8_t kMetrics = 0;        ///< MetricsSnapshot::ToJson
+  static constexpr uint8_t kActiveQueries = 1;  ///< obs::ActiveQueriesToJson
+  static constexpr uint8_t kQueryLog = 2;       ///< obs::QueryLogToJson of the
+                                                ///< last `arg` records
+  static constexpr uint8_t kTrace = 3;          ///< obs::TraceToChromeJson of
+                                                ///< trace `trace_id` (0 = the
+                                                ///< slowest kept trace)
+
+  uint8_t kind = kMetrics;
+  uint32_t arg = 0;       ///< kQueryLog: tail length (0 = server default)
+  uint64_t trace_id = 0;  ///< kTrace: which trace
+
+  std::string Encode() const;
+  static IntrospectRequest Parse(const std::string& payload);
+};
+
+struct IntrospectReply {
+  uint8_t kind = 0;  ///< echoes the request
+  std::string json;
+
+  std::string Encode() const;
+  static IntrospectReply Parse(const std::string& payload);
 };
 
 struct ErrorReply {

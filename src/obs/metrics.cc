@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -24,7 +25,7 @@ int Counter::ShardIndex() {
   return shard;
 }
 
-void Histogram::Observe(double v) {
+void Histogram::Observe(double v, uint64_t exemplar_id) {
 #if LDB_METRICS_ENABLED
   int idx = 0;
   double ub = 1;
@@ -41,9 +42,20 @@ void Histogram::Observe(double v) {
   while (m < v &&
          !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
   }
+  if (exemplar_id != 0) {
+    exemplar_val_[idx].store(v, std::memory_order_relaxed);
+    exemplar_id_[idx].store(exemplar_id, std::memory_order_relaxed);
+  }
 #else
   (void)v;
+  (void)exemplar_id;
 #endif
+}
+
+std::pair<uint64_t, double> Histogram::BucketExemplar(int i) const {
+  if (i < 0 || i >= kBuckets) return {0, 0};
+  return {exemplar_id_[i].load(std::memory_order_relaxed),
+          exemplar_val_[i].load(std::memory_order_relaxed)};
 }
 
 uint64_t Histogram::Count() const {
@@ -186,6 +198,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         s.buckets.emplace_back(Histogram::BucketUpperBound(i),
                                cum[static_cast<size_t>(i)]);
       }
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        auto [ex_id, ex_val] = h.BucketExemplar(i);
+        if (ex_id == 0) continue;
+        MetricSample::Exemplar ex;
+        ex.le = Histogram::BucketUpperBound(i);
+        ex.trace_id = ex_id;
+        ex.value = ex_val;
+        s.exemplars.push_back(ex);
+      }
       s.count = h.Count();
       s.sum = h.Sum();
       s.max = h.Max();
@@ -254,6 +275,12 @@ std::string FormatValue(double v) {
   } else {
     std::snprintf(buf, sizeof buf, "%.17g", v);
   }
+  return buf;
+}
+
+std::string TraceHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(id));
   return buf;
 }
 
@@ -395,9 +422,19 @@ std::string MetricsSnapshot::ToPrometheusText() const {
       last_name = s.name;
     }
     if (s.type == "histogram") {
+      // Exemplars render in the OpenMetrics style: the bucket sample line
+      // gains a trailing `# {trace_id="..."} <observed value>`, linking the
+      // bucket to the last request trace that landed in it.
+      size_t ex_i = 0;
       for (const auto& [le, cum] : s.buckets) {
         os << s.name << "_bucket"
-           << RenderLabels(s.labels, "le", FormatLe(le)) << ' ' << cum << '\n';
+           << RenderLabels(s.labels, "le", FormatLe(le)) << ' ' << cum;
+        if (ex_i < s.exemplars.size() && s.exemplars[ex_i].le == le) {
+          const MetricSample::Exemplar& ex = s.exemplars[ex_i++];
+          os << " # {trace_id=\"" << TraceHex(ex.trace_id) << "\"} "
+             << FormatValue(ex.value);
+        }
+        os << '\n';
       }
       os << s.name << "_sum" << RenderLabels(s.labels) << ' '
          << FormatValue(s.sum) << '\n';
@@ -447,7 +484,24 @@ std::string MetricsSnapshot::ToJson() const {
         JsonEscape(FormatLe(le), os);
         os << ", \"cum\": " << cum << "}";
       }
-      os << "], \"count\": " << s.count << ", \"sum\": ";
+      os << "]";
+      if (!s.exemplars.empty()) {
+        os << ", \"exemplars\": [";
+        bool ef = true;
+        for (const MetricSample::Exemplar& ex : s.exemplars) {
+          if (!ef) os << ", ";
+          ef = false;
+          os << "{\"le\": ";
+          JsonEscape(FormatLe(ex.le), os);
+          os << ", \"trace_id\": ";
+          JsonEscape(TraceHex(ex.trace_id), os);
+          os << ", \"value\": ";
+          JsonDouble(ex.value, os);
+          os << "}";
+        }
+        os << "]";
+      }
+      os << ", \"count\": " << s.count << ", \"sum\": ";
       JsonDouble(s.sum, os);
       os << ", \"max\": ";
       JsonDouble(s.max, os);
@@ -509,6 +563,28 @@ MetricsSnapshot SnapshotFromJson(const std::string& json) {
               }
             }
             s.buckets.emplace_back(le, cum);
+          }
+        } else if (f == "exemplars") {
+          r.ExpectArrayStart();
+          while (r.NextElement()) {
+            r.ExpectObjectStart();
+            MetricSample::Exemplar ex;
+            std::string ef;
+            while (r.NextKey(&ef)) {
+              if (ef == "le") {
+                std::string tok = r.ParseString();
+                ex.le = tok == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(tok.c_str(), nullptr);
+              } else if (ef == "trace_id") {
+                ex.trace_id = std::strtoull(r.ParseString().c_str(), nullptr, 16);
+              } else if (ef == "value") {
+                ex.value = r.ParseNumber();
+              } else {
+                r.SkipValue();
+              }
+            }
+            s.exemplars.push_back(ex);
           }
         } else if (f == "count") s.count = r.ParseUint();
         else if (f == "sum") s.sum = r.ParseNumber();

@@ -122,7 +122,13 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  void Observe(double v);
+  void Observe(double v) { Observe(v, 0); }
+
+  /// Observe with an exemplar: `exemplar_id` (a request trace id, nonzero)
+  /// is remembered as the last trace to land in the bucket, alongside the
+  /// observed value — two relaxed stores, last-writer-wins. This is what
+  /// links "the p99 bucket" back to a concrete fetchable trace.
+  void Observe(double v, uint64_t exemplar_id);
 
   uint64_t Count() const;
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -135,10 +141,19 @@ class Histogram {
   /// Cumulative counts per bucket (Prometheus `le` semantics).
   std::vector<uint64_t> CumulativeCounts() const;
 
+  /// Last exemplar per bucket: (trace_id, observed value); trace_id == 0
+  /// means the bucket never saw an exemplar-carrying observation. The pair
+  /// is read with two relaxed loads, so under contention the value may
+  /// belong to a different observation than the id — the usual metrics
+  /// trade, and irrelevant for "give me *a* trace from this bucket".
+  std::pair<uint64_t, double> BucketExemplar(int i) const;
+
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<double> sum_{0};
   std::atomic<double> max_{0};
+  std::atomic<uint64_t> exemplar_id_[kBuckets] = {};
+  std::atomic<double> exemplar_val_[kBuckets] = {};
 };
 
 /// One rendered metric (counter/gauge value or full histogram state).
@@ -150,8 +165,17 @@ struct MetricSample {
 
   double value = 0;  ///< counter/gauge
 
+  /// One histogram-bucket exemplar (OpenMetrics: the last trace that landed
+  /// in the bucket). `le` matches the bucket entry it annotates.
+  struct Exemplar {
+    double le = 0;  ///< bucket upper bound (never +Inf-only; see rendering)
+    uint64_t trace_id = 0;
+    double value = 0;  ///< the observed value that set the exemplar
+  };
+
   // histogram only:
   std::vector<std::pair<double, uint64_t>> buckets;  ///< (le, cumulative)
+  std::vector<Exemplar> exemplars;  ///< buckets with a recorded exemplar only
   uint64_t count = 0;
   double sum = 0;
   double max = 0;

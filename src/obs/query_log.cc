@@ -18,6 +18,16 @@ std::string QueryLogRecord::ToString() const {
                 static_cast<unsigned long long>(rows), engine.c_str(), threads,
                 static_cast<unsigned long long>(query_hash));
   std::string out = buf;
+  if (queue_wait_ms > 0 || serialize_ms > 0) {
+    std::snprintf(buf, sizeof buf, " queue_wait=%.2fms serialize=%.2fms",
+                  queue_wait_ms, serialize_ms);
+    out += buf;
+  }
+  if (trace_id != 0) {
+    std::snprintf(buf, sizeof buf, " trace=%016llx",
+                  static_cast<unsigned long long>(trace_id));
+    out += buf;
+  }
   if (!remote.empty()) {
     out += " remote=";
     out += remote;
@@ -59,6 +69,15 @@ std::vector<QueryLogRecord> QueryLog::Tail(size_t n) const {
     out.push_back(ring_[static_cast<size_t>((id - 1) % capacity_)]);
   }
   return out;
+}
+
+bool QueryLog::SetSerializeMs(uint64_t id, double serialize_ms) {
+  MutexLock lock(&mu_);
+  if (id == 0 || id > appended_ || id + capacity_ <= appended_) return false;
+  QueryLogRecord& rec = ring_[static_cast<size_t>((id - 1) % capacity_)];
+  if (rec.id != id) return false;
+  rec.serialize_ms = serialize_ms;
+  return true;
 }
 
 uint64_t QueryLog::appended() const {

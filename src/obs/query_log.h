@@ -37,9 +37,15 @@ struct QueryLogRecord {
   std::string status;
   std::string error;       ///< what() when status != "ok"
   bool plan_cached = false;
-  double queue_ms = 0;
+  uint64_t trace_id = 0;     ///< request trace id (0 = untraced); the key
+                             ///< for TraceRing::Find / INTROSPECT trace-by-id
+  double queue_wait_ms = 0;  ///< wire-read -> worker pickup (server-side
+                             ///< pending-queue wait; 0 for in-process calls)
+  double queue_ms = 0;       ///< admission-queue wait inside the service
   double compile_ms = 0;
   double exec_ms = 0;
+  double serialize_ms = 0;   ///< result serialization on the server worker
+                             ///< (recorded post-hoc; 0 for in-process calls)
   uint64_t rows = 0;       ///< result rows (collection size; 1 for scalars)
   uint64_t mem_peak_bytes = 0;  ///< peak tracked engine memory (0 untracked)
   std::string mem_op;      ///< operator class holding the largest peak
@@ -80,6 +86,12 @@ class QueryLog {
 
   /// The most recent `n` records, oldest-first.
   std::vector<QueryLogRecord> Tail(size_t n) const LDB_EXCLUDES(mu_);
+
+  /// Fills in the server-side serialize time on an already-appended record.
+  /// The service appends the record when the query finishes, but the reply
+  /// is serialized *after* that on the server worker — this is the post-hoc
+  /// hook. Returns false when the record has been overwritten by wraparound.
+  bool SetSerializeMs(uint64_t id, double serialize_ms) LDB_EXCLUDES(mu_);
 
   uint64_t appended() const LDB_EXCLUDES(mu_);  ///< records ever appended
   uint64_t dropped() const LDB_EXCLUDES(mu_);   ///< overwritten by wraparound

@@ -122,7 +122,10 @@ QueryService::QueryService(const Database& db, ServiceOptions options)
     : db_(db),
       options_(std::move(options)),
       cache_(options_.plan_cache_capacity),
-      query_log_(options_.query_log_capacity, options_.slow_query_ms) {
+      query_log_(options_.query_log_capacity, options_.slow_query_ms),
+      trace_ring_(obs::TraceRing::Options{options_.trace_ring_capacity,
+                                          options_.slow_query_ms,
+                                          options_.trace_head_every}) {
   if (options_.max_concurrent < 1) options_.max_concurrent = 1;
   optimizer_ = options_.optimizer;
   version_stamp_ = ComputeVersionStamp(db_.schema(), optimizer_);
@@ -278,6 +281,19 @@ int QueryService::running() const {
   return running_;
 }
 
+void QueryService::RecordSerialize(uint64_t log_id, uint64_t trace_id,
+                                   double start_ms, double dur_ms) {
+  if (log_id != 0) query_log_.SetSerializeMs(log_id, dur_ms);
+  if (trace_id != 0 && trace_ring_.capacity() > 0) {
+    obs::TraceSpan s;  // span/parent ids assigned by AppendSpan (root child)
+    s.name = "serialize";
+    s.lane = "worker";
+    s.start_ms = start_ms;
+    s.dur_ms = dur_ms;
+    trace_ring_.AppendSpan(trace_id, s);
+  }
+}
+
 QueryService::PlanningConfig QueryService::PlanningSnapshot() const {
   MutexLock lock(&config_mu_);
   return PlanningConfig{optimizer_, version_stamp_};
@@ -329,7 +345,12 @@ std::shared_ptr<const PreparedPlan> QueryService::GetOrCompile(
   plan->cache_key = key;
   plan->ordered = q.ordered;
   plan->descending = q.descending;
-  Optimizer opt(db_.schema(), options_.optimizer);
+  OptimizerOptions compile_opts = options_.optimizer;
+  // Stage wall times become "compile:<stage>" child spans in request traces.
+  // Compiles happen once per distinct plan, so the counting rewriter's
+  // overhead stays off the cached (steady-state) path.
+  if (obs::TraceRing::Enabled()) compile_opts.trace = true;
+  Optimizer opt(db_.schema(), compile_opts);
   try {
     plan->compiled = opt.Compile(q.comp);
     plan->physical =
@@ -373,6 +394,32 @@ Value QueryService::Run(Session& session, const std::string& oql,
   rec.threads = session.options().n_threads;
   rec.engine = session.options().use_slot_frames ? "slot" : "env";
 
+  // Adopt the wire-propagated trace context — or mint an id, so slow and
+  // failing requests land in the trace ring (and histogram exemplars) even
+  // when the client did not ask to be traced. The context is consumed here:
+  // a later query on this session cannot inherit it.
+  obs::TraceContext tctx = session.trace_context();
+  const double pre_wait_ms = session.trace_pre_wait_ms();
+  const bool client_traced = obs::TraceRing::Enabled() && tctx.valid();
+  session.clear_trace();
+  if (!obs::TraceRing::Enabled()) {
+    // Compiled-out tracer: drop even a client-sent context so the id the
+    // wire reports (EXEC_OK, query log) is honestly 0, not an id no ring
+    // will ever resolve.
+    tctx = obs::TraceContext{};
+  } else if (!client_traced) {
+    tctx.trace_id = obs::MintTraceId();
+  }
+  rec.trace_id = tctx.trace_id;
+  rec.queue_wait_ms = pre_wait_ms;
+
+  // Client-traced requests get full fidelity: when the caller passed no
+  // profiler, attach a local one so the trace carries per-worker morsel
+  // spans. Untraced requests keep the uninstrumented iterator tree.
+  QueryProfiler local_profiler;
+  if (profiler == nullptr && client_traced && obs::TraceRing::Enabled())
+    profiler = &local_profiler;
+
   // One resource context per query, shared by every thread that executes it
   // and by the active-query registry (which is why it is a shared_ptr: a
   // `.queries` snapshot may still be reading it as the query finishes).
@@ -397,7 +444,7 @@ Value QueryService::Run(Session& session, const std::string& oql,
     if (dominant >= 0) rec.mem_op = PhysKindName(static_cast<PhysKind>(dominant));
     active_.Unregister(active_id);
     if (ins_.enabled) {
-      ins_.total_ms->Observe(total_ms);
+      ins_.total_ms->Observe(total_ms, tctx.trace_id);
       ins_.query_mem_peak->Observe(static_cast<double>(rec.mem_peak_bytes));
       ins_.mem_in_use->Set(static_cast<int64_t>(active_.SumInUseBytes()));
       ins_.active_queries->Set(static_cast<int64_t>(active_.Count()));
@@ -423,7 +470,76 @@ Value QueryService::Run(Session& session, const std::string& oql,
       }
       if (profiler != nullptr) rec.profile_json = ProfileToJson(*profiler);
     }
-    query_log_.Append(std::move(rec));
+
+    // Assemble the span tree from the timings gathered above and offer it
+    // to the tail-sampling ring (which decides keep/drop from the outcome).
+    // Offsets are from the trace origin: the wire read for served requests
+    // (pre_wait_ms before t0), t0 itself for in-process calls.
+    if (obs::TraceRing::Enabled() && trace_ring_.capacity() > 0 &&
+        tctx.trace_id != 0) {
+      obs::RequestTrace t;
+      t.trace_id = tctx.trace_id;
+      t.client_parent_span_id = tctx.parent_span_id;
+      t.client_context = client_traced;
+      t.force_sample = (tctx.flags & obs::TraceContext::kForceSample) != 0;
+      t.session = rec.session;
+      t.query_hash = rec.query_hash;
+      t.status = rec.status;
+      t.total_ms = pre_wait_ms + total_ms;
+      uint64_t next_id = 1;
+      auto add = [&t, &next_id](uint64_t parent, std::string name,
+                                std::string lane, double start, double dur) {
+        obs::TraceSpan s;
+        s.span_id = next_id++;
+        s.parent_span_id = parent;
+        s.name = std::move(name);
+        s.lane = std::move(lane);
+        s.start_ms = start;
+        s.dur_ms = dur;
+        t.spans.push_back(std::move(s));
+        return t.spans.back().span_id;
+      };
+      uint64_t root = add(0, "request", "worker", 0, t.total_ms);
+      t.root_span_id = root;
+      if (pre_wait_ms > 0) add(root, "wire-queue", "io", 0, pre_wait_ms);
+      double at = pre_wait_ms;
+      add(root, "admission", "worker", at, rec.queue_ms);
+      at += rec.queue_ms;
+      uint64_t compile = add(root, "compile", "worker", at, rec.compile_ms);
+      if (!rec.plan_cached && plan != nullptr &&
+          plan->compiled.trace != nullptr) {
+        double stage_at = at;
+        for (const StageTiming& stage : plan->compiled.trace->stages) {
+          add(compile, "compile:" + stage.stage, "worker", stage_at, stage.ms);
+          stage_at += stage.ms;
+        }
+      }
+      at += rec.compile_ms;
+      uint64_t exec = add(root, "execute", "worker", at, rec.exec_ms);
+      if (profiler != nullptr) {
+        // One span per morsel on its worker's lane, bounded so a huge scan
+        // cannot bloat the ring; the remainder collapses into one marker.
+        constexpr size_t kMaxMorselSpans = 256;
+        size_t n = profiler->morsels.size();
+        for (size_t i = 0; i < n && i < kMaxMorselSpans; ++i) {
+          const MorselStats& m = profiler->morsels[i];
+          add(exec, "morsel " + std::to_string(m.index),
+              "morsel-" + std::to_string(m.worker), at + m.start_ns / 1e6,
+              m.dur_ns / 1e6);
+        }
+        if (n > kMaxMorselSpans)
+          add(exec, "+" + std::to_string(n - kMaxMorselSpans) + " morsels",
+              "worker", at + rec.exec_ms, 0);
+      }
+      trace_ring_.Submit(std::move(t));
+    }
+
+    uint64_t log_id = query_log_.Append(std::move(rec));
+    if (stats != nullptr) {
+      stats->trace_id = tctx.trace_id;
+      stats->log_id = log_id;
+      stats->queue_wait_ms = pre_wait_ms;
+    }
   };
 
   try {
@@ -467,7 +583,7 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
   active_.SetPhase(active_id, "compiling");
   Clock::time_point t1 = Clock::now();
   rec->queue_ms = MsBetween(t0, t1);
-  if (ins_.enabled) ins_.admission_wait_ms->Observe(rec->queue_ms);
+  if (ins_.enabled) ins_.admission_wait_ms->Observe(rec->queue_ms, rec->trace_id);
 
   bool cached = false;
   std::shared_ptr<const PreparedPlan> plan = GetOrCompile(oql, &cached);
@@ -479,7 +595,7 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
   if (plan->fallback_run) rec->engine = "fallback";
   if (!cached && options_.optimizer.verify_plans && !plan->fallback_run)
     rec->verify = "ok";  // a verifier rejection would have thrown above
-  if (ins_.enabled) ins_.compile_ms->Observe(rec->compile_ms);
+  if (ins_.enabled) ins_.compile_ms->Observe(rec->compile_ms, rec->trace_id);
 
   ExecOptions eo;
   eo.n_threads = session.options().n_threads;
@@ -529,7 +645,7 @@ Value QueryService::RunAdmitted(Session& session, const std::string& oql,
   rec->rows = ResultRowCount(result);
   flush_totals();
   if (ins_.enabled) {
-    ins_.exec_ms->Observe(rec->exec_ms);
+    ins_.exec_ms->Observe(rec->exec_ms, rec->trace_id);
     ins_.result_rows->Observe(static_cast<double>(rec->rows));
   }
 

@@ -34,6 +34,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
 #include "src/obs/resource.h"
+#include "src/obs/trace.h"
 #include "src/runtime/database.h"
 #include "src/runtime/error.h"
 #include "src/runtime/profile.h"
@@ -67,7 +68,14 @@ struct ServiceOptions {
   size_t query_log_capacity = 256;
   /// Queries whose total wall time reaches this threshold additionally log
   /// their rendered plan and profiler snapshot; <= 0 disables slow capture.
+  /// The same threshold marks a request trace as "slow" for tail sampling.
   double slow_query_ms = 50;
+  /// Completed request traces kept in the tail-sampling ring; 0 disables
+  /// the ring (traces are assembled only for exemplar ids then discarded).
+  size_t trace_ring_capacity = 64;
+  /// Head-sample every Nth submitted trace in addition to the tail policy
+  /// (slow / errored / forced always kept); 0 disables head sampling.
+  uint32_t trace_head_every = 128;
 };
 
 /// Per-query service-level timings and cache outcome. Complements the
@@ -79,6 +87,9 @@ struct QueryStats {
   double compile_ms = 0;     ///< parse + key build (+ compile on a miss)
   double exec_ms = 0;        ///< execution proper (incl. ordered-sort)
   PlanCacheStats cache;      ///< cache-wide counters after this query
+  uint64_t trace_id = 0;     ///< trace identity (client-sent or minted)
+  uint64_t log_id = 0;       ///< query-log record id (for post-hoc updates)
+  double queue_wait_ms = 0;  ///< wire-read -> worker pickup (server fronts)
 };
 
 class QueryService {
@@ -131,6 +142,20 @@ class QueryService {
   /// The structured query log (bounded ring; slow queries carry plan +
   /// profile snapshots).
   obs::QueryLog& query_log() const { return query_log_; }
+
+  /// The tail-sampling trace ring: every query assembles a span tree and
+  /// submits it here; the ring keeps slow / errored / forced / head-sampled
+  /// traces up to `trace_ring_capacity` (docs/OBSERVABILITY.md, Tracing).
+  obs::TraceRing& trace_ring() const { return trace_ring_; }
+
+  /// Post-hoc reply-serialization accounting, called by the network server
+  /// after it has encoded the first result batch (which happens after the
+  /// query-log record and trace were finalized): patches `serialize_ms`
+  /// into query-log record `log_id` and appends a "serialize" span (at
+  /// `start_ms` from request arrival, `dur_ms` long) to trace `trace_id`
+  /// if the ring kept it. Both ids come from QueryStats.
+  void RecordSerialize(uint64_t log_id, uint64_t trace_id, double start_ms,
+                       double dur_ms);
 
   /// Live snapshot of every accepted-but-unfinished query (session, query
   /// hash, phase, elapsed, rows and bytes so far) — the service's
@@ -233,6 +258,7 @@ class QueryService {
 
   mutable obs::MetricsRegistry metrics_;
   mutable obs::QueryLog query_log_;
+  mutable obs::TraceRing trace_ring_;
   mutable obs::ActiveQueryRegistry active_;
   Instruments ins_;
   std::atomic<uint64_t> next_session_id_{0};

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py <baseline.json> <current.json> [--threshold PCT]
+                     [--serving-gate PCT]
 
 "results" records are matched on (experiment, engine, scale, threads) and
 printed with their wall-time delta; "serving" records (the ldb_loadgen /
@@ -13,9 +14,19 @@ than being an error — a report from before a section existed must still
 compare cleanly against one from after.
 
 Pairs whose |delta| exceeds the threshold (default 25%) are flagged as
-WARN. The exit code is always 0 — benchmark noise in shared CI runners
-makes regressions advisory, not blocking; the WARN lines are for a human
-reading the job log.
+WARN. By default the exit code is always 0 — benchmark noise in shared CI
+runners makes regressions advisory, not blocking; the WARN lines are for a
+human reading the job log.
+
+--serving-gate PCT turns the SERVING comparison into a hard gate: exit 1
+when any shared serving pair regresses beyond PCT (achieved qps down by
+more than PCT, or p95 latency up by more than PCT), and also exit 1 when
+the gate is requested but no serving pair matched — a gate that silently
+compares nothing is a broken gate, not a pass. The gate threshold should
+be far above run-to-run noise: shared-runner serving numbers routinely
+wobble +/-15%, so CI gates at 50% — catching "the server got 2x slower"
+while letting noise through to the advisory WARN lines. "results" pairs
+stay advisory either way (microbenchmark wall times are noisier still).
 """
 
 import argparse
@@ -91,11 +102,11 @@ def compare_results(base_doc, cur_doc, threshold):
     return len(shared), warns
 
 
-def compare_serving(base_doc, cur_doc, threshold):
+def compare_serving(base_doc, cur_doc, threshold, gate=None):
     base = serving_records(base_doc)
     cur = serving_records(cur_doc)
     if not base and not cur:
-        return 0, 0
+        return 0, 0, []
     if not base:
         print(f"serving: section added (current only, "
               f"{len(cur)} record(s))")
@@ -103,6 +114,7 @@ def compare_serving(base_doc, cur_doc, threshold):
         print(f"serving: section removed (baseline only, "
               f"{len(base)} record(s))")
     warns = 0
+    gate_failures = []
     shared = sorted(label for label in base if label in cur)
     for label in shared:
         b, c = base[label], cur[label]
@@ -119,6 +131,11 @@ def compare_serving(base_doc, cur_doc, threshold):
             warns += 1
         elif qps_delta > threshold or p95_delta < -threshold:
             flag = "  (faster)"
+        if gate is not None and (qps_delta < -gate or p95_delta > gate):
+            flag += "  GATE-FAIL"
+            gate_failures.append(
+                f"{label}: qps {qps_delta:+.1f}%, p95 {p95_delta:+.1f}% "
+                f"(gate {gate:.0f}%)")
         print(f"serving/{label:<46} {qps_b:8.1f} -> {qps_c:8.1f} q/s "
               f"({qps_delta:+6.1f}%) | p95 {p95_b:8.2f} -> {p95_c:8.2f} ms "
               f"({p95_delta:+6.1f}%){flag}")
@@ -129,7 +146,7 @@ def compare_serving(base_doc, cur_doc, threshold):
         print(f"serving: removed (baseline only): {label}")
     for label in sorted(label for label in cur if label not in base):
         print(f"serving: added (current only):    {label}")
-    return len(shared), warns
+    return len(shared), warns, gate_failures
 
 
 def main():
@@ -139,6 +156,11 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=25.0,
                     help="warn when |delta| exceeds this percentage")
+    ap.add_argument("--serving-gate", type=float, default=None,
+                    metavar="PCT",
+                    help="exit 1 when any serving pair loses more than PCT%% "
+                         "qps or gains more than PCT%% p95 (or when no "
+                         "serving pair matched at all)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -146,12 +168,17 @@ def main():
 
     n_results, warns_results = compare_results(base_doc, cur_doc,
                                                args.threshold)
-    n_serving, warns_serving = compare_serving(base_doc, cur_doc,
-                                               args.threshold)
+    n_serving, warns_serving, gate_failures = compare_serving(
+        base_doc, cur_doc, args.threshold, args.serving_gate)
     pairs = n_results + n_serving
     warns = warns_results + warns_serving
     if pairs == 0:
         print("bench_compare: no shared records; nothing to compare")
+        if args.serving_gate is not None:
+            print("bench_compare: GATE FAIL — --serving-gate was requested "
+                  "but no serving pair matched (empty gates don't pass)",
+                  file=sys.stderr)
+            sys.exit(1)
         return
 
     print(f"bench_compare: {pairs} pairs compared "
@@ -161,6 +188,19 @@ def main():
         print("bench_compare: WARN lines are advisory — shared-runner "
               "timing noise regularly exceeds the threshold; investigate "
               "only when a warning persists across runs", file=sys.stderr)
+    if args.serving_gate is not None:
+        if n_serving == 0:
+            print("bench_compare: GATE FAIL — --serving-gate was requested "
+                  "but no serving pair matched (empty gates don't pass)",
+                  file=sys.stderr)
+            sys.exit(1)
+        if gate_failures:
+            for failure in gate_failures:
+                print(f"bench_compare: GATE FAIL — serving/{failure}",
+                      file=sys.stderr)
+            sys.exit(1)
+        print(f"bench_compare: serving gate ok "
+              f"({n_serving} pair(s) within {args.serving_gate:.0f}%)")
 
 
 if __name__ == "__main__":

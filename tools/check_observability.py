@@ -3,13 +3,15 @@
 
 Usage:
     check_observability.py <bench.json> <metrics.prom> <trace.json> \
-        [server.prom]
-    check_observability.py --metrics-off <serving.json> [server.prom]
+        [server.prom [ring.json [serving.json]]]
+    check_observability.py --metrics-off <serving.json> [server.prom \
+        [ring.json]]
 
 Checks three things:
   * the benchmark report embeds a metrics snapshot with sane counters;
   * the Prometheus text exposition is well-formed (TYPE lines, cumulative
-    histogram buckets, _count == +Inf bucket);
+    histogram buckets, _count == +Inf bucket, well-formed OpenMetrics
+    exemplar suffixes on bucket lines);
   * the Chrome trace-event JSON is loadable, events are well-formed with
     non-negative monotone-sortable timestamps, and spans within one
     (pid, tid) lane nest properly (a worker lane never has two morsels
@@ -18,15 +20,27 @@ Checks three things:
 With the optional fourth argument — a Prometheus dump from an ldb_server
 run (--metrics-dump) — it additionally validates the network-front-end
 instruments: connection and byte counters moved, per-opcode frame counters
-are present, and everything the server accepted was counted.
+are present, everything the server accepted was counted, and the latency
+histograms carry at least one exemplar linking a bucket to a trace id.
+
+With the optional fifth/sixth arguments it validates the request-tracing
+artifacts (docs/OBSERVABILITY.md, "Request tracing"):
+  * ring.json — an ldb_server --trace-dump / SIGUSR1 trace-ring snapshot:
+    counters consistent, every kept trace carries a valid sample_reason,
+    16-hex trace id, and a properly parented span tree;
+  * serving.json — an ldb_loadgen --json report whose server_phases section
+    must be present with non-negative phase means and a non-zero
+    slowest_trace_id (the serving run issues traced requests).
 
 The --metrics-off mode validates the opposite build: an ldb_server compiled
 with -DLDB_METRICS=OFF must still *serve* (the loadgen report shows
 successful requests at non-zero qps with no transport errors) while its
 metrics dump proves the instruments are genuinely compiled out (every
-query/connection counter pinned at zero). This guards the include seam
-tools/lint_layering.py enforces: runtime sees obs only through
-obs/resource.h, so turning metrics off must never take the server with it.
+query/connection counter pinned at zero, no exemplars anywhere) and its
+trace-ring dump proves tracing compiled out too (capacity 0, nothing
+submitted or kept). This guards the include seam tools/lint_layering.py
+enforces: runtime sees obs only through obs/resource.h, so turning metrics
+off must never take the server with it.
 
 Exits non-zero with a message on the first violation.
 """
@@ -42,15 +56,20 @@ def fail(msg):
     sys.exit(1)
 
 
-# A sample line: name, optional {labels}, a float value.
+# A sample line: name, optional {labels}, a float value, and an optional
+# OpenMetrics exemplar suffix (` # {trace_id="<16 hex>"} <value>`) that the
+# histogram bucket lines carry once a traced request landed in the bucket.
 SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|\+Inf|NaN)$"
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|\+Inf|NaN)"
+    r"(?:\s+#\s+\{trace_id=\"([0-9a-f]{16})\"\}\s+(-?[0-9.eE+]+|\+Inf))?$"
 )
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 
 def check_prometheus(path):
     typed = {}
     samples = defaultdict(list)  # name -> [(labels, value)]
+    exemplars = 0
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.rstrip("\n")
@@ -72,6 +91,15 @@ def check_prometheus(path):
             if not m:
                 fail(f"{path}:{lineno}: malformed sample line: {line}")
             name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            if m.group(4) is not None:
+                # Exemplars only make sense on histogram bucket lines.
+                if not name.endswith("_bucket"):
+                    fail(f"{path}:{lineno}: exemplar on a non-bucket "
+                         f"sample: {line}")
+                if m.group(4) == "0" * 16:
+                    fail(f"{path}:{lineno}: exemplar with the zero "
+                         f"trace id: {line}")
+                exemplars += 1
             samples[name].append((labels, float(value.replace("+Inf", "inf"))))
 
     if not typed:
@@ -101,7 +129,9 @@ def check_prometheus(path):
         if len(counts) != 1 or counts[0][1] != inf_cum:
             fail(f"{path}: {name}_count != +Inf bucket cumulative")
     print(f"prometheus OK: {len(typed)} metrics, "
-          f"{sum(len(v) for v in samples.values())} samples")
+          f"{sum(len(v) for v in samples.values())} samples, "
+          f"{exemplars} exemplar(s)")
+    return exemplars
 
 
 def check_trace(path):
@@ -256,8 +286,11 @@ def parse_prom_samples(path):
 
 def check_server(path):
     """Validates the network instruments in an ldb_server --metrics-dump."""
-    check_prometheus(path)  # structural pass first
+    exemplars = check_prometheus(path)  # structural pass first
     samples = parse_prom_samples(path)
+    if exemplars <= 0:
+        fail(f"{path}: no histogram exemplars — a traced serving run must "
+             "leave a trace_id on at least one latency bucket")
 
     def total(name):
         if name not in samples:
@@ -293,7 +326,106 @@ def check_server(path):
           f"frames {sorted(frames.items())}")
 
 
-def check_metrics_off(serving_path, prom_path=None):
+VALID_SAMPLE_REASONS = ("slow", "error", "head", "forced")
+
+
+def check_trace_ring(path, expect_empty=False):
+    """Validates an ldb_server --trace-dump / SIGUSR1 trace-ring snapshot."""
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("capacity", "submitted", "kept", "dropped", "traces"):
+        if key not in doc:
+            fail(f"{path}: trace-ring snapshot missing {key!r}")
+    traces = doc["traces"]
+    if doc["kept"] < len(traces):
+        fail(f"{path}: kept counter {doc['kept']} below the {len(traces)} "
+             "traces actually present")
+    if doc["submitted"] != doc["kept"] + doc["dropped"]:
+        fail(f"{path}: submitted != kept + dropped "
+             f"({doc['submitted']} != {doc['kept']} + {doc['dropped']})")
+    if expect_empty:
+        if doc["capacity"] != 0 or doc["submitted"] != 0 or traces:
+            fail(f"{path}: -DLDB_METRICS=OFF trace ring is not compiled "
+                 f"out: capacity {doc['capacity']}, submitted "
+                 f"{doc['submitted']}, {len(traces)} trace(s)")
+        print("trace ring OK: compiled out (capacity 0, nothing submitted)")
+        return
+    if len(traces) > doc["capacity"]:
+        fail(f"{path}: {len(traces)} traces exceed capacity "
+             f"{doc['capacity']}")
+    if not traces:
+        fail(f"{path}: trace ring kept nothing — the serving run must "
+             "leave at least one sampled trace")
+    n_spans = 0
+    for t in traces:
+        tid = t.get("trace_id", "")
+        if not TRACE_ID_RE.match(tid) or tid == "0" * 16:
+            fail(f"{path}: bad trace_id {tid!r}")
+        if t.get("sample_reason") not in VALID_SAMPLE_REASONS:
+            fail(f"{path}: trace {tid} has bad sample_reason "
+                 f"{t.get('sample_reason')!r}")
+        if not t.get("status"):
+            fail(f"{path}: trace {tid} has no status")
+        total = t.get("total_ms", -1)
+        if not isinstance(total, (int, float)) or total < 0:
+            fail(f"{path}: trace {tid} has bad total_ms {total!r}")
+        spans = t.get("spans", [])
+        if not spans:
+            fail(f"{path}: trace {tid} has no spans")
+        ids = set()
+        roots = 0
+        for s in spans:
+            for key in ("span_id", "parent_span_id", "name", "lane",
+                        "start_ms", "dur_ms"):
+                if key not in s:
+                    fail(f"{path}: trace {tid} span missing {key!r}: {s}")
+            if s["span_id"] in ids or s["span_id"] == 0:
+                fail(f"{path}: trace {tid} duplicate/zero span_id "
+                     f"{s['span_id']}")
+            ids.add(s["span_id"])
+            if s["start_ms"] < 0 or s["dur_ms"] < 0:
+                fail(f"{path}: trace {tid} span {s['name']!r} has negative "
+                     "timing")
+            roots += s["parent_span_id"] == 0
+        if roots != 1:
+            fail(f"{path}: trace {tid} has {roots} roots (want exactly 1)")
+        for s in spans:
+            if s["parent_span_id"] != 0 and s["parent_span_id"] not in ids:
+                fail(f"{path}: trace {tid} span {s['name']!r} parent "
+                     f"{s['parent_span_id']} does not resolve")
+        n_spans += len(spans)
+    print(f"trace ring OK: {len(traces)} kept trace(s), {n_spans} spans, "
+          f"{doc['submitted']} submitted / {doc['dropped']} dropped")
+
+
+def check_serving_phases(path):
+    """Validates the server_phases section of an ldb_loadgen --json report."""
+    with open(path) as f:
+        doc = json.load(f)
+    recs = doc.get("serving")
+    if not recs:
+        fail(f"{path}: no serving records — did ldb_loadgen run?")
+    rec = recs[0]
+    phases = rec.get("server_phases")
+    if phases is None:
+        fail(f"{path}: serving record has no server_phases section")
+    for key in ("queue_wait_ms_mean", "queue_ms_mean", "compile_ms_mean",
+                "exec_ms_mean", "serialize_ms_mean"):
+        v = phases.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{path}: server_phases.{key} is {v!r}")
+    if rec.get("ok", 0) > 0 and phases.get("exec_ms_mean", 0) <= 0:
+        fail(f"{path}: requests succeeded but exec_ms_mean is zero — the "
+             "EXEC_OK phase extension did not come back")
+    slowest = phases.get("slowest_trace_id", "")
+    if not TRACE_ID_RE.match(slowest) or slowest == "0" * 16:
+        fail(f"{path}: server_phases.slowest_trace_id {slowest!r} is not a "
+             "real trace id — traced requests must report their ids")
+    print(f"serving phases OK: exec mean {phases['exec_ms_mean']:.3f} ms, "
+          f"slowest trace {slowest}")
+
+
+def check_metrics_off(serving_path, prom_path=None, ring_path=None):
     """Asserts a -DLDB_METRICS=OFF server served real traffic with every
     instrument compiled out."""
     with open(serving_path) as f:
@@ -310,44 +442,62 @@ def check_metrics_off(serving_path, prom_path=None):
     if rec.get("transport_errors", 0) != 0:
         fail(f"{serving_path}: transport errors against the metrics-off "
              f"server: {rec}")
+    # The compile gate also covers trace minting: a metrics-off server must
+    # not report trace ids back to the loadgen.
+    phases = rec.get("server_phases")
+    if phases is not None:
+        slowest = phases.get("slowest_trace_id", "0" * 16)
+        if slowest not in ("", "0" * 16):
+            fail(f"{serving_path}: metrics-off server reported trace id "
+                 f"{slowest} — trace minting escaped the compile-out gate")
     print(f"metrics-off serving OK: {rec['ok']} ok requests at "
           f"{rec['achieved_qps']:.1f} q/s")
 
-    if prom_path is None:
-        return
-    # The registry still exists when compiled out (call sites stay
-    # #ifdef-free), so the dump is well-formed — but nothing may have
-    # counted. A moving counter here means some instrument escaped the
-    # LDB_METRICS_ENABLED gate.
-    check_prometheus(prom_path)
-    samples = parse_prom_samples(prom_path)
-    for name in ("ldb_queries_started_total", "ldb_queries_ok_total",
-                 "ldb_connections_total", "ldb_net_bytes_recv_total",
-                 "ldb_plan_cache_hits_total", "ldb_plan_cache_misses_total",
-                 "ldb_morsels_dispatched_total"):
-        moved = sum(v for _, v in samples.get(name, []))
-        if moved != 0:
-            fail(f"{prom_path}: {name} = {moved} in a -DLDB_METRICS=OFF "
-                 "build — an instrument escaped the compile-out gate")
-    print(f"metrics-off dump OK: all instruments pinned at zero")
+    if prom_path is not None:
+        # The registry still exists when compiled out (call sites stay
+        # #ifdef-free), so the dump is well-formed — but nothing may have
+        # counted. A moving counter here means some instrument escaped the
+        # LDB_METRICS_ENABLED gate.
+        exemplars = check_prometheus(prom_path)
+        if exemplars != 0:
+            fail(f"{prom_path}: {exemplars} exemplar(s) in a "
+                 "-DLDB_METRICS=OFF build — exemplar capture escaped the "
+                 "compile-out gate")
+        samples = parse_prom_samples(prom_path)
+        for name in ("ldb_queries_started_total", "ldb_queries_ok_total",
+                     "ldb_connections_total", "ldb_net_bytes_recv_total",
+                     "ldb_plan_cache_hits_total",
+                     "ldb_plan_cache_misses_total",
+                     "ldb_morsels_dispatched_total"):
+            moved = sum(v for _, v in samples.get(name, []))
+            if moved != 0:
+                fail(f"{prom_path}: {name} = {moved} in a -DLDB_METRICS=OFF "
+                     "build — an instrument escaped the compile-out gate")
+        print(f"metrics-off dump OK: all instruments pinned at zero")
+    if ring_path is not None:
+        check_trace_ring(ring_path, expect_empty=True)
 
 
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "--metrics-off":
-        if len(sys.argv) not in (3, 4):
+        if len(sys.argv) not in (3, 4, 5):
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         check_metrics_off(*sys.argv[2:])
         print("metrics-off build OK")
         return
-    if len(sys.argv) not in (4, 5):
+    if len(sys.argv) not in (4, 5, 6, 7):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_bench(sys.argv[1])
     check_prometheus(sys.argv[2])
     check_trace(sys.argv[3])
-    if len(sys.argv) == 5:
+    if len(sys.argv) >= 5:
         check_server(sys.argv[4])
+    if len(sys.argv) >= 6:
+        check_trace_ring(sys.argv[5])
+    if len(sys.argv) >= 7:
+        check_serving_phases(sys.argv[6])
     print("all observability artifacts OK")
 
 

@@ -20,6 +20,16 @@
 // (anything else). --json writes a {"serving": [...]} report that
 // tools/merge_serving.py folds into BENCH_unnesting.json and
 // tools/bench_compare.py diffs across runs.
+//
+// Every EXECUTE carries a minted trace context (docs/WIRE.md v2), and every
+// EXEC_OK comes back with the server-side phase breakdown (wire wait, queue,
+// compile, exec, serialize) plus the request's trace id. The report's
+// "server_phases" section separates server time from client-observed
+// latency — when p99 blows up, it says whether the milliseconds went to
+// admission queueing or to execution. --trace-out FILE additionally fetches
+// the slowest request's full span trace from the server's tail-sampling
+// ring over INTROSPECT (a second connection, after the run) and writes it
+// as Chrome/Perfetto JSON.
 
 #include <algorithm>
 #include <atomic>
@@ -68,12 +78,21 @@ struct Options {
   uint32_t fetch_batch = 0;  ///< rows per ROWS batch (0 = server default)
   int cancel_every = 0;      ///< inject a CANCEL on every Nth request
   std::string json_file;
+  std::string trace_out;  ///< fetch the slowest trace via INTROSPECT
   std::string label = "service-mix";
 };
 
 struct Outcome {
   double latency_ms = 0;  ///< completion - scheduled arrival
   enum { kOk, kRejected, kCancelled, kError } kind = kOk;
+  // Server-reported phase breakdown from the EXEC_OK v2 extension (all 0
+  // against a v1 server).
+  double queue_wait_ms = 0;
+  double queue_ms = 0;
+  double compile_ms = 0;
+  double exec_ms = 0;
+  double serialize_ms = 0;
+  uint64_t trace_id = 0;
 };
 
 struct ConnReport {
@@ -125,8 +144,15 @@ void RunConnection(const Options& opt, const std::vector<size_t>& indices,
           }
         });
       }
-      client.ExecutePrepared(handles[m], opt.deadline_ms, opt.fetch_batch);
+      net::ClientResult r =
+          client.ExecutePrepared(handles[m], opt.deadline_ms, opt.fetch_batch);
       out.kind = Outcome::kOk;
+      out.queue_wait_ms = r.exec.queue_wait_ms;
+      out.queue_ms = r.exec.queue_ms;
+      out.compile_ms = r.exec.compile_ms;
+      out.exec_ms = r.exec.exec_ms;
+      out.serialize_ms = r.exec.serialize_ms;
+      out.trace_id = r.exec.trace_id;
     } catch (const net::RemoteError& e) {
       out.kind = e.code() == net::ErrorCode::kAdmission ? Outcome::kRejected
                  : e.code() == net::ErrorCode::kCancelled
@@ -160,7 +186,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host A] [--port P] [--connections N] [--rate QPS]\n"
       "          [--duration-s S] [--deadline-ms N] [--fetch-batch N]\n"
-      "          [--cancel-every N] [--json FILE] [--label NAME]\n",
+      "          [--cancel-every N] [--json FILE] [--trace-out FILE]\n"
+      "          [--label NAME]\n",
       argv0);
   return 2;
 }
@@ -196,6 +223,8 @@ int main(int argc, char** argv) {
       opt.cancel_every = std::atoi(next());
     } else if (arg == "--json") {
       opt.json_file = next();
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
     } else if (arg == "--label") {
       opt.label = next();
     } else {
@@ -235,6 +264,12 @@ int main(int argc, char** argv) {
   size_t n_ok = 0, n_rejected = 0, n_cancelled = 0, n_error = 0,
          n_transport = 0;
   std::vector<double> ok_latencies;
+  // Server-phase accumulators over ok requests, and the slowest traced
+  // request (the trace --trace-out goes after).
+  double sum_wait = 0, sum_queue = 0, sum_compile = 0, sum_exec = 0,
+         sum_serialize = 0;
+  uint64_t slowest_trace_id = 0;
+  double slowest_latency_ms = -1;
   for (const ConnReport& r : reports) {
     n_transport += static_cast<size_t>(r.transport_errors);
     for (const Outcome& o : r.outcomes) {
@@ -242,6 +277,15 @@ int main(int argc, char** argv) {
         case Outcome::kOk:
           ++n_ok;
           ok_latencies.push_back(o.latency_ms);
+          sum_wait += o.queue_wait_ms;
+          sum_queue += o.queue_ms;
+          sum_compile += o.compile_ms;
+          sum_exec += o.exec_ms;
+          sum_serialize += o.serialize_ms;
+          if (o.trace_id != 0 && o.latency_ms > slowest_latency_ms) {
+            slowest_latency_ms = o.latency_ms;
+            slowest_trace_id = o.trace_id;
+          }
           break;
         case Outcome::kRejected:
           ++n_rejected;
@@ -270,6 +314,17 @@ int main(int argc, char** argv) {
       "latency from scheduled arrival (ms): p50 %.2f | p95 %.2f | p99 %.2f "
       "| max %.2f\n",
       p50, p95, p99, max_ms);
+  const double inv_ok = n_ok > 0 ? 1.0 / static_cast<double>(n_ok) : 0;
+  const double mean_wait = sum_wait * inv_ok;
+  const double mean_queue = sum_queue * inv_ok;
+  const double mean_compile = sum_compile * inv_ok;
+  const double mean_exec = sum_exec * inv_ok;
+  const double mean_serialize = sum_serialize * inv_ok;
+  std::printf(
+      "server phases, mean over ok (ms): wait %.3f | queue %.3f | "
+      "compile %.3f | exec %.3f | serialize %.3f | slowest trace %s\n",
+      mean_wait, mean_queue, mean_compile, mean_exec, mean_serialize,
+      obs::TraceIdHex(slowest_trace_id).c_str());
 
   if (!opt.json_file.empty()) {
     std::ofstream out(opt.json_file);
@@ -277,7 +332,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", opt.json_file.c_str());
       return 1;
     }
-    char buf[1024];
+    char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
         "{\n  \"serving\": [\n    {\n"
@@ -296,14 +351,54 @@ int main(int argc, char** argv) {
         "      \"p50_ms\": %.3f,\n"
         "      \"p95_ms\": %.3f,\n"
         "      \"p99_ms\": %.3f,\n"
-        "      \"max_ms\": %.3f\n"
+        "      \"max_ms\": %.3f,\n"
+        "      \"server_phases\": {\n"
+        "        \"queue_wait_ms_mean\": %.4f,\n"
+        "        \"queue_ms_mean\": %.4f,\n"
+        "        \"compile_ms_mean\": %.4f,\n"
+        "        \"exec_ms_mean\": %.4f,\n"
+        "        \"serialize_ms_mean\": %.4f,\n"
+        "        \"slowest_trace_id\": \"%s\",\n"
+        "        \"slowest_latency_ms\": %.3f\n"
+        "      }\n"
         "    }\n  ]\n}\n",
         opt.label.c_str(), opt.connections, opt.rate, achieved, wall_s,
         n_requests, n_ok, n_rejected, n_cancelled, n_error, n_transport,
         static_cast<unsigned long long>(opt.deadline_ms), p50, p95, p99,
-        max_ms);
+        max_ms, mean_wait, mean_queue, mean_compile, mean_exec,
+        mean_serialize, obs::TraceIdHex(slowest_trace_id).c_str(),
+        slowest_latency_ms < 0 ? 0 : slowest_latency_ms);
     out << buf;
     std::printf("ldb_loadgen: wrote %s\n", opt.json_file.c_str());
+  }
+
+  // --trace-out: fetch the slowest request's span trace from the server's
+  // tail-sampling ring, over a FRESH connection (proving remote
+  // introspection works from a second client). Falls back to the server's
+  // own slowest kept trace when ours was sampled out or evicted.
+  if (!opt.trace_out.empty()) {
+    try {
+      net::Client c;
+      c.Connect(opt.host, opt.port, net::HelloRequest{});
+      std::string json;
+      try {
+        json = c.Introspect(net::IntrospectRequest::kTrace, 0,
+                            slowest_trace_id);
+      } catch (const net::RemoteError&) {
+        json = c.Introspect(net::IntrospectRequest::kTrace, 0, 0);
+      }
+      c.Close();
+      std::ofstream out(opt.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("ldb_loadgen: wrote %s (load via ui.perfetto.dev)\n",
+                  opt.trace_out.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "ldb_loadgen: trace fetch failed: %s\n", e.what());
+    }
   }
 
   // Exit nonzero if nothing succeeded — the CI smoke test asserts on this.
